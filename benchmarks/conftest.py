@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures on the
+simulator and prints it; run with ``pytest benchmarks/ --benchmark-only -s``
+to see the rendered outputs.  Simulation scale is set per benchmark to keep
+the whole suite around ten minutes while preserving the paper's qualitative
+shape (see EXPERIMENTS.md for a full-scale run's numbers).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+#: Instruction targets used by the figure benchmarks (override with the
+#: REPRO_SCALE environment variable: 1 = quick, 2 = default, 4 = thorough).
+SCALE = int(os.environ.get("REPRO_SCALE", "2"))
+SPEC_TARGET = 2000 * SCALE
+PARSEC_TARGET = 600 * SCALE

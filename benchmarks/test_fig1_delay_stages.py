@@ -1,0 +1,38 @@
+"""Figure 1: where each defense class stops the Spectre-v1 gadget.
+
+The paper's opening figure contrasts delay-ACCESS, delay-USE, and
+delay-TRANSMIT defenses with SpecASan's selective delay.  This benchmark
+runs the Listing-1 gadget under a representative of each class and checks
+the class-defining behaviour empirically.
+"""
+
+from repro.config import DefenseKind
+from repro.eval import figure1, render_figure1
+
+
+def test_fig1_delay_stage_comparison(benchmark):
+    rows = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    print()
+    print(render_figure1(rows))
+
+    by_defense = {row.defense: row for row in rows}
+    baseline = by_defense[DefenseKind.NONE]
+    fence = by_defense[DefenseKind.FENCE]
+    stt = by_defense[DefenseKind.STT]
+    ghost = by_defense[DefenseKind.GHOSTMINION]
+    specasan = by_defense[DefenseKind.SPECASAN]
+
+    # No defense: the full ACCESS -> USE -> TRANSMIT chain runs and leaks.
+    assert baseline.access_happened and baseline.transmit_happened
+    assert baseline.leaked
+    # Delay ACCESS: the speculative access itself never happens.
+    assert not fence.access_happened and not fence.leaked
+    # Delay USE: access happens, the dependent transmit is held.
+    assert stt.access_happened and not stt.transmit_happened
+    assert not stt.leaked
+    # Delay TRANSMIT: both run, but the trace stays invisible.
+    assert ghost.access_happened and ghost.transmit_happened
+    assert not ghost.leaked
+    # SpecASan: the unsafe access is selectively delayed - like
+    # delay-ACCESS security, but only for tag-mismatched accesses.
+    assert not specasan.access_happened and not specasan.leaked

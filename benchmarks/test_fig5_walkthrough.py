@@ -1,0 +1,34 @@
+"""Figure 5: SpecASan's step-by-step mitigation of Spectre-v1.
+
+Checks the state-machine narrative: the speculative out-of-bounds load's
+``tcs`` transitions to *unsafe* (SSA = 0), its data is withheld, dependents
+stall, and the eventual squash leaves no probe line in the cache — while
+every safe speculative access flowed through with tcs = safe.
+"""
+
+from repro.attacks import spectre_v1
+from repro.attacks.common import run_attack_program
+from repro.config import CORTEX_A76, DefenseKind
+from repro.eval import figure5_trace
+from repro.system import build_system
+
+
+def test_fig5_specasan_blocks_spectre_v1(benchmark):
+    trace = benchmark.pedantic(figure5_trace, rounds=1, iterations=1)
+    events = [event for _, _, event in trace]
+    print()
+    print(f"TSH processed {len(events)} tag-check outcomes:")
+    print(f"  safe   (tcs=safe, SSA=1): {sum('SSA=1' in e for e in events)}")
+    print(f"  unsafe (tcs=unsafe, SSA=0): {sum('unsafe' in e for e in events)}")
+
+    # Figure 5's step 4: the mismatched load is flagged unsafe exactly once
+    # (the single out-of-bounds attempt), everything else was safe.
+    assert sum("unsafe" in event for event in events) == 1
+    assert sum("SSA=1" in event for event in events) > 10
+
+    # And steps 7-8: after the flush, no secret-indexed probe line remains.
+    outcome = run_attack_program(spectre_v1.build(), DefenseKind.SPECASAN)
+    assert not outcome.leaked and not outcome.faulted
+    # Whereas the unsafe baseline recovers the exact secret value.
+    baseline = run_attack_program(spectre_v1.build(), DefenseKind.NONE)
+    assert baseline.recovered == [spectre_v1.SECRET_VALUE]

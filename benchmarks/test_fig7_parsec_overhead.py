@@ -1,0 +1,32 @@
+"""Figure 7: PARSEC normalized execution time on the 4-core system.
+
+Multi-threaded workloads with real coherence traffic.  Paper headline:
+SpecASan's multi-threaded overhead is ~2.5%, with most of it coming from
+the baseline ARM MTE machinery rather than SpecASan itself.
+"""
+
+from conftest import PARSEC_TARGET
+
+from repro.config import DefenseKind
+from repro.eval import figure7, geomean, render_rows
+
+
+def test_fig7_parsec_normalized_time(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure7(target_instructions=PARSEC_TARGET),
+        rounds=1, iterations=1)
+    print()
+    print(render_rows(rows, metric="normalized"))
+
+    def column(defense):
+        return [r.normalized_time for r in rows if r.defense is defense]
+
+    fence = geomean(column(DefenseKind.FENCE))
+    stt = geomean(column(DefenseKind.STT))
+    specasan = geomean(column(DefenseKind.SPECASAN))
+
+    assert fence > 1.3, f"barriers geomean {fence:.3f}"
+    assert specasan < fence
+    assert specasan <= stt + 0.02
+    # Multi-threaded SpecASan stays low single-digit (paper: 2.5%).
+    assert 0.97 <= specasan < 1.12, f"SpecASan geomean {specasan:.3f}"

@@ -1,0 +1,43 @@
+"""Figure 8: % of restricted speculative instructions, SPEC and PARSEC.
+
+Paper headline numbers: barriers restrict ~39% (SPEC) / ~52% (PARSEC) of
+instructions, STT ~18% / ~21%, SpecASan only 0.76% / 0.81% — the clearest
+expression of the selective-delay design (§3.2).
+"""
+
+from conftest import PARSEC_TARGET, SPEC_TARGET
+
+from repro.config import DefenseKind
+from repro.eval import figure8, render_rows
+
+
+def _average(rows, defense):
+    values = [r.restricted_pct for r in rows if r.defense is defense]
+    return sum(values) / len(values)
+
+
+def test_fig8_restriction_fractions(benchmark):
+    results = benchmark.pedantic(
+        lambda: figure8(
+            spec_kwargs=dict(target_instructions=SPEC_TARGET),
+            parsec_kwargs=dict(target_instructions=PARSEC_TARGET)),
+        rounds=1, iterations=1)
+    print()
+    print("SPEC CPU2017 (top of Figure 8):")
+    print(render_rows(results["spec"], metric="restricted"))
+    print()
+    print("PARSEC (bottom of Figure 8):")
+    print(render_rows(results["parsec"], metric="restricted"))
+
+    for suite in ("spec", "parsec"):
+        rows = results[suite]
+        fence = _average(rows, DefenseKind.FENCE)
+        stt = _average(rows, DefenseKind.STT)
+        specasan = _average(rows, DefenseKind.SPECASAN)
+        # The paper's orders of magnitude: barriers tens of percent,
+        # STT in between, SpecASan well under one percent.
+        assert fence > 15.0, f"{suite}: barriers restrict only {fence:.2f}%"
+        assert stt < fence, f"{suite}: STT must restrict less than barriers"
+        assert specasan < 1.0, (
+            f"{suite}: SpecASan restricted {specasan:.2f}% (paper: <1%)")
+        assert specasan < stt + 0.5

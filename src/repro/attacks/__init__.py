@@ -1,0 +1,60 @@
+"""Attack proof-of-concepts for every Table-1 variant.
+
+The registry maps each attack to its variant builders; :func:`build_variants`
+returns the ready-to-run :class:`~repro.attacks.common.AttackProgram` list
+for one attack, and :mod:`repro.attacks.matrix` turns the outcomes into the
+paper's full/partial/none classification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.attacks import mds, scc, spectre_bhb, spectre_v1, spectre_v2, \
+    spectre_v4, spectre_v5
+from repro.attacks.common import (
+    AttackOutcome,
+    AttackProgram,
+    run_attack_program,
+)
+
+#: attack name -> list of (variant name, builder) pairs.
+REGISTRY: Dict[str, List[Tuple[str, Callable[[], AttackProgram]]]] = {
+    "spectre-v1": [("classic", spectre_v1.build)],
+    "spectre-v2": [(v, (lambda v=v: spectre_v2.build(v)))
+                   for v in spectre_v2.VARIANTS],
+    "spectre-v5": [(v, (lambda v=v: spectre_v5.build(v)))
+                   for v in spectre_v5.VARIANTS],
+    "spectre-v4": [("classic", spectre_v4.build)],
+    "spectre-bhb": [(v, (lambda v=v: spectre_bhb.build(v)))
+                    for v in spectre_bhb.VARIANTS],
+    "fallout": [("classic", mds.build_fallout)],
+    "ridl": [("classic", mds.build_ridl)],
+    "zombieload": [("classic", mds.build_zombieload)],
+}
+for _attack in scc.ATTACKS:
+    REGISTRY[_attack] = [
+        (variant, (lambda a=_attack, v=variant: scc.build(a, v)))
+        for variant in scc.VARIANTS]
+
+#: Row order of the paper's Table 1.
+TABLE1_ROWS = [
+    "spectre-v1", "spectre-v2", "spectre-v5", "spectre-v4", "spectre-bhb",
+    "fallout", "ridl", "zombieload",
+    "smotherspectre", "interference", "rewind",
+]
+
+
+def build_variants(attack: str) -> List[AttackProgram]:
+    """All variant programs of ``attack`` (fresh builds)."""
+    return [builder() for _, builder in REGISTRY[attack]]
+
+
+__all__ = [
+    "AttackOutcome",
+    "AttackProgram",
+    "build_variants",
+    "REGISTRY",
+    "run_attack_program",
+    "TABLE1_ROWS",
+]

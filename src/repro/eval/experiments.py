@@ -1,0 +1,328 @@
+"""The experiment harness: one entry point per table/figure of the paper.
+
+Every function regenerates the corresponding result from scratch on the
+simulator and returns structured rows; the ``render_*`` helpers format them
+the way the paper presents them.  The benchmark suite under ``benchmarks/``
+calls straight into this module.
+
+Experiment ↔ paper mapping:
+
+- :func:`figure1`  — delay-stage comparison of defense classes (Fig. 1);
+- :func:`figure5_trace` — SpecASan's step-by-step Spectre-v1 block (Fig. 5);
+- :func:`table1`   — the security matrix (Table 1);
+- :func:`figure6`  — SPEC CPU2017 normalized execution time (Fig. 6);
+- :func:`figure7`  — PARSEC normalized execution time, 4 cores (Fig. 7);
+- :func:`figure8`  — % restricted speculative instructions (Fig. 8);
+- :func:`figure9`  — SpecCFI / SpecASan / combined overheads (Fig. 9).
+
+Scale note: ``target_instructions`` trades fidelity for wall-clock time; the
+shipped defaults keep a full figure under a few minutes of simulation while
+preserving the paper's qualitative shape (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.attacks import run_attack_program, spectre_v1
+from repro.attacks.matrix import evaluate_matrix, MatrixCell, render_matrix
+from repro.config import CORTEX_A76, DefenseKind, SystemConfig
+from repro.eval.metrics import geomean, normalized, percent
+from repro.multicore import MulticoreSystem
+from repro.system import build_system
+from repro.workloads import PARSEC_BY_NAME, parsec_names, SPEC_BY_NAME, spec_names
+from repro.workloads.generator import generate
+from repro.workloads.parsec import SHARED_BASE, SHARED_SIZE, THREAD_HEAP_STRIDE
+from repro.workloads.generator import HEAP_BASE
+
+#: The defense bars of Figure 6/7 (plus the implicit unsafe baseline).
+FIG6_DEFENSES = [DefenseKind.FENCE, DefenseKind.STT,
+                 DefenseKind.GHOSTMINION, DefenseKind.SPECASAN]
+#: Figure 8 compares restriction fractions for these mechanisms.
+FIG8_DEFENSES = [DefenseKind.FENCE, DefenseKind.STT, DefenseKind.SPECASAN]
+#: Figure 9's three bars.
+FIG9_DEFENSES = [DefenseKind.SPECCFI, DefenseKind.SPECASAN,
+                 DefenseKind.SPECASAN_CFI]
+
+
+@dataclass
+class ExperimentRow:
+    """One (benchmark, defense) measurement."""
+
+    benchmark: str
+    defense: DefenseKind
+    cycles: int
+    baseline_cycles: int
+    restricted_fraction: float
+    ipc: float
+
+    @property
+    def normalized_time(self) -> float:
+        return normalized(self.cycles, self.baseline_cycles)
+
+    @property
+    def restricted_pct(self) -> float:
+        return percent(self.restricted_fraction)
+
+
+def _spec_programs(name: str, target_instructions: int, seed: int = 0):
+    """(plain, mte-instrumented) builds of one SPEC-like workload."""
+    profile = SPEC_BY_NAME[name]
+    plain = generate(profile, seed=seed,
+                     target_instructions=target_instructions).program
+    tagged = generate(profile, seed=seed,
+                      target_instructions=target_instructions,
+                      mte_instrumented=True).program
+    return plain, tagged
+
+
+def run_spec(benchmarks: Optional[Sequence[str]] = None,
+             defenses: Optional[Sequence[DefenseKind]] = None,
+             target_instructions: int = 4000,
+             warm_runs: int = 1,
+             config: Optional[SystemConfig] = None) -> List[ExperimentRow]:
+    """Run SPEC-like workloads under the baseline plus ``defenses``.
+
+    MTE-enabled defenses run the MTE-instrumented build of each benchmark
+    (the toolchain analogue of §5.2); everything else runs the plain build.
+    Normalization is always against the plain build on the unsafe baseline.
+    """
+    benchmarks = list(benchmarks or spec_names())
+    defenses = list(defenses or FIG6_DEFENSES)
+    config = config or CORTEX_A76
+    rows: List[ExperimentRow] = []
+    for name in benchmarks:
+        plain, tagged = _spec_programs(name, target_instructions)
+        baseline = build_system(config.with_defense(DefenseKind.NONE)).run(
+            plain, warm_runs=warm_runs)
+        rows.append(ExperimentRow(name, DefenseKind.NONE, baseline.cycles,
+                                  baseline.cycles,
+                                  baseline.stats.restricted_fraction,
+                                  baseline.ipc))
+        for defense in defenses:
+            program = tagged if defense.uses_specasan else plain
+            result = build_system(config.with_defense(defense)).run(
+                program, warm_runs=warm_runs)
+            if result.fault is not None:
+                raise RuntimeError(
+                    f"{name} faulted under {defense.value}: {result.fault}")
+            rows.append(ExperimentRow(
+                name, defense, result.cycles, baseline.cycles,
+                result.stats.restricted_fraction, result.ipc))
+    return rows
+
+
+def run_parsec(benchmarks: Optional[Sequence[str]] = None,
+               defenses: Optional[Sequence[DefenseKind]] = None,
+               num_threads: int = 4,
+               target_instructions: int = 1500,
+               warm_runs: int = 1,
+               config: Optional[SystemConfig] = None) -> List[ExperimentRow]:
+    """Run PARSEC-like workloads on the multicore system (Figure 7)."""
+    benchmarks = list(benchmarks or parsec_names())
+    defenses = list(defenses or FIG6_DEFENSES)
+    config = (config or CORTEX_A76).with_cores(num_threads)
+    rows: List[ExperimentRow] = []
+    for name in benchmarks:
+        spec = PARSEC_BY_NAME[name]
+        plain = [generate(spec.profile, seed=t * 101,
+                          target_instructions=target_instructions,
+                          heap_base=HEAP_BASE + t * THREAD_HEAP_STRIDE,
+                          shared_base=SHARED_BASE, shared_size=SHARED_SIZE,
+                          shared_fraction=spec.shared_fraction,
+                          shared_store_fraction=spec.shared_store_fraction
+                          ).program for t in range(num_threads)]
+        tagged = [generate(spec.profile, seed=t * 101,
+                           target_instructions=target_instructions,
+                           heap_base=HEAP_BASE + t * THREAD_HEAP_STRIDE,
+                           shared_base=SHARED_BASE, shared_size=SHARED_SIZE,
+                           shared_fraction=spec.shared_fraction,
+                           shared_store_fraction=spec.shared_store_fraction,
+                           mte_instrumented=True
+                           ).program for t in range(num_threads)]
+        baseline = MulticoreSystem(config.with_defense(DefenseKind.NONE)).run(
+            plain, warm_runs=warm_runs)
+        committed = baseline.instructions
+        rows.append(ExperimentRow(name, DefenseKind.NONE, baseline.cycles,
+                                  baseline.cycles,
+                                  baseline.restricted_fraction,
+                                  baseline.ipc))
+        for defense in defenses:
+            programs = tagged if defense.uses_specasan else plain
+            result = MulticoreSystem(config.with_defense(defense)).run(
+                programs, warm_runs=warm_runs)
+            if any(result.faults):
+                raise RuntimeError(f"{name} faulted under {defense.value}")
+            rows.append(ExperimentRow(
+                name, defense, result.cycles, baseline.cycles,
+                result.restricted_fraction, result.ipc))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# per-figure entry points
+# ----------------------------------------------------------------------
+
+def figure6(**kwargs) -> List[ExperimentRow]:
+    """SPEC CPU2017 normalized execution time (Figure 6)."""
+    return run_spec(defenses=FIG6_DEFENSES, **kwargs)
+
+
+def figure7(**kwargs) -> List[ExperimentRow]:
+    """PARSEC normalized execution time on 4 cores (Figure 7)."""
+    return run_parsec(defenses=FIG6_DEFENSES, **kwargs)
+
+
+def figure8(spec_kwargs: Optional[dict] = None,
+            parsec_kwargs: Optional[dict] = None) -> Dict[str, List[ExperimentRow]]:
+    """% restricted speculative instructions, SPEC and PARSEC (Figure 8)."""
+    return {
+        "spec": run_spec(defenses=FIG8_DEFENSES, **(spec_kwargs or {})),
+        "parsec": run_parsec(defenses=FIG8_DEFENSES, **(parsec_kwargs or {})),
+    }
+
+
+def figure9(**kwargs) -> List[ExperimentRow]:
+    """SpecCFI vs SpecASan vs SpecASan+CFI on SPEC (Figure 9)."""
+    return run_spec(defenses=FIG9_DEFENSES, **kwargs)
+
+
+def table1(attacks: Optional[List[str]] = None) -> Dict[str, Dict[DefenseKind, MatrixCell]]:
+    """The security matrix (Table 1)."""
+    return evaluate_matrix(attacks=attacks)
+
+
+@dataclass
+class Figure1Row:
+    """One defense class's behaviour on the Spectre-v1 gadget (Figure 1)."""
+
+    defense: DefenseKind
+    delay_class: str
+    leaked: bool
+    cycles: int
+    access_happened: bool
+    transmit_happened: bool
+
+
+#: Which Figure-1 delay class each mechanism belongs to.
+DELAY_CLASSES = {
+    DefenseKind.NONE: "no defense",
+    DefenseKind.FENCE: "delay ACCESS",
+    DefenseKind.STT: "delay USE",
+    DefenseKind.GHOSTMINION: "delay TRANSMIT",
+    DefenseKind.SPECASAN: "selective delay (SpecASan)",
+}
+
+
+def figure1() -> List[Figure1Row]:
+    """Reproduce Figure 1: where each defense class stops the v1 gadget.
+
+    ``access_happened`` — the speculative secret read returned data;
+    ``transmit_happened`` — a secret-dependent address reached the memory
+    subsystem.  The unsafe baseline exhibits both; delay-ACCESS and SpecASan
+    stop the first; delay-USE/TRANSMIT allow the access but block the leak.
+    """
+    rows: List[Figure1Row] = []
+    for defense, delay_class in DELAY_CLASSES.items():
+        attack = spectre_v1.build()
+        outcome = run_attack_program(attack, defense)
+        system = build_system(CORTEX_A76.with_defense(defense))
+        core = system.prepare(attack.builder_program)
+        core.secret_ranges = [(attack.secret_address,
+                               attack.secret_address + attack.secret_size)]
+        core.run(max_cycles=attack.max_cycles)
+        access = any(e["kind"] == "secret-access" and e.get("speculative")
+                     for e in core.leak_log)
+        transmit = any(e["kind"] == "cache-transmit" for e in core.leak_log)
+        rows.append(Figure1Row(defense, delay_class, outcome.leaked,
+                               outcome.cycles, access, transmit))
+    return rows
+
+
+def figure5_trace() -> List[tuple]:
+    """The TSH event trace of SpecASan blocking Spectre-v1 (Figure 5)."""
+    attack = spectre_v1.build()
+    system = build_system(CORTEX_A76.with_defense(DefenseKind.SPECASAN))
+    core = system.prepare(attack.builder_program)
+    core.secret_ranges = [(attack.secret_address,
+                           attack.secret_address + attack.secret_size)]
+    core.run(max_cycles=attack.max_cycles)
+    return list(core.policy.tsh.trace)
+
+
+# ----------------------------------------------------------------------
+# renderers
+# ----------------------------------------------------------------------
+
+def render_rows(rows: List[ExperimentRow], metric: str = "normalized") -> str:
+    """Format experiment rows as the paper's bar-chart data.
+
+    ``metric`` is ``"normalized"`` (Figures 6/7/9) or ``"restricted"``
+    (Figure 8).
+    """
+    defenses: List[DefenseKind] = []
+    benchmarks: List[str] = []
+    for row in rows:
+        if row.defense not in defenses:
+            defenses.append(row.defense)
+        if row.benchmark not in benchmarks:
+            benchmarks.append(row.benchmark)
+    header = f"{'benchmark':18s}" + "".join(
+        f"{d.value:>14s}" for d in defenses)
+    lines = [header, "-" * len(header)]
+    by_key = {(r.benchmark, r.defense): r for r in rows}
+    columns: Dict[DefenseKind, List[float]] = {d: [] for d in defenses}
+    for bench in benchmarks:
+        cells = []
+        for defense in defenses:
+            row = by_key[(bench, defense)]
+            value = (row.normalized_time if metric == "normalized"
+                     else row.restricted_pct)
+            columns[defense].append(value)
+            cells.append(f"{value:14.3f}")
+        lines.append(f"{bench:18s}" + "".join(cells))
+    summary = []
+    for defense in defenses:
+        if metric == "normalized":
+            summary.append(f"{geomean(columns[defense]):14.3f}")
+        else:
+            mean = sum(columns[defense]) / len(columns[defense])
+            summary.append(f"{mean:14.2f}")
+    label = "geomean" if metric == "normalized" else "average"
+    lines.append(f"{label:18s}" + "".join(summary))
+    return "\n".join(lines)
+
+
+def render_figure1(rows: List[Figure1Row]) -> str:
+    header = (f"{'defense':14s}{'class':28s}{'ACCESS ran':>12s}"
+              f"{'TRANSMIT ran':>14s}{'leaked':>8s}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.defense.value:14s}{row.delay_class:28s}"
+            f"{str(row.access_happened):>12s}{str(row.transmit_happened):>14s}"
+            f"{str(row.leaked):>8s}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DELAY_CLASSES",
+    "ExperimentRow",
+    "FIG6_DEFENSES",
+    "FIG8_DEFENSES",
+    "FIG9_DEFENSES",
+    "figure1",
+    "Figure1Row",
+    "figure5_trace",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "render_figure1",
+    "render_matrix",
+    "render_rows",
+    "run_parsec",
+    "run_spec",
+    "table1",
+]

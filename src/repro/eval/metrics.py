@@ -1,0 +1,26 @@
+"""Metric helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the aggregation the paper's figures report)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalized(cycles: int, baseline_cycles: int) -> float:
+    """Normalized execution time relative to the unsafe baseline."""
+    if baseline_cycles <= 0:
+        return 0.0
+    return cycles / baseline_cycles
+
+
+def percent(fraction: float) -> float:
+    """A fraction as a percentage, rounded for display."""
+    return round(100.0 * fraction, 2)

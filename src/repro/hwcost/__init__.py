@@ -1,0 +1,22 @@
+"""Hardware cost modelling for Table 3 (the CACTI/McPAT/DC stand-in)."""
+
+from repro.hwcost.sram import LogicBlock, SRAMArray
+from repro.hwcost.table3 import (
+    build_components,
+    ComponentCost,
+    compute_table3,
+    MECHANISMS,
+    render_table3,
+    Table3Row,
+)
+
+__all__ = [
+    "build_components",
+    "ComponentCost",
+    "compute_table3",
+    "LogicBlock",
+    "MECHANISMS",
+    "render_table3",
+    "SRAMArray",
+    "Table3Row",
+]

@@ -1,0 +1,101 @@
+"""An analytical SRAM area/power/energy model (the CACTI stand-in).
+
+CACTI is a closed-form analytical model at heart: array area scales with
+bit count times a cell size for the technology node, plus a periphery
+factor (decoders, sense amplifiers, drivers) that depends on how the bits
+are organized; leakage scales with transistor count; per-access dynamic
+energy scales with the bits switched on an access.  We implement exactly
+that closed form, calibrated at a 22 nm-like node (§5.4 uses CACTI-P at
+22 nm).  Absolute numbers are indicative; the experiment reports *ratios*
+(percentage increase over a baseline structure), which depend only on bit
+counts and organization — the quantity Table 3 tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: 6T SRAM cell area at a 22nm-like node (µm² per bit).
+CELL_AREA_UM2 = 0.046
+#: Leakage per bit (µW) at nominal corner.
+CELL_LEAKAGE_UW = 0.0105
+#: Dynamic read energy per bit accessed (fJ).
+READ_ENERGY_FJ_PER_BIT = 2.4
+
+
+@dataclass(frozen=True)
+class SRAMArray:
+    """One SRAM-based structure.
+
+    Attributes:
+        name: label for reports.
+        entries: number of rows.
+        bits_per_entry: payload width.
+        access_bits: bits actually read/switched on a typical access
+            (defaults to one full entry).
+        periphery_factor: multiplier covering decoders/sense-amps/ports;
+            small side-car arrays (like MTE lock sidecars) pay
+            proportionally more periphery than large monolithic arrays.
+        ports: read/write port count (area and leakage scale with it).
+    """
+
+    name: str
+    entries: int
+    bits_per_entry: int
+    access_bits: int = 0
+    periphery_factor: float = 1.15
+    ports: int = 1
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * self.bits_per_entry
+
+    @property
+    def area_um2(self) -> float:
+        """Array area including periphery and porting."""
+        port_scale = 1.0 + 0.35 * (self.ports - 1)
+        return (self.total_bits * CELL_AREA_UM2
+                * self.periphery_factor * port_scale)
+
+    @property
+    def leakage_uw(self) -> float:
+        """Static power (leakage) of the array."""
+        port_scale = 1.0 + 0.20 * (self.ports - 1)
+        return self.total_bits * CELL_LEAKAGE_UW * port_scale
+
+    @property
+    def read_energy_fj(self) -> float:
+        """Dynamic energy of one access."""
+        bits = self.access_bits or self.bits_per_entry
+        return bits * READ_ENERGY_FJ_PER_BIT
+
+
+@dataclass(frozen=True)
+class LogicBlock:
+    """Synthesized random logic (the Design Compiler stand-in).
+
+    Sized in NAND2-equivalent gates; at 22 nm a NAND2 is ~0.5 µm² with
+    ~0.006 µW leakage.  The TSH and the tag-check comparators are a few
+    hundred gates each.
+    """
+
+    name: str
+    gates: int
+    #: Fraction of gates switching on a typical cycle.
+    activity: float = 0.1
+
+    GATE_AREA_UM2 = 0.5
+    GATE_LEAKAGE_UW = 0.006
+    GATE_ENERGY_FJ = 1.1
+
+    @property
+    def area_um2(self) -> float:
+        return self.gates * self.GATE_AREA_UM2
+
+    @property
+    def leakage_uw(self) -> float:
+        return self.gates * self.GATE_LEAKAGE_UW
+
+    @property
+    def read_energy_fj(self) -> float:
+        return self.gates * self.activity * self.GATE_ENERGY_FJ

@@ -1,0 +1,46 @@
+"""An ARM-flavoured 64-bit RISC instruction set for the simulator.
+
+The ISA deliberately mirrors the AArch64 subset the paper's PoC listings use
+(Listing 1) plus the MTE extension instructions (IRG/ADDG/STG/LDG) and the
+BTI landing pads SpecCFI relies on.  Programs can be written either as text
+assembly (:func:`assemble`) or through the fluent :class:`ProgramBuilder`.
+"""
+
+from repro.isa.registers import (
+    FP,
+    LR,
+    NUM_REGS,
+    reg_index,
+    reg_name,
+    SP,
+    XZR,
+)
+from repro.isa.instructions import (
+    Cond,
+    Instruction,
+    InstrClass,
+    Opcode,
+)
+from repro.isa.program import DataSegment, Program
+from repro.isa.assembler import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import Interpreter
+
+__all__ = [
+    "assemble",
+    "Interpreter",
+    "Cond",
+    "DataSegment",
+    "FP",
+    "Instruction",
+    "InstrClass",
+    "LR",
+    "NUM_REGS",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "reg_index",
+    "reg_name",
+    "SP",
+    "XZR",
+]

@@ -1,0 +1,263 @@
+"""A small two-pass assembler for the AArch64-flavoured ISA.
+
+Accepted syntax mirrors the paper's Listing 1::
+
+        LDR X1, [X10]
+    mistrained_branch:
+        CMP X0, X1          // X < ARRAY1_SIZE
+        B.LO spec_v1_path
+    spec_v1_path:
+        LDR X5, [X2, X0]
+        LSL X6, X5, #12
+        ADD X7, X3, X6
+        LDR X8, [X7]
+    safe_path:
+        ADD X9, X9, #1
+        HALT
+
+Directives:
+
+- ``.base <addr>`` — text segment base address (default ``0x1000``).
+- ``.entry <label>`` — entry point (default: first instruction).
+- ``.data <name> <addr> [tag=<t>] zero <n>`` — n zero bytes at ``addr``.
+- ``.data <name> <addr> [tag=<t>] bytes <b0> <b1> ...`` — literal bytes.
+- ``.data <name> <addr> [tag=<t>] words <w0> <w1> ...`` — 64-bit LE words.
+
+Comments start with ``//`` or ``;``.  Immediates are written ``#123``,
+``#0x1f``, or ``#-4``.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import List, Optional
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Cond, Instruction, Opcode
+from repro.isa.program import DataSegment, Program, TEXT_BASE
+from repro.isa.registers import reg_index
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):\s*(.*)$")
+_MEM_RE = re.compile(r"^\[\s*([^\],]+)\s*(?:,\s*([^\]]+))?\]$")
+
+_ZERO_OPERAND = {Opcode.RET, Opcode.NOP, Opcode.BTI, Opcode.SB, Opcode.HALT}
+_THREE_REG = {Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.ORR, Opcode.EOR,
+              Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.MUL, Opcode.UDIV}
+
+
+def assemble(source: str, base_address: int = TEXT_BASE) -> Program:
+    """Assemble ``source`` into a linked :class:`Program`.
+
+    Raises:
+        AssemblerError: on any syntax problem or unresolved label, with the
+            offending 1-based line number attached.
+    """
+    program = Program(base_address=base_address)
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            name, rest = match.groups()
+            try:
+                program.label(name)
+            except AssemblerError as exc:
+                raise AssemblerError(str(exc), line_no) from None
+            line = rest.strip()
+            if not line:
+                continue
+        if line.startswith("."):
+            _directive(program, line, line_no)
+            continue
+        program.add(_parse_instruction(line, line_no))
+    try:
+        program.link()
+    except AssemblerError as exc:
+        raise AssemblerError(f"link failed: {exc}") from None
+    return program
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("//", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line
+
+
+def _directive(program: Program, line: str, line_no: int) -> None:
+    parts = line.split()
+    head = parts[0].lower()
+    if head == ".base":
+        if len(parts) != 2:
+            raise AssemblerError(".base expects one address", line_no)
+        if program.instructions:
+            raise AssemblerError(".base must precede instructions", line_no)
+        program.base_address = _int(parts[1], line_no)
+    elif head == ".entry":
+        if len(parts) != 2:
+            raise AssemblerError(".entry expects one label", line_no)
+        program.entry_label = parts[1]
+    elif head == ".data":
+        _data_directive(program, parts[1:], line_no)
+    else:
+        raise AssemblerError(f"unknown directive {parts[0]!r}", line_no)
+
+
+def _data_directive(program: Program, args: List[str], line_no: int) -> None:
+    if len(args) < 3:
+        raise AssemblerError(".data expects: name addr [tag=t] kind values", line_no)
+    name = args[0]
+    address = _int(args[1], line_no)
+    rest = args[2:]
+    tag: Optional[int] = None
+    if rest and rest[0].startswith("tag="):
+        tag = _int(rest[0][4:], line_no)
+        rest = rest[1:]
+    if not rest:
+        raise AssemblerError(".data missing payload kind", line_no)
+    kind, values = rest[0].lower(), rest[1:]
+    if kind == "zero":
+        if len(values) != 1:
+            raise AssemblerError(".data zero expects a byte count", line_no)
+        payload = bytes(_int(values[0], line_no))
+    elif kind == "bytes":
+        payload = bytes(_int(v, line_no) & 0xFF for v in values)
+    elif kind == "words":
+        payload = b"".join(
+            struct.pack("<Q", _int(v, line_no) & (2**64 - 1)) for v in values)
+    else:
+        raise AssemblerError(f"unknown .data kind {kind!r}", line_no)
+    try:
+        program.add_segment(DataSegment(name, address, payload, tag))
+    except AssemblerError as exc:
+        raise AssemblerError(str(exc), line_no) from None
+
+
+def _parse_instruction(line: str, line_no: int) -> Instruction:
+    mnemonic, _, operand_text = line.partition(" ")
+    mnemonic = mnemonic.upper()
+    operands = _split_operands(operand_text)
+
+    if mnemonic.startswith("B.") and len(mnemonic) > 2:
+        cond_name = mnemonic[2:]
+        try:
+            cond = Cond[cond_name]
+        except KeyError:
+            raise AssemblerError(f"unknown condition {cond_name!r}", line_no)
+        if len(operands) != 1:
+            raise AssemblerError("B.cond expects one target label", line_no)
+        return Instruction(Opcode.B_COND, cond=cond, target=operands[0])
+
+    try:
+        op = Opcode(mnemonic)
+    except ValueError:
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no)
+
+    try:
+        return _build(op, operands, line_no)
+    except AssemblerError:
+        raise
+    except Exception as exc:  # operand-count/shape errors
+        raise AssemblerError(f"bad operands for {mnemonic}: {exc}", line_no)
+
+
+def _build(op: Opcode, ops: List[str], line_no: int) -> Instruction:
+    if op in _ZERO_OPERAND:
+        _expect(ops, 0, op, line_no)
+        return Instruction(op)
+    if op in (Opcode.B, Opcode.BL):
+        _expect(ops, 1, op, line_no)
+        return Instruction(op, target=ops[0])
+    if op in (Opcode.BR, Opcode.BLR):
+        _expect(ops, 1, op, line_no)
+        return Instruction(op, rn=reg_index(ops[0]))
+    if op in (Opcode.CBZ, Opcode.CBNZ):
+        _expect(ops, 2, op, line_no)
+        return Instruction(op, rn=reg_index(ops[0]), target=ops[1])
+    if op is Opcode.CMP:
+        _expect(ops, 2, op, line_no)
+        rn = reg_index(ops[0])
+        if ops[1].startswith("#"):
+            return Instruction(op, rn=rn, imm=_imm(ops[1], line_no))
+        return Instruction(op, rn=rn, rm=reg_index(ops[1]))
+    if op is Opcode.MOV:
+        _expect(ops, 2, op, line_no)
+        rd = reg_index(ops[0])
+        if ops[1].startswith("#"):
+            return Instruction(op, rd=rd, imm=_imm(ops[1], line_no))
+        return Instruction(op, rd=rd, rn=reg_index(ops[1]))
+    if op in (Opcode.LDR, Opcode.LDRB, Opcode.STR, Opcode.STRB,
+              Opcode.STG, Opcode.LDG):
+        _expect(ops, 2, op, line_no)
+        rd = reg_index(ops[0])
+        rn, rm, imm = _mem_operand(ops[1], line_no)
+        return Instruction(op, rd=rd, rn=rn, rm=rm, imm=imm)
+    if op is Opcode.IRG:
+        _expect(ops, 2, op, line_no)
+        return Instruction(op, rd=reg_index(ops[0]), rn=reg_index(ops[1]))
+    if op in (Opcode.ADDG, Opcode.SUBG):
+        _expect(ops, 4, op, line_no)
+        return Instruction(op, rd=reg_index(ops[0]), rn=reg_index(ops[1]),
+                           imm=_imm(ops[2], line_no),
+                           tag_imm=_imm(ops[3], line_no))
+    if op in _THREE_REG:
+        _expect(ops, 3, op, line_no)
+        rd, rn = reg_index(ops[0]), reg_index(ops[1])
+        if ops[2].startswith("#"):
+            return Instruction(op, rd=rd, rn=rn, imm=_imm(ops[2], line_no))
+        return Instruction(op, rd=rd, rn=rn, rm=reg_index(ops[2]))
+    raise AssemblerError(f"unhandled opcode {op.value}", line_no)
+
+
+def _mem_operand(text: str, line_no: int):
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AssemblerError(f"bad memory operand {text!r}", line_no)
+    base, offset = match.groups()
+    rn = reg_index(base)
+    if offset is None:
+        return rn, None, 0
+    offset = offset.strip()
+    if offset.startswith("#"):
+        return rn, None, _imm(offset, line_no)
+    return rn, reg_index(offset), None
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas, but keep ``[Xn, Xm]`` memory operands intact."""
+    operands: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def _expect(ops: List[str], count: int, op: Opcode, line_no: int) -> None:
+    if len(ops) != count:
+        raise AssemblerError(
+            f"{op.value} expects {count} operand(s), got {len(ops)}", line_no)
+
+
+def _imm(text: str, line_no: int) -> int:
+    return _int(text.lstrip("#"), line_no)
+
+
+def _int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer {text!r}", line_no) from None

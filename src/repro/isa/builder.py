@@ -1,0 +1,266 @@
+"""Fluent programmatic builder for simulator programs.
+
+Workload generators and attack gadgets construct programs through this API
+rather than via text assembly, e.g.::
+
+    b = ProgramBuilder()
+    array1 = b.bytes_segment("array1", 0x40000, b"\\x01" * 16, tag=0x0)
+    b.li("X2", array1.address)
+    b.label("loop")
+    b.ldr("X5", "X2")
+    b.add("X2", "X2", imm=8)
+    b.cmp("X2", imm=array1.end)
+    b.b_cond("LO", "loop")
+    b.halt()
+    program = b.build()
+
+All register arguments accept either names (``"X5"``) or indices.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Sequence, Union
+
+from repro.isa.instructions import Cond, Instruction, Opcode
+from repro.isa.program import DataSegment, Program, TEXT_BASE
+from repro.isa.registers import reg_index
+
+Reg = Union[str, int]
+
+
+def _r(reg: Optional[Reg]) -> Optional[int]:
+    if reg is None:
+        return None
+    if isinstance(reg, int):
+        return reg
+    return reg_index(reg)
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` one instruction at a time."""
+
+    def __init__(self, base_address: int = TEXT_BASE):
+        self._program = Program(base_address=base_address)
+        self._auto_label = 0
+
+    # -- segments -------------------------------------------------------------
+
+    def bytes_segment(self, name: str, address: int, data: bytes,
+                      tag: Optional[int] = None) -> DataSegment:
+        """Add an initial data segment of raw bytes."""
+        return self._program.add_segment(DataSegment(name, address, data, tag))
+
+    def words_segment(self, name: str, address: int, words: Sequence[int],
+                      tag: Optional[int] = None) -> DataSegment:
+        """Add a segment of little-endian 64-bit words."""
+        data = b"".join(struct.pack("<Q", w & (2**64 - 1)) for w in words)
+        return self.bytes_segment(name, address, data, tag)
+
+    def zero_segment(self, name: str, address: int, size: int,
+                     tag: Optional[int] = None) -> DataSegment:
+        """Add a zero-initialized segment of ``size`` bytes."""
+        return self.bytes_segment(name, address, bytes(size), tag)
+
+    # -- labels ---------------------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position and return it."""
+        self._program.label(name)
+        return name
+
+    def fresh_label(self, prefix: str = "L") -> str:
+        """Generate a unique label name (not yet placed)."""
+        self._auto_label += 1
+        return f".{prefix}{self._auto_label}"
+
+    def current_address(self) -> int:
+        """The address the *next* appended instruction will occupy."""
+        from repro.isa.instructions import INSTR_BYTES
+        return (self._program.base_address
+                + len(self._program.instructions) * INSTR_BYTES)
+
+    def pad_to(self, address: int) -> None:
+        """Emit NOPs until :meth:`current_address` equals ``address``."""
+        if address < self.current_address() or address % 4:
+            raise ValueError(f"cannot pad backwards to {address:#x}")
+        while self.current_address() < address:
+            self.nop()
+
+    # -- ALU ------------------------------------------------------------------
+
+    def _alu(self, op: Opcode, rd: Reg, rn: Reg, rm: Optional[Reg],
+             imm: Optional[int], note: str = "") -> Instruction:
+        if (rm is None) == (imm is None):
+            raise ValueError(f"{op.value}: exactly one of rm/imm required")
+        return self._program.add(Instruction(
+            op, rd=_r(rd), rn=_r(rn), rm=_r(rm), imm=imm, note=note))
+
+    def add(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+            imm: Optional[int] = None, note: str = "") -> Instruction:
+        return self._alu(Opcode.ADD, rd, rn, rm, imm, note)
+
+    def sub(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+            imm: Optional[int] = None, note: str = "") -> Instruction:
+        return self._alu(Opcode.SUB, rd, rn, rm, imm, note)
+
+    def and_(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+             imm: Optional[int] = None, note: str = "") -> Instruction:
+        return self._alu(Opcode.AND, rd, rn, rm, imm, note)
+
+    def orr(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+            imm: Optional[int] = None, note: str = "") -> Instruction:
+        return self._alu(Opcode.ORR, rd, rn, rm, imm, note)
+
+    def eor(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+            imm: Optional[int] = None, note: str = "") -> Instruction:
+        return self._alu(Opcode.EOR, rd, rn, rm, imm, note)
+
+    def lsl(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+            imm: Optional[int] = None, note: str = "") -> Instruction:
+        return self._alu(Opcode.LSL, rd, rn, rm, imm, note)
+
+    def lsr(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+            imm: Optional[int] = None, note: str = "") -> Instruction:
+        return self._alu(Opcode.LSR, rd, rn, rm, imm, note)
+
+    def asr(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+            imm: Optional[int] = None, note: str = "") -> Instruction:
+        return self._alu(Opcode.ASR, rd, rn, rm, imm, note)
+
+    def mul(self, rd: Reg, rn: Reg, rm: Reg, note: str = "") -> Instruction:
+        return self._alu(Opcode.MUL, rd, rn, rm, None, note)
+
+    def udiv(self, rd: Reg, rn: Reg, rm: Reg, note: str = "") -> Instruction:
+        return self._alu(Opcode.UDIV, rd, rn, rm, None, note)
+
+    def mov(self, rd: Reg, rn: Reg, note: str = "") -> Instruction:
+        return self._program.add(Instruction(
+            Opcode.MOV, rd=_r(rd), rn=_r(rn), note=note))
+
+    def li(self, rd: Reg, value: int, note: str = "") -> Instruction:
+        """Load a 64-bit immediate (modelled as one MOV)."""
+        return self._program.add(Instruction(
+            Opcode.MOV, rd=_r(rd), imm=value & (2**64 - 1), note=note))
+
+    def cmp(self, rn: Reg, rm: Optional[Reg] = None,
+            imm: Optional[int] = None, note: str = "") -> Instruction:
+        if (rm is None) == (imm is None):
+            raise ValueError("CMP: exactly one of rm/imm required")
+        return self._program.add(Instruction(
+            Opcode.CMP, rn=_r(rn), rm=_r(rm), imm=imm, note=note))
+
+    # -- control flow -----------------------------------------------------------
+
+    def b(self, target: str, note: str = "") -> Instruction:
+        return self._program.add(Instruction(Opcode.B, target=target, note=note))
+
+    def b_cond(self, cond: Union[str, Cond], target: str,
+               note: str = "") -> Instruction:
+        cond = Cond[cond] if isinstance(cond, str) else cond
+        return self._program.add(Instruction(
+            Opcode.B_COND, cond=cond, target=target, note=note))
+
+    def cbz(self, rn: Reg, target: str, note: str = "") -> Instruction:
+        return self._program.add(Instruction(
+            Opcode.CBZ, rn=_r(rn), target=target, note=note))
+
+    def cbnz(self, rn: Reg, target: str, note: str = "") -> Instruction:
+        return self._program.add(Instruction(
+            Opcode.CBNZ, rn=_r(rn), target=target, note=note))
+
+    def br(self, rn: Reg, note: str = "") -> Instruction:
+        return self._program.add(Instruction(Opcode.BR, rn=_r(rn), note=note))
+
+    def bl(self, target: str, note: str = "") -> Instruction:
+        return self._program.add(Instruction(Opcode.BL, target=target, note=note))
+
+    def blr(self, rn: Reg, note: str = "") -> Instruction:
+        return self._program.add(Instruction(Opcode.BLR, rn=_r(rn), note=note))
+
+    def ret(self, note: str = "") -> Instruction:
+        return self._program.add(Instruction(Opcode.RET, note=note))
+
+    # -- memory -----------------------------------------------------------------
+
+    def _mem(self, op: Opcode, rd: Reg, rn: Reg, rm: Optional[Reg],
+             imm: int, note: str) -> Instruction:
+        return self._program.add(Instruction(
+            op, rd=_r(rd), rn=_r(rn), rm=_r(rm),
+            imm=None if rm is not None else imm, note=note))
+
+    def ldr(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+            imm: int = 0, note: str = "") -> Instruction:
+        return self._mem(Opcode.LDR, rd, rn, rm, imm, note)
+
+    def ldrb(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+             imm: int = 0, note: str = "") -> Instruction:
+        return self._mem(Opcode.LDRB, rd, rn, rm, imm, note)
+
+    def str_(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+             imm: int = 0, note: str = "") -> Instruction:
+        return self._mem(Opcode.STR, rd, rn, rm, imm, note)
+
+    def strb(self, rd: Reg, rn: Reg, rm: Optional[Reg] = None,
+             imm: int = 0, note: str = "") -> Instruction:
+        return self._mem(Opcode.STRB, rd, rn, rm, imm, note)
+
+    # -- MTE ----------------------------------------------------------------------
+
+    def irg(self, rd: Reg, rn: Reg, note: str = "") -> Instruction:
+        """Insert a random allocation tag into the pointer in ``rn``."""
+        return self._program.add(Instruction(
+            Opcode.IRG, rd=_r(rd), rn=_r(rn), note=note))
+
+    def addg(self, rd: Reg, rn: Reg, offset: int = 0, tag_offset: int = 0,
+             note: str = "") -> Instruction:
+        """Add ``offset`` to the pointer and ``tag_offset`` to its key."""
+        return self._program.add(Instruction(
+            Opcode.ADDG, rd=_r(rd), rn=_r(rn), imm=offset,
+            tag_imm=tag_offset, note=note))
+
+    def subg(self, rd: Reg, rn: Reg, offset: int = 0, tag_offset: int = 0,
+             note: str = "") -> Instruction:
+        return self._program.add(Instruction(
+            Opcode.SUBG, rd=_r(rd), rn=_r(rn), imm=offset,
+            tag_imm=tag_offset, note=note))
+
+    def stg(self, rt: Reg, rn: Reg, imm: int = 0, note: str = "") -> Instruction:
+        """Store ``rt``'s key as the allocation tag of the granule at ``rn+imm``."""
+        return self._program.add(Instruction(
+            Opcode.STG, rd=_r(rt), rn=_r(rn), imm=imm, note=note))
+
+    def ldg(self, rd: Reg, rn: Reg, note: str = "") -> Instruction:
+        """Load the allocation tag of the granule at ``rn`` into ``rd``'s key."""
+        return self._program.add(Instruction(
+            Opcode.LDG, rd=_r(rd), rn=_r(rn), note=note))
+
+    # -- misc -------------------------------------------------------------------
+
+    def bti(self, note: str = "") -> Instruction:
+        """BTI landing pad (valid indirect-branch target under SpecCFI)."""
+        return self._program.add(Instruction(Opcode.BTI, note=note))
+
+    def sb(self, note: str = "") -> Instruction:
+        """Speculation barrier."""
+        return self._program.add(Instruction(Opcode.SB, note=note))
+
+    def nop(self, note: str = "") -> Instruction:
+        return self._program.add(Instruction(Opcode.NOP, note=note))
+
+    def nops(self, count: int) -> None:
+        for _ in range(count):
+            self.nop()
+
+    def halt(self, note: str = "") -> Instruction:
+        return self._program.add(Instruction(Opcode.HALT, note=note))
+
+    # -- finish ------------------------------------------------------------------
+
+    def entry(self, label: str) -> None:
+        """Set the program entry point."""
+        self._program.entry_label = label
+
+    def build(self) -> Program:
+        """Link and return the program."""
+        return self._program.link()

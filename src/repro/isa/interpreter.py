@@ -1,0 +1,222 @@
+"""A functional (non-pipelined) reference interpreter.
+
+Executes programs with plain sequential semantics — no speculation, no
+timing — and is used as the *oracle* for differential testing of the
+out-of-order core: whatever renaming, speculation, squashing, forwarding,
+and replay the pipeline performs, the architectural results must match
+this interpreter exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.config import MTEConfig
+from repro.errors import SimulationError, TagCheckFault
+from repro.isa.instructions import (
+    Cond,
+    FLAGS_REG,
+    INSTR_BYTES,
+    Opcode,
+    RENAME_REGS,
+)
+from repro.isa.program import Program
+from repro.isa.registers import LR, SP, XZR
+from repro.memory.dram import MainMemory
+from repro.mte.tags import key_of, strip_tag, with_key
+
+_WORD = (1 << 64) - 1
+
+
+class Interpreter:
+    """Sequential reference executor.
+
+    Args:
+        program: the linked program to run.
+        memory: optional pre-built memory (a fresh one is created and the
+            program's segments loaded otherwise).
+        check_tags: raise :class:`TagCheckFault` on MTE mismatches (the
+            committed-path architectural behaviour).
+        seed: IRG randomness seed — must match the core's for lockstep
+            comparisons involving IRG.
+    """
+
+    def __init__(self, program: Program, memory: Optional[MainMemory] = None,
+                 check_tags: bool = False, seed: int = 0xA11C):
+        self.program = program.link()
+        self.memory = memory or MainMemory()
+        if memory is None:
+            for segment in program.data_segments:
+                self.memory.load_image(segment.address, segment.data)
+                if segment.tag is not None:
+                    self.memory.tag_range(segment.address,
+                                          max(segment.size, 1), segment.tag)
+        self.check_tags = check_tags
+        self.mte = MTEConfig()
+        self._rng = random.Random(seed)
+        self.regs = [0] * RENAME_REGS
+        self.regs[SP] = 0x0F0000
+        self.pc = program.entry_address
+        self.halted = False
+        self.executed = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _read(self, reg: int) -> int:
+        return 0 if reg == XZR else self.regs[reg]
+
+    def _write(self, reg: int, value: int) -> None:
+        if reg != XZR:
+            self.regs[reg] = value & _WORD
+
+    def _operand2(self, instr) -> int:
+        if instr.rm is not None:
+            return self._read(instr.rm)
+        return (instr.imm or 0) & _WORD
+
+    def _address(self, instr) -> int:
+        base = self._read(instr.rn)
+        offset = (self._read(instr.rm) if instr.rm is not None
+                  else (instr.imm or 0))
+        return (base + offset) & _WORD
+
+    def _tag_check(self, pointer: int, pc: int) -> None:
+        if not self.check_tags:
+            return
+        lock = self.memory.lock_of(pointer)
+        key = key_of(pointer, self.mte.tag_bits)
+        if key != lock:
+            raise TagCheckFault(strip_tag(pointer), key, lock, pc=pc)
+
+    @staticmethod
+    def _flags(a: int, b: int) -> int:
+        result = (a - b) & _WORD
+        n = result >> 63
+        z = int(result == 0)
+        c = int(a >= b)
+        sa, sb, sr = a >> 63, b >> 63, result >> 63
+        v = int(sa != sb and sr != sa)
+        return (n << 3) | (z << 2) | (c << 1) | v
+
+    @staticmethod
+    def _cond(cond: Cond, flags: int) -> bool:
+        n, z, c, v = bool(flags & 8), bool(flags & 4), bool(flags & 2), bool(flags & 1)
+        return {
+            Cond.EQ: z, Cond.NE: not z, Cond.LO: not c, Cond.HS: c,
+            Cond.LT: n != v, Cond.GE: n == v, Cond.LE: z or n != v,
+            Cond.GT: (not z) and n == v, Cond.MI: n, Cond.PL: not n,
+        }[cond]
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        instr = self.program.fetch(self.pc)
+        if instr is None:
+            raise SimulationError(f"reference fell off text at {self.pc:#x}")
+        self.executed += 1
+        next_pc = self.pc + INSTR_BYTES
+        op = instr.op
+        if op is Opcode.HALT:
+            self.halted = True
+            return
+        if op in (Opcode.NOP, Opcode.BTI, Opcode.SB):
+            pass
+        elif op is Opcode.MOV:
+            value = (self._read(instr.rn) if instr.rn is not None
+                     else (instr.imm or 0) & _WORD)
+            self._write(instr.rd, value)
+        elif op is Opcode.CMP:
+            self.regs[FLAGS_REG] = self._flags(self._read(instr.rn),
+                                               self._operand2(instr))
+        elif op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.ORR,
+                    Opcode.EOR, Opcode.LSL, Opcode.LSR, Opcode.ASR,
+                    Opcode.MUL, Opcode.UDIV):
+            a, b = self._read(instr.rn), self._operand2(instr)
+            if op is Opcode.ADD:
+                value = a + b
+            elif op is Opcode.SUB:
+                value = a - b
+            elif op is Opcode.AND:
+                value = a & b
+            elif op is Opcode.ORR:
+                value = a | b
+            elif op is Opcode.EOR:
+                value = a ^ b
+            elif op is Opcode.LSL:
+                value = a << (b & 63)
+            elif op is Opcode.LSR:
+                value = a >> (b & 63)
+            elif op is Opcode.ASR:
+                signed = a - (1 << 64) if a >> 63 else a
+                value = signed >> (b & 63)
+            elif op is Opcode.MUL:
+                value = a * b
+            else:  # UDIV
+                value = a // b if b else 0
+            self._write(instr.rd, value)
+        elif op is Opcode.B:
+            next_pc = instr.target_addr
+        elif op is Opcode.BL:
+            self._write(LR, next_pc)
+            next_pc = instr.target_addr
+        elif op is Opcode.B_COND:
+            if self._cond(instr.cond, self.regs[FLAGS_REG]):
+                next_pc = instr.target_addr
+        elif op in (Opcode.CBZ, Opcode.CBNZ):
+            zero = self._read(instr.rn) == 0
+            if zero == (op is Opcode.CBZ):
+                next_pc = instr.target_addr
+        elif op is Opcode.BR:
+            next_pc = strip_tag(self._read(instr.rn))
+        elif op is Opcode.BLR:
+            target = strip_tag(self._read(instr.rn))
+            self._write(LR, next_pc)
+            next_pc = target
+        elif op is Opcode.RET:
+            next_pc = strip_tag(self._read(LR))
+        elif op in (Opcode.LDR, Opcode.LDRB):
+            address = self._address(instr)
+            self._tag_check(address, self.pc)
+            width = 1 if op is Opcode.LDRB else 8
+            self._write(instr.rd, int.from_bytes(
+                self.memory.read(address, width), "little"))
+        elif op in (Opcode.STR, Opcode.STRB):
+            address = self._address(instr)
+            self._tag_check(address, self.pc)
+            width = 1 if op is Opcode.STRB else 8
+            value = self._read(instr.rd) & ((1 << (8 * width)) - 1)
+            self.memory.write(address, value.to_bytes(width, "little"))
+        elif op is Opcode.IRG:
+            tag = self._rng.randrange(self.mte.num_tags)
+            self._write(instr.rd, with_key(self._read(instr.rn), tag,
+                                           self.mte.tag_bits))
+        elif op in (Opcode.ADDG, Opcode.SUBG):
+            a = self._read(instr.rn)
+            key = key_of(a, self.mte.tag_bits)
+            sign = 1 if op is Opcode.ADDG else -1
+            new_key = (key + sign * (instr.tag_imm or 0)) % self.mte.num_tags
+            self._write(instr.rd, with_key(
+                (a + sign * (instr.imm or 0)) & _WORD, new_key,
+                self.mte.tag_bits))
+        elif op is Opcode.STG:
+            address = self._address(instr)
+            tag = key_of(self._read(instr.rd), self.mte.tag_bits)
+            self.memory.set_lock(address, tag)
+        elif op is Opcode.LDG:
+            address = self._address(instr)
+            self._write(instr.rd, with_key(address,
+                                           self.memory.lock_of(address),
+                                           self.mte.tag_bits))
+        else:  # pragma: no cover
+            raise SimulationError(f"reference cannot execute {op.value}")
+        self.pc = next_pc
+
+    def run(self, max_steps: int = 1_000_000) -> None:
+        """Run to HALT (or raise on timeout/fault)."""
+        while not self.halted:
+            if self.executed >= max_steps:
+                raise SimulationError(
+                    f"reference did not halt within {max_steps} steps")
+            self.step()

@@ -1,0 +1,153 @@
+"""Program container: instructions, labels, and initial data segments.
+
+A :class:`Program` is the unit the simulator loads: a list of static
+instructions laid out from ``base_address``, a label map, and zero or more
+:class:`DataSegment` initial-memory images (optionally MTE-tagged).  Label
+resolution ("linking") happens once, in :meth:`Program.link`, after which
+every branch carries an absolute ``target_addr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Instruction, INSTR_BYTES
+
+#: Default base address for the text segment.
+TEXT_BASE = 0x1000
+
+
+@dataclass
+class DataSegment:
+    """An initial memory image loaded before the program runs.
+
+    Attributes:
+        name: symbolic name, usable as a label in assembly (``LDR X0, =name``
+            is not supported; workloads materialize addresses via MOV).
+        address: untagged start address.
+        data: initial bytes.
+        tag: MTE allocation tag to apply to every granule of the segment, or
+            ``None`` to leave the segment untagged (tag 0).
+    """
+
+    name: str
+    address: int
+    data: bytes = b""
+    tag: Optional[int] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+@dataclass
+class Program:
+    """A linked or linkable program.
+
+    Instructions are fixed-width (:data:`INSTR_BYTES`); instruction *i* lives
+    at ``base_address + i * INSTR_BYTES``.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)  # label -> instr index
+    data_segments: List[DataSegment] = field(default_factory=list)
+    base_address: int = TEXT_BASE
+    entry_label: Optional[str] = None
+    _linked: bool = False
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, instr: Instruction) -> Instruction:
+        """Append ``instr`` and return it."""
+        self.instructions.append(instr)
+        self._linked = False
+        return instr
+
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current end of the instruction stream."""
+        if name in self.labels:
+            raise AssemblerError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+        self._linked = False
+
+    def add_segment(self, segment: DataSegment) -> DataSegment:
+        """Register an initial data segment, checking for overlap."""
+        for existing in self.data_segments:
+            if segment.address < existing.end and existing.address < segment.end:
+                raise AssemblerError(
+                    f"data segment {segment.name!r} overlaps {existing.name!r}")
+        self.data_segments.append(segment)
+        return segment
+
+    # -- linking --------------------------------------------------------------
+
+    def address_of(self, label: str) -> int:
+        """Absolute address of ``label`` (text labels only)."""
+        if label not in self.labels:
+            raise AssemblerError(f"undefined label {label!r}")
+        return self.base_address + self.labels[label] * INSTR_BYTES
+
+    def link(self) -> "Program":
+        """Assign instruction addresses and resolve branch targets in place."""
+        if self._linked:
+            return self
+        for index, instr in enumerate(self.instructions):
+            instr.address = self.base_address + index * INSTR_BYTES
+        for instr in self.instructions:
+            if instr.target is not None:
+                instr.target_addr = self.address_of(instr.target)
+        self._linked = True
+        return self
+
+    @property
+    def entry_address(self) -> int:
+        """The address execution starts at."""
+        if self.entry_label is not None:
+            return self.address_of(self.entry_label)
+        return self.base_address
+
+    @property
+    def end_address(self) -> int:
+        """First address past the text segment."""
+        return self.base_address + len(self.instructions) * INSTR_BYTES
+
+    def fetch(self, address: int) -> Optional[Instruction]:
+        """The instruction at ``address``, or ``None`` if outside the text."""
+        if address < self.base_address or address >= self.end_address:
+            return None
+        offset = address - self.base_address
+        if offset % INSTR_BYTES:
+            return None
+        return self.instructions[offset // INSTR_BYTES]
+
+    def segment(self, name: str) -> DataSegment:
+        """Look up a data segment by name."""
+        for seg in self.data_segments:
+            if seg.name == name:
+                return seg
+        raise AssemblerError(f"no data segment named {name!r}")
+
+    def listing(self, start: int = 0, count: Optional[int] = None) -> str:
+        """A human-readable disassembly listing (used by the walkthrough)."""
+        self.link()
+        index_to_labels: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            index_to_labels.setdefault(idx, []).append(name)
+        lines = []
+        stop = len(self.instructions) if count is None else min(
+            len(self.instructions), start + count)
+        for idx in range(start, stop):
+            for name in index_to_labels.get(idx, ()):
+                lines.append(f"{name}:")
+            instr = self.instructions[idx]
+            lines.append(f"  {instr.address:#08x}  {instr.render()}")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Register file naming for the AArch64-flavoured ISA.
+
+The integer register file has 32 architectural registers: ``X0``-``X30`` plus
+the zero register ``XZR`` (index 31), which reads as zero and discards
+writes.  Following AArch64 convention, ``X29`` doubles as the frame pointer,
+``X30`` as the link register.  The stack pointer is modelled as a separate
+register ``SP`` with index 32 so that the simulator can rename it uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+#: Architectural zero register (reads 0, writes ignored).
+XZR = 31
+#: Frame pointer alias (X29).
+FP = 29
+#: Link register written by BL/BLR (X30).
+LR = 30
+#: Stack pointer, modelled as an extra architectural register.
+SP = 32
+#: Total number of architectural integer registers, including SP.
+NUM_REGS = 33
+
+_ALIASES = {"XZR": XZR, "WZR": XZR, "FP": FP, "LR": LR, "SP": SP}
+
+
+def reg_index(name: str) -> int:
+    """Parse a register name (``X0``-``X30``, ``XZR``, ``FP``, ``LR``, ``SP``).
+
+    Raises:
+        AssemblerError: if the name is not a valid register.
+    """
+    upper = name.strip().upper()
+    if upper in _ALIASES:
+        return _ALIASES[upper]
+    if upper.startswith("X") and upper[1:].isdigit():
+        index = int(upper[1:])
+        if 0 <= index <= 30:
+            return index
+    raise AssemblerError(f"unknown register {name!r}")
+
+
+def reg_name(index: int) -> str:
+    """Render a register index back to its canonical assembly name."""
+    if index == XZR:
+        return "XZR"
+    if index == SP:
+        return "SP"
+    if 0 <= index <= 30:
+        return f"X{index}"
+    raise AssemblerError(f"register index {index} out of range")

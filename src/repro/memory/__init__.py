@@ -1,0 +1,43 @@
+"""The tagged memory subsystem (§3.3).
+
+Components, mirroring Figure 3:
+
+- :mod:`repro.memory.dram` — main memory plus the separate tag storage the
+  memory controller reads in parallel with data (§3.3.4);
+- :mod:`repro.memory.cache` — set-associative caches whose lines carry four
+  4-bit allocation tags (one per 16B granule of a 64B line, §3.3.1);
+- :mod:`repro.memory.mshr` — miss-status holding registers with the
+  single-bit unsafe flag SpecASan adds;
+- :mod:`repro.memory.lfb` — the Line-Fill Buffer, including the stale-data
+  window MDS attacks exploit and the allocation tags SpecASan adds (§3.3.3);
+- :mod:`repro.memory.minion` — the shadow fill buffer used to model
+  GhostMinion;
+- :mod:`repro.memory.coherence` — an invalidation directory for multicore;
+- :mod:`repro.memory.hierarchy` — the façade the core talks to.
+"""
+
+from repro.memory.request import AccessKind, MemRequest, MemResponse, ServedFrom
+from repro.memory.dram import MainMemory
+from repro.memory.cache import Cache, CacheLine
+from repro.memory.mshr import MSHR, MSHRFile
+from repro.memory.lfb import LFBEntry, LineFillBuffer
+from repro.memory.minion import MinionCache
+from repro.memory.coherence import CoherenceDirectory
+from repro.memory.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "AccessKind",
+    "Cache",
+    "CacheLine",
+    "CoherenceDirectory",
+    "LFBEntry",
+    "LineFillBuffer",
+    "MainMemory",
+    "MemoryHierarchy",
+    "MemRequest",
+    "MemResponse",
+    "MinionCache",
+    "MSHR",
+    "MSHRFile",
+    "ServedFrom",
+]

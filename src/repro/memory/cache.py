@@ -1,0 +1,139 @@
+"""Set-associative caches with allocation-tag sidecars (§3.3.1, Figure 3).
+
+Each 64-byte line carries four 4-bit allocation tags — one per 16-byte
+granule — stored alongside the address tag.  "The two highest address offset
+bits can be used to concurrently look up the allocation tag for each cache
+line, alongside the regular cache tag lookup": :meth:`Cache.lock_for` indexes
+the sidecar by those offset bits.
+
+The cache tracks presence, recency, dirtiness, and locks.  Data itself lives
+in :class:`repro.memory.dram.MainMemory` (the architectural truth); since
+stores update memory only at commit, squashed stores never corrupt it, and
+the cache only needs to answer *timing* and *tag-check* questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import CacheConfig
+from repro.mte.tags import strip_tag
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one resident line."""
+
+    line_address: int
+    locks: Tuple[int, ...] = ()
+    dirty: bool = False
+    last_used: int = 0
+
+
+class Cache:
+    """One level of the hierarchy (presence + tags + LRU, no data copies)."""
+
+    def __init__(self, config: CacheConfig, granule_bytes: int = 16):
+        self.config = config
+        self.granule_bytes = granule_bytes
+        self.line_bytes = config.line_bytes
+        self.num_sets = config.num_sets
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.tag_checks = 0
+        self.tag_mismatches = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """The aligned line address covering ``address`` (tag stripped)."""
+        return strip_tag(address) & ~(self.line_bytes - 1)
+
+    def set_index(self, line_address: int) -> int:
+        return (line_address // self.line_bytes) % self.num_sets
+
+    def granule_offset(self, address: int) -> int:
+        """Which granule of its line ``address`` falls in (0..3 for 64B/16B)."""
+        return (strip_tag(address) % self.line_bytes) // self.granule_bytes
+
+    # -- lookup / insert -------------------------------------------------------
+
+    def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
+        """The resident line covering ``address``, updating recency."""
+        line_addr = self.line_address(address)
+        line = self._sets[self.set_index(line_addr)].get(line_addr)
+        if line is not None and touch:
+            self._tick += 1
+            line.last_used = self._tick
+        return line
+
+    def contains(self, address: int) -> bool:
+        """Presence probe that does *not* perturb recency (attack probes)."""
+        line_addr = self.line_address(address)
+        return line_addr in self._sets[self.set_index(line_addr)]
+
+    def insert(self, line_address: int, locks: Tuple[int, ...] = (),
+               dirty: bool = False) -> Optional[CacheLine]:
+        """Install a line; returns the evicted victim, if any."""
+        index = self.set_index(line_address)
+        cache_set = self._sets[index]
+        victim = None
+        if line_address not in cache_set and len(cache_set) >= self.config.associativity:
+            lru_addr = min(cache_set, key=lambda a: cache_set[a].last_used)
+            victim = cache_set.pop(lru_addr)
+            self.evictions += 1
+        self._tick += 1
+        cache_set[line_address] = CacheLine(
+            line_address, locks=locks, dirty=dirty, last_used=self._tick)
+        return victim
+
+    def invalidate(self, address: int) -> bool:
+        """Coherence invalidation; True if the line was present."""
+        line_addr = self.line_address(address)
+        return self._sets[self.set_index(line_addr)].pop(line_addr, None) is not None
+
+    def mark_dirty(self, address: int) -> None:
+        line = self.lookup(address)
+        if line is not None:
+            line.dirty = True
+
+    # -- tag sidecar -------------------------------------------------------------
+
+    def lock_for(self, line: CacheLine, address: int) -> Optional[int]:
+        """The allocation tag covering ``address`` within ``line``."""
+        if not line.locks:
+            return None
+        return line.locks[self.granule_offset(address)]
+
+    def check_tag(self, line: CacheLine, pointer: int, tag_bits: int = 4) -> bool:
+        """Compare the pointer key against the resident lock (§3.3.1)."""
+        self.tag_checks += 1
+        lock = self.lock_for(line, pointer)
+        key = (pointer >> 56) & ((1 << tag_bits) - 1)
+        ok = lock is None or key == lock
+        if not ok:
+            self.tag_mismatches += 1
+        return ok
+
+    def update_lock(self, address: int, tag: int) -> None:
+        """STG coherence: refresh the sidecar copy for one granule."""
+        line = self.lookup(address, touch=False)
+        if line is not None and line.locks:
+            locks = list(line.locks)
+            locks[self.granule_offset(address)] = tag
+            line.locks = tuple(locks)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        """Drop all lines (tests / context-switch baselines)."""
+        for cache_set in self._sets:
+            cache_set.clear()

@@ -1,0 +1,61 @@
+"""A small invalidation-based coherence directory for multicore runs.
+
+The PARSEC experiments (Figure 7) run four cores with private L1Ds over a
+shared L2.  We model MESI-lite: the directory tracks which cores hold each
+line; a committed store by one core invalidates the copies (and LFB entries)
+of every other sharer.  "Dedicated cache maintenance operations ... ensure
+the coherence of the stored allocation tags in the cache with the tags stored
+for the same address in other caches within the system" (§3.3.1) — tag
+updates (STG) ride the same invalidation path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Set
+
+
+class CoherenceDirectory:
+    """Tracks sharers per line and broadcasts invalidations."""
+
+    def __init__(self, num_cores: int):
+        self.num_cores = num_cores
+        self._sharers: Dict[int, Set[int]] = defaultdict(set)
+        self._invalidate_hooks: List[Callable[[int, int], None]] = []
+        self.invalidations = 0
+        self.tag_update_broadcasts = 0
+
+    def register_invalidator(self, hook: Callable[[int, int], None]) -> None:
+        """Register ``hook(core_id, line_address)`` called on invalidation."""
+        self._invalidate_hooks.append(hook)
+
+    def on_fill(self, core_id: int, line_address: int) -> None:
+        """Record that ``core_id`` now holds ``line_address``."""
+        self._sharers[line_address].add(core_id)
+
+    def on_evict(self, core_id: int, line_address: int) -> None:
+        """Record that ``core_id`` dropped ``line_address``."""
+        self._sharers[line_address].discard(core_id)
+
+    def sharers_of(self, line_address: int) -> Set[int]:
+        return set(self._sharers[line_address])
+
+    def on_store(self, core_id: int, line_address: int) -> int:
+        """A committed store: invalidate all other sharers; returns count."""
+        others = [c for c in self._sharers[line_address] if c != core_id]
+        for other in others:
+            for hook in self._invalidate_hooks:
+                hook(other, line_address)
+            self._sharers[line_address].discard(other)
+        self._sharers[line_address].add(core_id)
+        self.invalidations += len(others)
+        return len(others)
+
+    def on_tag_update(self, core_id: int, line_address: int) -> int:
+        """STG by one core: other sharers must refresh/drop their tag copies.
+
+        We conservatively invalidate remote copies, matching the paper's
+        "clean and invalidate" maintenance description.
+        """
+        self.tag_update_broadcasts += 1
+        return self.on_store(core_id, line_address)

@@ -1,0 +1,91 @@
+"""The memory controller (§3.3.4).
+
+"The memory controller handles the tag check operation by creating two
+separate memory access requests to the data memory and the tag storage
+simultaneously.  The fetched allocation tag ... is checked against the
+address tag of the memory access operation to validate its safety."
+
+On a mismatch with fill-blocking requested (SpecASan), "the data is not
+returned to the upper memory levels or the core along with the memory
+response" — the controller reports latency and the unsafe flag only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.config import MemoryConfig, MTEConfig
+from repro.memory.dram import MainMemory
+from repro.mte.tags import key_of
+
+
+@dataclass
+class ControllerResult:
+    """Outcome of one line fetch from DRAM.
+
+    ``tag_ok`` is ``None`` when no check was requested.  ``locks`` are the
+    allocation tags covering the line (they travel upward with the fill so
+    higher levels can check future requests locally).
+    """
+
+    ready_cycle: int
+    locks: Tuple[int, ...]
+    tag_ok: Optional[bool]
+    deliver_data: bool
+
+
+class MemoryController:
+    """Front end of DRAM: paired data + tag-storage accesses."""
+
+    def __init__(self, memory: MainMemory, config: Optional[MemoryConfig] = None,
+                 mte: Optional[MTEConfig] = None):
+        self.memory = memory
+        self.config = config or memory.config
+        self.mte = mte or memory.mte
+        self.reads = 0
+        self.tag_reads = 0
+        self.tag_mismatches = 0
+        self.blocked_fills = 0
+
+    def line_latency(self, check_tag: bool) -> int:
+        """Cycles for a line fetch; the parallel tag read adds a small tail
+        when it is the critical path."""
+        latency = self.config.controller_latency + self.config.dram_latency
+        if check_tag:
+            latency += self.config.tag_fetch_extra_latency
+        return latency
+
+    def fetch_line(self, pointer: int, line_address: int, line_bytes: int,
+                   cycle: int, check_tag: bool,
+                   block_fill_on_mismatch: bool) -> ControllerResult:
+        """Fetch one line, performing the dual data+tag access.
+
+        ``pointer`` is the original tagged request address: the check
+        compares its key against the lock of the granule it targets.
+        """
+        self.reads += 1
+        ready = cycle + self.line_latency(check_tag)
+        locks = self.memory.line_locks(line_address, line_bytes)
+        tag_ok: Optional[bool] = None
+        deliver = True
+        if check_tag:
+            self.tag_reads += 1
+            key = key_of(pointer, self.mte.tag_bits)
+            lock = self.memory.lock_of(pointer)
+            tag_ok = key == lock
+            if not tag_ok:
+                self.tag_mismatches += 1
+                if block_fill_on_mismatch:
+                    deliver = False
+                    self.blocked_fills += 1
+        return ControllerResult(ready, locks, tag_ok, deliver)
+
+    def read_lock(self, pointer: int) -> int:
+        """Direct tag-storage read (LDG path)."""
+        self.tag_reads += 1
+        return self.memory.lock_of(pointer)
+
+    def write_lock(self, pointer: int, tag: int) -> None:
+        """Direct tag-storage write (STG path)."""
+        self.memory.set_lock(pointer, tag)

@@ -1,0 +1,78 @@
+"""Main memory: a flat physical byte array plus MTE tag storage.
+
+The data array is the architectural truth the caches index into (the
+simulator's caches track presence, timing, and allocation tags, not copies of
+the bytes).  Tag storage is the separate address space of §3.3.4; the memory
+controller reads both in parallel.
+"""
+
+from __future__ import annotations
+
+import struct
+from repro.config import MemoryConfig, MTEConfig
+from repro.errors import MemoryFault
+from repro.mte.tags import strip_tag
+from repro.mte.tagstore import TagStorage
+
+
+class MainMemory:
+    """Physical memory with a dense backing store and per-granule tags."""
+
+    def __init__(self, mem_config: MemoryConfig = None, mte_config: MTEConfig = None):
+        self.config = mem_config or MemoryConfig()
+        self.mte = mte_config or MTEConfig()
+        self._data = bytearray(self.config.size_bytes)
+        self.tags = TagStorage(self.config.size_bytes,
+                               self.mte.granule_bytes, self.mte.tag_bits)
+
+    @property
+    def size(self) -> int:
+        return self.config.size_bytes
+
+    def _span(self, address: int, size: int) -> int:
+        physical = strip_tag(address)
+        if physical < 0 or physical + size > self.size:
+            raise MemoryFault(physical)
+        return physical
+
+    # -- data ------------------------------------------------------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes (address may be tagged; the key is ignored)."""
+        physical = self._span(address, size)
+        return bytes(self._data[physical:physical + size])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data`` at ``address`` (tag in the address is ignored)."""
+        physical = self._span(address, len(data))
+        self._data[physical:physical + len(data)] = data
+
+    def read_word(self, address: int) -> int:
+        """Read a little-endian 64-bit word."""
+        return struct.unpack("<Q", self.read(address, 8))[0]
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write a little-endian 64-bit word."""
+        self.write(address, struct.pack("<Q", value & (2**64 - 1)))
+
+    def load_image(self, address: int, data: bytes) -> None:
+        """Loader entry point: place an initial data segment."""
+        self.write(address, data)
+
+    # -- tags -------------------------------------------------------------------
+
+    def lock_of(self, address: int) -> int:
+        """The allocation tag (lock) covering ``address``."""
+        return self.tags.get(address)
+
+    def set_lock(self, address: int, tag: int) -> None:
+        """Set the allocation tag of the granule covering ``address``."""
+        self.tags.set(address, tag)
+
+    def tag_range(self, address: int, size: int, tag: int) -> None:
+        """Tag a whole region (loader / allocator replay)."""
+        self.tags.set_range(address, size, tag)
+
+    def line_locks(self, line_address: int, line_bytes: int) -> tuple:
+        """All locks covering one cache line (travel with fills, Fig. 3)."""
+        return self.tags.line_tags(line_address, line_bytes)

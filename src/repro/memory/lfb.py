@@ -1,0 +1,119 @@
+"""The Line-Fill Buffer (LFB, §3.3.3).
+
+The LFB holds cache lines in transit between the L2/memory and the L1.  Its
+security-relevant property is that an entry *retains the data of its previous
+occupant* until the new fill arrives; aggressive designs may forward that
+stale data to speculative loads that hit the entry — which is exactly what
+RIDL and ZombieLoad sample.
+
+SpecASan extends each entry with the allocation tags of the line it holds,
+and the tag-check performed on an LFB hit uses those locks; cache-maintenance
+operations (e.g. STG) update LFB copies too, keeping tag state coherent
+(§3.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class LFBEntry:
+    """One line-fill buffer slot.
+
+    Before ``fill_ready_cycle`` the slot still exposes ``data``/``locks``
+    from its *previous* occupant (``stale_line_address``); at fill time the
+    hierarchy overwrites them with the new line's content.
+    """
+
+    index: int
+    line_address: int = -1
+    fill_ready_cycle: int = -1
+    filled: bool = True
+    #: Line whose (stale) data currently sits in the buffer.
+    stale_line_address: int = -1
+    data: bytes = b""
+    locks: Tuple[int, ...] = ()
+    #: Whether the fill in flight was flagged unsafe by a lower level.
+    unsafe: bool = False
+
+
+class LineFillBuffer:
+    """A small fully-associative buffer of in-transit lines."""
+
+    def __init__(self, entries: int, line_bytes: int = 64):
+        self.capacity = entries
+        self.line_bytes = line_bytes
+        self.entries: List[LFBEntry] = [LFBEntry(i) for i in range(entries)]
+        self._victim = 0
+        self.allocations = 0
+        self.hits = 0
+        self.stale_hits = 0
+
+    def lookup(self, line_address: int) -> Optional[LFBEntry]:
+        """The entry tracking ``line_address``, filled or in flight."""
+        for entry in self.entries:
+            if entry.line_address == line_address:
+                return entry
+        return None
+
+    def allocate(self, line_address: int, fill_ready_cycle: int,
+                 unsafe: bool = False) -> LFBEntry:
+        """Claim a slot for a new fill.
+
+        The victim keeps its previous data/locks as the stale content until
+        the fill arrives — the MDS window.
+        """
+        entry = self._pick_victim()
+        entry.stale_line_address = entry.line_address
+        entry.line_address = line_address
+        entry.fill_ready_cycle = fill_ready_cycle
+        entry.filled = False
+        entry.unsafe = unsafe
+        self.allocations += 1
+        return entry
+
+    def _pick_victim(self) -> LFBEntry:
+        # Round-robin over slots, skipping in-flight fills when possible —
+        # uniform reuse, like a real free-list.
+        for _ in range(self.capacity):
+            candidate = self.entries[self._victim]
+            self._victim = (self._victim + 1) % self.capacity
+            if candidate.filled:
+                return candidate
+        candidate = self.entries[self._victim]
+        self._victim = (self._victim + 1) % self.capacity
+        return candidate
+
+    def complete_fill(self, entry: LFBEntry, data: bytes,
+                      locks: Tuple[int, ...]) -> None:
+        """Deliver the fill payload into ``entry``."""
+        entry.data = data
+        entry.locks = locks
+        entry.filled = True
+
+    def drain(self, cycle: int) -> List[LFBEntry]:
+        """Entries whose fills have arrived by ``cycle`` but aren't marked filled."""
+        return [e for e in self.entries
+                if not e.filled and 0 <= e.fill_ready_cycle <= cycle]
+
+    def update_lock(self, line_address: int, granule_offset: int, tag: int) -> None:
+        """STG coherence: update a lock held in a (filled) LFB entry."""
+        entry = self.lookup(line_address)
+        if entry is not None and entry.locks:
+            locks = list(entry.locks)
+            locks[granule_offset] = tag
+            entry.locks = tuple(locks)
+
+    def invalidate(self, line_address: int) -> None:
+        """Coherence invalidation of a line held in the LFB."""
+        entry = self.lookup(line_address)
+        if entry is not None:
+            entry.line_address = -1
+            entry.filled = True
+
+    def flush(self) -> None:
+        """Clear all entries (MDS mitigation baselines flush on switch)."""
+        for index in range(self.capacity):
+            self.entries[index] = LFBEntry(index)

@@ -1,0 +1,86 @@
+"""The shadow fill buffer used to model GhostMinion.
+
+GhostMinion (MICRO'21) redirects the cache fills of *speculative* loads into
+a small strictness-ordered "MinionCache"; only when the load becomes
+non-speculative is the line promoted into the real L1.  Squashed loads leave
+no trace in the primary hierarchy.  The performance cost comes from the
+shadow structure's limited capacity: a line evicted from the MinionCache
+before its load commits must be refetched.
+
+We model the MinionCache as a tiny fully-associative structure with LRU
+eviction and explicit promotion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class MinionLine:
+    """One shadow line awaiting promotion."""
+
+    line_address: int
+    locks: Tuple[int, ...]
+    last_used: int
+    #: Sequence number of the youngest speculative load that filled it.
+    owner_seq: int
+
+
+class MinionCache:
+    """Small fully-associative shadow structure for speculative fills."""
+
+    def __init__(self, entries: int = 32):
+        self.capacity = entries
+        self._lines: Dict[int, MinionLine] = {}
+        self._tick = 0
+        self.fills = 0
+        self.hits = 0
+        self.promotions = 0
+        self.capacity_evictions = 0
+        self.squash_drops = 0
+
+    def lookup(self, line_address: int) -> Optional[MinionLine]:
+        line = self._lines.get(line_address)
+        if line is not None:
+            self._tick += 1
+            line.last_used = self._tick
+            self.hits += 1
+        return line
+
+    def contains(self, line_address: int) -> bool:
+        """Presence probe without recency update."""
+        return line_address in self._lines
+
+    def fill(self, line_address: int, locks: Tuple[int, ...], owner_seq: int) -> None:
+        """Capture a speculative fill, evicting LRU if full."""
+        if line_address in self._lines:
+            self._lines[line_address].owner_seq = max(
+                self._lines[line_address].owner_seq, owner_seq)
+            return
+        if len(self._lines) >= self.capacity:
+            lru = min(self._lines, key=lambda a: self._lines[a].last_used)
+            del self._lines[lru]
+            self.capacity_evictions += 1
+        self._tick += 1
+        self._lines[line_address] = MinionLine(line_address, locks, self._tick, owner_seq)
+        self.fills += 1
+
+    def promote(self, line_address: int) -> Optional[MinionLine]:
+        """Remove and return a line that is becoming architecturally visible."""
+        line = self._lines.pop(line_address, None)
+        if line is not None:
+            self.promotions += 1
+        return line
+
+    def squash_younger(self, seq: int) -> int:
+        """Drop lines owned by squashed loads (no trace remains); returns count."""
+        doomed = [a for a, line in self._lines.items() if line.owner_seq >= seq]
+        for address in doomed:
+            del self._lines[address]
+        self.squash_drops += len(doomed)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._lines)

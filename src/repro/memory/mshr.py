@@ -1,0 +1,78 @@
+"""Miss Status Holding Registers.
+
+Each outstanding line fill occupies one MSHR; requests to the same line
+merge into the existing entry instead of issuing twice.  SpecASan adds a
+single-bit ``unsafe`` flag to each entry, "which is also included in the
+memory access response to indicate the tag check outcome" (§3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class MSHR:
+    """One outstanding miss."""
+
+    line_address: int
+    ready_cycle: int
+    #: SpecASan's single-bit flag: the tag check at the lower level failed.
+    unsafe: bool = False
+    #: Number of requests merged into this entry (stats).
+    merged: int = 0
+
+
+class MSHRFile:
+    """A small fully-associative file of MSHRs.
+
+    When the file is full, new misses stall; the hierarchy models that as
+    added latency equal to the earliest completion among current entries.
+    """
+
+    def __init__(self, entries: int):
+        self.capacity = entries
+        self._by_line: Dict[int, MSHR] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+    @property
+    def full(self) -> bool:
+        return len(self._by_line) >= self.capacity
+
+    def lookup(self, line_address: int) -> Optional[MSHR]:
+        """The in-flight entry for ``line_address``, if any."""
+        return self._by_line.get(line_address)
+
+    def allocate(self, line_address: int, ready_cycle: int) -> MSHR:
+        """Allocate an entry (caller must have checked :attr:`full`)."""
+        entry = MSHR(line_address, ready_cycle)
+        self._by_line[line_address] = entry
+        self.allocations += 1
+        return entry
+
+    def merge(self, entry: MSHR) -> MSHR:
+        """Record a second request merging into ``entry``."""
+        entry.merged += 1
+        self.merges += 1
+        return entry
+
+    def earliest_ready(self) -> int:
+        """Completion cycle of the oldest outstanding miss (for full stalls)."""
+        return min(e.ready_cycle for e in self._by_line.values())
+
+    def drain(self, cycle: int) -> list:
+        """Remove and return entries whose fills completed by ``cycle``."""
+        done = [e for e in self._by_line.values() if e.ready_cycle <= cycle]
+        for entry in done:
+            del self._by_line[entry.line_address]
+        return done
+
+    def flush(self) -> None:
+        """Drop all entries (used by tests and reset)."""
+        self._by_line.clear()

@@ -1,0 +1,105 @@
+"""Request/response records exchanged between the core and the hierarchy.
+
+The response deliberately mirrors the paper's plumbing: the data travels
+with a *tag-check outcome* ("safe or unsafe", §3.3.1) computed at the
+earliest level that could perform the check, and — for MDS modelling — an
+optional *stale* value observable from a not-yet-filled LFB entry (§3.3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class AccessKind(enum.Enum):
+    """What kind of memory operation is being performed."""
+
+    LOAD = "load"
+    STORE = "store"          # read-for-ownership probe at execute time
+    COMMIT_STORE = "commit"  # the architectural write at commit
+    TAG_LOAD = "ldg"         # LDG: read a granule's allocation tag
+    TAG_STORE = "stg"        # STG: write a granule's allocation tag
+
+
+class ServedFrom(enum.Enum):
+    """The level that satisfied a request (for stats and attack probes)."""
+
+    L1 = "L1"
+    LFB = "LFB"
+    MINION = "minion"
+    L2 = "L2"
+    DRAM = "DRAM"
+
+
+@dataclass
+class MemRequest:
+    """One memory access from the LSQ.
+
+    Attributes:
+        address: the *tagged* pointer (key in the top byte).
+        size: access width in bytes.
+        kind: load/store/tag operation.
+        cycle: cycle the request is issued to the hierarchy.
+        check_tag: perform the MTE tag check (MTE-enabled configurations).
+        block_fill_on_mismatch: SpecASan G3 — on a tag mismatch, the line is
+            not installed anywhere and no data is returned (§3.3.4).
+        fill_to_minion: GhostMinion — speculative fills are captured in the
+            shadow MinionCache instead of L1.
+        speculative: the requester was speculative at issue time (stats).
+        core_id: issuing core, for coherence.
+        write_data: payload for COMMIT_STORE / tag value for TAG_STORE.
+    """
+
+    address: int
+    size: int
+    kind: AccessKind
+    cycle: int
+    check_tag: bool = False
+    block_fill_on_mismatch: bool = False
+    fill_to_minion: bool = False
+    speculative: bool = False
+    core_id: int = 0
+    write_data: Optional[bytes] = None
+    tag_value: Optional[int] = None
+    #: Sequence number of the requesting dynamic instruction (GhostMinion
+    #: uses it to drop shadow fills belonging to squashed loads).
+    seq: int = -1
+    #: The access needs a microcode assist (line-crossing or faulting load).
+    #: Only assisted loads can observe stale LFB data — the RIDL/ZombieLoad
+    #: trigger; ordinary loads wait for the fill like real hardware.
+    assist: bool = False
+
+
+@dataclass
+class MemResponse:
+    """The hierarchy's answer.
+
+    ``ready_cycle`` is when architecturally-correct data is available to the
+    core.  ``stale_data``, when present, is the value an aggressive design
+    would forward *immediately* from a pending LFB entry (the RIDL /
+    ZombieLoad window); ``stale_ready_cycle`` is when that forward would
+    arrive.  ``tag_ok`` is the tag-check outcome (``None`` when no check was
+    requested); ``tag_known_cycle`` is when that outcome reaches the core —
+    checks performed at lower levels take longer to report (§3.3.1).
+    """
+
+    ready_cycle: int
+    data: bytes = b""
+    served_from: ServedFrom = ServedFrom.L1
+    tag_ok: Optional[bool] = None
+    tag_known_cycle: int = 0
+    lock: Optional[int] = None
+    stale_data: Optional[bytes] = None
+    stale_ready_cycle: int = 0
+    #: Line whose (previous-occupant) bytes the stale forward exposes.
+    stale_line_address: int = -1
+    line_address: int = 0
+    #: True when the response returned no data because the tag check failed
+    #: and the request asked for fills to be blocked (SpecASan).
+    data_withheld: bool = False
+    #: The access touched unmapped memory.  Wrong-path accesses simply get
+    #: dummy data; a committed access with this flag is an architectural
+    #: memory fault.
+    faulted: bool = False

@@ -1,0 +1,39 @@
+"""A model of ARM's Memory Tagging Extension (MTE, §2.3).
+
+MTE associates a 4-bit *allocation tag* (the "lock") with every 16-byte
+granule of memory, and a 4-bit *address tag* (the "key") with every pointer,
+carried in the otherwise-unused top byte (Top-Byte Ignore).  A memory access
+is safe when key == lock.
+
+This package provides:
+
+- :mod:`repro.mte.tags` — pointer key arithmetic and granule geometry;
+- :mod:`repro.mte.tagstore` — the dense allocation-tag array DRAM keeps in
+  its dedicated tag storage (§3.3.4);
+- :mod:`repro.mte.allocator` — a tagging heap allocator in the style of
+  Scudo/glibc MTE support: allocations receive fresh tags, frees retag, so
+  out-of-bounds and use-after-free accesses mismatch.
+"""
+
+from repro.mte.tags import (
+    granule_count,
+    granule_index,
+    key_of,
+    strip_tag,
+    TAG_SHIFT,
+    with_key,
+)
+from repro.mte.tagstore import TagStorage
+from repro.mte.allocator import Allocation, TaggedHeap
+
+__all__ = [
+    "Allocation",
+    "granule_count",
+    "granule_index",
+    "key_of",
+    "strip_tag",
+    "TAG_SHIFT",
+    "TaggedHeap",
+    "TagStorage",
+    "with_key",
+]

@@ -1,0 +1,150 @@
+"""A tagging heap allocator in the style of Scudo / glibc MTE support.
+
+§2.3: "The malloc() call assigns a tag to both the allocated memory block
+(in 16-byte chunks) and the returned pointer. ... By assigning unique tags
+to different memory regions, MTE can detect out-of-bounds accesses, and by
+updating the tag of a memory region after it is freed, MTE can detect
+use-after-free errors."
+
+The allocator is used at *program-build* time by the workload generators and
+attack gadgets: it hands out tagged pointers and records the allocation-tag
+assignments, which the system loader then applies to DRAM tag storage before
+simulation starts.  This mirrors how the paper relies on the existing MTE
+software toolchain to instrument stack/heap (§5.2).
+
+Two tag policies (§6):
+
+- ``RANDOM`` — IRG-style random tags; adjacent allocations may collide with
+  probability 1/16.
+- ``DETERMINISTIC`` — tags cycle so that consecutive and neighbouring
+  allocations always differ (the policy recommended against tag-leak
+  attacks).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import MTEConfig, TagPolicy
+from repro.errors import SimulationError
+from repro.mte.tags import granule_align, with_key
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live or freed heap allocation.
+
+    ``pointer`` is the tagged pointer malloc returned; ``address`` the
+    untagged base; ``size`` the requested size (the tagged extent is rounded
+    up to whole granules).
+    """
+
+    address: int
+    size: int
+    tag: int
+    pointer: int
+    freed: bool = False
+
+    @property
+    def end(self) -> int:
+        """Untagged end of the *tagged* extent (granule-aligned)."""
+        return self.address + granule_align(self.size)
+
+
+@dataclass
+class TagAssignment:
+    """A (range -> tag) record the loader replays into DRAM tag storage."""
+
+    address: int
+    size: int
+    tag: int
+
+
+class TaggedHeap:
+    """Bump allocator that tags every allocation.
+
+    Args:
+        base: untagged start address of the heap region.
+        size: heap region size in bytes.
+        config: MTE parameters (granule size, tag width, policy, RNG seed).
+    """
+
+    #: Tag reserved for freed memory under the deterministic policy; real
+    #: deployments cycle tags on free, we always move to a different value.
+    _FREE_ROTATE = 7
+
+    def __init__(self, base: int, size: int, config: Optional[MTEConfig] = None):
+        self.config = config or MTEConfig()
+        self.base = base
+        self.size = size
+        self._cursor = base
+        self._rng = random.Random(self.config.seed)
+        self._next_tag = 1  # deterministic policy: skip 0, the "untagged" tag
+        self.allocations: List[Allocation] = []
+        self.assignments: List[TagAssignment] = []
+
+    # -- tag selection ---------------------------------------------------------
+
+    def _pick_tag(self, exclude: int = -1) -> int:
+        num = self.config.num_tags
+        if self.config.tag_policy is TagPolicy.RANDOM:
+            tag = self._rng.randrange(num)
+            # IRG excludes at most the previous tag of the same address.
+            if tag == exclude:
+                tag = (tag + 1) % num
+            return tag
+        tag = self._next_tag
+        self._next_tag += 1
+        if self._next_tag >= num:
+            self._next_tag = 1
+        if tag == exclude:
+            return self._pick_tag(exclude)
+        return tag
+
+    # -- allocation ---------------------------------------------------------------
+
+    def malloc(self, size: int, tag: Optional[int] = None) -> Allocation:
+        """Allocate ``size`` bytes; returns the tagged :class:`Allocation`.
+
+        A caller-specified ``tag`` overrides the policy (used by attack
+        gadgets that need a *known* tag relationship between regions).
+        """
+        if size <= 0:
+            raise SimulationError("malloc size must be positive")
+        aligned = granule_align(size, self.config.granule_bytes)
+        if self._cursor + aligned > self.base + self.size:
+            raise SimulationError(
+                f"heap exhausted: need {aligned} bytes at {self._cursor:#x}")
+        address = self._cursor
+        self._cursor += aligned
+        chosen = self._pick_tag() if tag is None else tag & (self.config.num_tags - 1)
+        allocation = Allocation(
+            address=address, size=size, tag=chosen,
+            pointer=with_key(address, chosen, self.config.tag_bits))
+        self.allocations.append(allocation)
+        self.assignments.append(TagAssignment(address, aligned, chosen))
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Free an allocation: its granules are *retagged* so stale pointers
+        (use-after-free) mismatch."""
+        index = next((i for i, a in enumerate(self.allocations)
+                      if a.address == allocation.address), None)
+        if index is None:
+            raise SimulationError(f"free of unknown {allocation.address:#x}")
+        if allocation.freed or self.allocations[index].freed:
+            raise SimulationError(f"double free of {allocation.address:#x}")
+        allocation = self.allocations[index]
+        new_tag = self._pick_tag(exclude=allocation.tag)
+        self.allocations[index] = Allocation(
+            address=allocation.address, size=allocation.size,
+            tag=new_tag, pointer=allocation.pointer, freed=True)
+        self.assignments.append(TagAssignment(
+            allocation.address, granule_align(allocation.size), new_tag))
+
+    @property
+    def bytes_used(self) -> int:
+        """Granule-aligned bytes handed out so far."""
+        return self._cursor - self.base

@@ -1,0 +1,48 @@
+"""Pointer-key arithmetic and granule geometry for MTE.
+
+Pointers are 64-bit values whose top byte is ignored by address translation
+(ARM Top-Byte Ignore).  MTE stores the 4-bit *key* in bits 56..59.  The
+functions here convert between tagged pointers, untagged addresses, and
+granule indices; they are pure and shared by the allocator, the caches, the
+memory controller, and the pipeline's MTE instruction semantics.
+"""
+
+from __future__ import annotations
+
+#: Bit position of the address tag (key) within a 64-bit pointer.
+TAG_SHIFT = 56
+#: Pointers are 64-bit values.
+POINTER_MASK = (1 << 64) - 1
+#: Mask that clears the whole top byte (TBI region).
+_ADDRESS_MASK = (1 << TAG_SHIFT) - 1
+
+
+def key_of(pointer: int, tag_bits: int = 4) -> int:
+    """The address tag (key) carried in ``pointer``'s top byte."""
+    return (pointer >> TAG_SHIFT) & ((1 << tag_bits) - 1)
+
+
+def with_key(address: int, key: int, tag_bits: int = 4) -> int:
+    """Return ``address`` with its key replaced by ``key``."""
+    key &= (1 << tag_bits) - 1
+    return (address & _ADDRESS_MASK) | (key << TAG_SHIFT)
+
+
+def strip_tag(pointer: int) -> int:
+    """The untagged (physical) address of ``pointer`` (TBI semantics)."""
+    return pointer & _ADDRESS_MASK
+
+
+def granule_index(address: int, granule_bytes: int = 16) -> int:
+    """The granule number covering ``address`` (which may be tagged)."""
+    return strip_tag(address) // granule_bytes
+
+
+def granule_count(size: int, granule_bytes: int = 16) -> int:
+    """Number of granules needed to cover ``size`` bytes."""
+    return (size + granule_bytes - 1) // granule_bytes
+
+
+def granule_align(size: int, granule_bytes: int = 16) -> int:
+    """``size`` rounded up to a whole number of granules."""
+    return granule_count(size, granule_bytes) * granule_bytes

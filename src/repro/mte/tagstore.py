@@ -1,0 +1,71 @@
+"""The allocation-tag (lock) array kept in DRAM tag storage.
+
+§3.3.4: "tags are stored in a separate address space called tag storage with
+a specific base address."  We model that storage as a dense bytearray with
+one entry per 16-byte granule, indexed by granule number.  The memory
+controller reads it in parallel with data accesses; caches keep per-line
+copies of the covered locks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, SimulationError
+from repro.mte.tags import granule_index, strip_tag
+
+
+class TagStorage:
+    """Dense per-granule allocation-tag storage for a physical memory.
+
+    Args:
+        memory_bytes: size of the physical memory being covered.
+        granule_bytes: MTE granule size (16 for ARM MTE).
+        tag_bits: tag width; values are masked to this width on store.
+    """
+
+    def __init__(self, memory_bytes: int, granule_bytes: int = 16,
+                 tag_bits: int = 4):
+        if memory_bytes % granule_bytes:
+            raise ConfigError("memory size must be a multiple of the granule")
+        self.granule_bytes = granule_bytes
+        self.tag_bits = tag_bits
+        self._mask = (1 << tag_bits) - 1
+        self._tags = bytearray(memory_bytes // granule_bytes)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def _index(self, address: int) -> int:
+        index = granule_index(address, self.granule_bytes)
+        if not 0 <= index < len(self._tags):
+            raise SimulationError(
+                f"tag storage access out of range: {strip_tag(address):#x}")
+        return index
+
+    def get(self, address: int) -> int:
+        """The lock of the granule covering ``address`` (tagged or not)."""
+        return self._tags[self._index(address)]
+
+    def set(self, address: int, tag: int) -> None:
+        """Set the lock of the granule covering ``address``."""
+        self._tags[self._index(address)] = tag & self._mask
+
+    def set_range(self, address: int, size: int, tag: int) -> None:
+        """Tag every granule of ``[address, address+size)`` with ``tag``."""
+        if size <= 0:
+            return
+        start = self._index(address)
+        end = self._index(strip_tag(address) + size - 1)
+        value = tag & self._mask
+        for index in range(start, end + 1):
+            self._tags[index] = value
+
+    def line_tags(self, line_address: int, line_bytes: int) -> tuple:
+        """The locks covering one cache line (4 tags for a 64B line, Fig. 3)."""
+        base = self._index(line_address)
+        count = line_bytes // self.granule_bytes
+        return tuple(self._tags[base:base + count])
+
+    def check(self, pointer: int) -> bool:
+        """True when ``pointer``'s key matches its granule's lock."""
+        key = (pointer >> 56) & self._mask
+        return key == self._tags[self._index(pointer)]

@@ -1,0 +1,5 @@
+"""The multi-core system used for the PARSEC experiments (Figure 7)."""
+
+from repro.multicore.system import MulticoreResult, MulticoreSystem
+
+__all__ = ["MulticoreResult", "MulticoreSystem"]

@@ -1,0 +1,110 @@
+"""An N-core system over one shared memory hierarchy.
+
+Each core owns its private L1D/LFB/MinionCache inside the shared
+:class:`~repro.memory.hierarchy.MemoryHierarchy`; the L2, memory controller,
+DRAM tag storage, and coherence directory are shared.  Committed stores (and
+STG tag updates) by one core invalidate other cores' copies through the
+directory, so the PARSEC workloads' shared-region stores produce real
+coherence traffic.
+
+The system ticks all cores in lockstep each cycle and finishes when every
+core has halted — the reported execution time is the slowest thread's, which
+is how the paper's Figure 7 normalizes multi-threaded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config import SystemConfig
+from repro.defenses import make_policy
+from repro.errors import ConfigError, SimulationError, TagCheckFault
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import Core
+from repro.pipeline.stats import CoreStats
+from repro.system import load_program
+
+
+@dataclass
+class MulticoreResult:
+    """Outcome of one multi-threaded run."""
+
+    cycles: int
+    per_core: List[CoreStats]
+    faults: List[Optional[TagCheckFault]]
+    restricted: int
+    invalidations: int
+
+    @property
+    def instructions(self) -> int:
+        return sum(stats.committed for stats in self.per_core)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def restricted_fraction(self) -> float:
+        """Aggregate Figure-8 restriction fraction across threads."""
+        committed = self.instructions
+        restricted = sum(stats.restricted_committed for stats in self.per_core)
+        return restricted / committed if committed else 0.0
+
+
+class MulticoreSystem:
+    """``config.num_cores`` cores sharing one hierarchy."""
+
+    def __init__(self, config: SystemConfig):
+        if config.num_cores < 1:
+            raise ConfigError("need at least one core")
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        self.cores: List[Core] = []
+
+    def run(self, programs: List[Program], max_cycles: int = 5_000_000,
+            warm_runs: int = 0) -> MulticoreResult:
+        """Run one program per core to completion.
+
+        Fewer programs than cores leaves the extra cores idle (halted),
+        matching how PARSEC regions with fewer worker threads behave.
+        ``warm_runs`` pre-executes the programs on the same hierarchy first
+        (the fast-forward analogue, §5.1).
+        """
+        if len(programs) > self.config.num_cores:
+            raise ConfigError(
+                f"{len(programs)} programs for {self.config.num_cores} cores")
+        for _ in range(warm_runs):
+            self._run_once(programs, max_cycles)
+        return self._run_once(programs, max_cycles)
+
+    def _run_once(self, programs: List[Program],
+                  max_cycles: int) -> MulticoreResult:
+        self.cores = []
+        self.hierarchy.quiesce()
+        for core_id, program in enumerate(programs):
+            load_program(self.hierarchy, program)
+            core = Core(self.config, self.hierarchy, program,
+                        policy=make_policy(self.config.defense),
+                        core_id=core_id)
+            self.cores.append(core)
+
+        cycle = 0
+        while not all(core.halted for core in self.cores):
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"multicore run did not finish within {max_cycles} cycles")
+            for core in self.cores:
+                if not core.halted:
+                    core.tick()
+
+        restricted = sum(len(core.policy.restricted_seqs)
+                         for core in self.cores)
+        return MulticoreResult(
+            cycles=max(core.cycle for core in self.cores),
+            per_core=[core.stats for core in self.cores],
+            faults=[core.fault for core in self.cores],
+            restricted=restricted,
+            invalidations=self.hierarchy.directory.invalidations)

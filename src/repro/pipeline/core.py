@@ -1,0 +1,777 @@
+"""The cycle-level out-of-order core.
+
+One :class:`Core` models an 8-wide Cortex-A76-like machine (Table 2):
+
+- a branch-predicting front end (PHT/BTB/RSB over a global BHB) that fetches
+  down the *predicted* path, so wrong-path instructions genuinely execute
+  and perturb the memory hierarchy — the raw material of every TEA;
+- rename/dispatch into a 40-entry ROB and 32-entry issue queue;
+- issue with per-class execution ports (the contention observable);
+- a split LSQ with store-to-load forwarding and memory-dependence
+  speculation (:mod:`repro.pipeline.lsq`);
+- in-order commit with squash recovery, where stores become architectural
+  and MTE tag faults are raised (§3.4: a tag-check fault is raised only once
+  the unsafe access is bound to commit).
+
+The active :class:`~repro.core.policy.DefensePolicy` is consulted at each of
+the intervention points described in Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SystemConfig
+from repro.errors import DeadlockError, SimulationError, TagCheckFault
+from repro.core.policy import DefensePolicy, NoDefense
+from repro.isa.instructions import (
+    Cond,
+    FLAGS_REG,
+    Instruction,
+    InstrClass,
+    INSTR_BYTES,
+    Opcode,
+    RENAME_REGS,
+)
+from repro.isa.program import Program
+from repro.isa.registers import LR, SP, XZR
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.mte.tags import key_of, strip_tag, with_key
+from repro.pipeline.dyninstr import DynInstr, InstrState, TagCheckStatus
+from repro.pipeline.exec_units import ExecPorts
+from repro.pipeline.lsq import LoadStoreQueues
+from repro.pipeline.predictors import (
+    BranchHistoryBuffer,
+    BranchTargetBuffer,
+    MemoryDependencePredictor,
+    PatternHistoryTable,
+    ReturnStackBuffer,
+)
+from repro.pipeline.stats import CoreStats
+
+_WORD_MASK = (1 << 64) - 1
+#: Fallback redirect penalty (configs override via ``mispredict_penalty``).
+MISPREDICT_REDIRECT_PENALTY = 6
+#: Cycles of no commit before the core declares a deadlock.
+DEADLOCK_THRESHOLD = 50_000
+
+
+def _to_signed(value: int) -> int:
+    return value - (1 << 64) if value >> 63 else value
+
+
+class Core:
+    """One out-of-order core attached to a shared memory hierarchy."""
+
+    def __init__(self, config: SystemConfig, hierarchy: MemoryHierarchy,
+                 program: Program, policy: Optional[DefensePolicy] = None,
+                 core_id: int = 0):
+        self.config = config
+        self.hierarchy = hierarchy
+        self.program = program.link()
+        self.policy = policy or NoDefense()
+        self.policy.attach(self)
+        self.core_id = core_id
+        self.stats = CoreStats()
+        self._rng = random.Random(config.mte.seed + core_id)
+
+        # Architectural state.
+        self.arf: List[int] = [0] * RENAME_REGS
+        self.arf[SP] = 0x0F0000 + core_id * 0x10000  # per-core stack region
+
+        # Pipeline structures.
+        self.cycle = 0
+        self.seq = 0
+        self.rob: List[DynInstr] = []
+        self.iq: List[DynInstr] = []
+        self.fetch_queue: List[DynInstr] = []
+        self.rename: Dict[int, DynInstr] = {}
+        self.lsq = LoadStoreQueues(self)
+        self.ports = ExecPorts()
+        self._completions: Dict[int, List[DynInstr]] = {}
+        self._unresolved_branches: Dict[int, DynInstr] = {}
+        self._pending_sb: List[DynInstr] = []
+        self._unsafe_broadcasts: List[Tuple[int, DynInstr]] = []
+
+        # Front-end state.
+        self.fetch_pc = self.program.entry_address
+        self.fetch_resume_cycle = 0
+        self.fetch_blocked_on: Optional[DynInstr] = None
+        self._fetch_stopped = False
+
+        # Predictors.
+        self.bhb = BranchHistoryBuffer(config.core.bhb_bits)
+        self.pht = PatternHistoryTable(config.core.pht_entries, self.bhb)
+        self.btb = BranchTargetBuffer(config.core.btb_entries, self.bhb)
+        self.rsb = ReturnStackBuffer(config.core.rsb_entries)
+        self.mdp = MemoryDependencePredictor(config.core.mdp_entries)
+
+        # Run state.
+        self.halted = False
+        self.fault: Optional[TagCheckFault] = None
+        self._last_commit_cycle = 0
+
+        # Attack-oracle state (§4.3): secret address ranges and the log of
+        # secret-dependent speculative activity the detector inspects.
+        self.secret_ranges: List[Tuple[int, int]] = []
+        self.leak_log: List[Dict] = []
+
+    # ==================================================================
+    # public driving API
+    # ==================================================================
+
+    def tick(self) -> None:
+        """Advance the core one cycle."""
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        self.ports.new_cycle()
+        self._commit()
+        self._writeback()
+        self._deliver_unsafe_broadcasts()
+        self.lsq.tick(self.cycle)
+        self._issue()
+        self._dispatch()
+        self._fetch()
+
+    def run(self, max_cycles: int = 2_000_000) -> None:
+        """Run until HALT commits, a tag fault halts the core, or timeout."""
+        while not self.halted and self.cycle < max_cycles:
+            self.tick()
+            if self.cycle - self._last_commit_cycle > DEADLOCK_THRESHOLD:
+                raise DeadlockError(self.cycle - self._last_commit_cycle,
+                                    f"pc={self.fetch_pc:#x} rob={len(self.rob)}")
+        if not self.halted and self.cycle >= max_cycles:
+            raise SimulationError(
+                f"program did not halt within {max_cycles} cycles")
+
+    # ==================================================================
+    # values and speculation queries
+    # ==================================================================
+
+    def value_of(self, dyn: DynInstr, reg: int) -> int:
+        """Operand value for ``dyn`` reading architectural register ``reg``."""
+        if reg == XZR:
+            return 0
+        producer = dyn.producers.get(reg)
+        if producer is None:
+            return self.arf[reg]
+        if producer.result is None:
+            raise SimulationError(
+                f"#{dyn.seq} read {reg} from incomplete producer #{producer.seq}")
+        return producer.result
+
+    def read_store_value(self, store: DynInstr) -> Optional[int]:
+        """The data a store will write, or ``None`` if not yet produced."""
+        reg = store.static.rd
+        if reg is None or reg == XZR:
+            return 0
+        producer = store.producers.get(reg)
+        if producer is None:
+            return self.arf[reg]
+        return producer.result if producer.completed else None
+
+    def is_speculative(self, dyn: DynInstr) -> bool:
+        """True while any older branch is unresolved (the speculation window)."""
+        for seq in self._unresolved_branches:
+            if seq < dyn.seq:
+                return True
+        return False
+
+    def in_flight(self, seq: int) -> Optional[DynInstr]:
+        """The ROB entry with ``seq``, if it is still in flight."""
+        for dyn in self.rob:
+            if dyn.seq == seq:
+                return dyn
+        return None
+
+    def taint_root_still_speculative(self, root_seq: int) -> bool:
+        """STT untainting rule: a root load stops being tainted once it is
+        no longer covered by an unresolved branch (its visibility point)."""
+        root = self.in_flight(root_seq)
+        if root is None:
+            return False
+        return self.is_speculative(root) or bool(root.bypassed_store_seqs
+                                                 and self._any_bypassed_unresolved(root))
+
+    def _any_bypassed_unresolved(self, load: DynInstr) -> bool:
+        for store in self.lsq.sq:
+            if store.seq in load.bypassed_store_seqs and store.addr is None:
+                return True
+        return False
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+
+    def _fetch(self) -> None:
+        if (self._fetch_stopped or self.fetch_blocked_on is not None
+                or self.cycle < self.fetch_resume_cycle):
+            return
+        budget = self.config.core.fetch_width
+        capacity = 2 * self.config.core.fetch_width
+        while budget > 0 and len(self.fetch_queue) < capacity:
+            static = self.program.fetch(self.fetch_pc)
+            if static is None:
+                return  # ran past the text segment; wait for a redirect
+            dyn = DynInstr(seq=self.seq, static=static, pc=self.fetch_pc)
+            self.seq += 1
+            self.stats.fetched += 1
+            redirected = self._predict_and_advance(dyn)
+            self.fetch_queue.append(dyn)
+            budget -= 1
+            if self._fetch_stopped or self.fetch_blocked_on is not None:
+                return
+            if redirected:
+                return  # taken-branch fetch bubble: stop this cycle
+
+    def _predict_and_advance(self, dyn: DynInstr) -> bool:
+        """Set the next fetch PC; returns True when fetch redirected."""
+        static = dyn.static
+        op = static.op
+        next_pc = dyn.pc + INSTR_BYTES
+        if op is Opcode.HALT:
+            self._fetch_stopped = True
+            self.fetch_pc = next_pc
+            return False
+        if not static.is_branch:
+            self.fetch_pc = next_pc
+            return False
+
+        dyn.bhb_snapshot = self.bhb.snapshot()
+        if op is Opcode.B:
+            dyn.resolved = True
+            dyn.actual_taken = True
+            dyn.actual_target = static.target_addr
+            self.fetch_pc = static.target_addr
+            return True
+        if op is Opcode.BL:
+            dyn.resolved = True
+            dyn.actual_taken = True
+            dyn.actual_target = static.target_addr
+            self.rsb.push(dyn.pc + INSTR_BYTES)
+            self.policy.on_call_fetched(dyn, dyn.pc + INSTR_BYTES)
+            self.fetch_pc = static.target_addr
+            return True
+        if op in (Opcode.B_COND, Opcode.CBZ, Opcode.CBNZ):
+            taken = self.pht.predict(dyn.pc)
+            dyn.pred_taken = taken
+            dyn.pred_target = static.target_addr
+            self.bhb.update(taken)
+            self._unresolved_branches[dyn.seq] = dyn
+            self.fetch_pc = static.target_addr if taken else next_pc
+            return taken
+        # Indirect branches and returns.
+        if op in (Opcode.BR, Opcode.BLR):
+            predicted = self.btb.predict(dyn.pc)
+            if op is Opcode.BLR:
+                self.rsb.push(dyn.pc + INSTR_BYTES)
+                self.policy.on_call_fetched(dyn, dyn.pc + INSTR_BYTES)
+        else:  # RET
+            predicted = self.policy.predict_return(dyn, self.rsb.pop())
+        self._unresolved_branches[dyn.seq] = dyn
+        if predicted is None:
+            self.fetch_blocked_on = dyn  # no prediction: stall until resolve
+            return False
+        if not self.policy.fetch_may_follow_indirect(dyn, predicted):
+            # SpecCFI: the predicted target is not a valid landing pad —
+            # speculation down it is refused; fetch stalls until resolution.
+            self.policy.restrict(dyn)
+            dyn.was_restricted = True
+            self.stats.cfi_fetch_stalls += 1
+            self.fetch_blocked_on = dyn
+            return False
+        dyn.pred_taken = True
+        dyn.pred_target = predicted
+        self.fetch_pc = predicted
+        bubble = self.policy.cfi_validation_bubble
+        if bubble:
+            # SpecCFI's landing-pad / shadow-stack validation sits in the
+            # fetch path: one bubble per validated indirect prediction.
+            self.fetch_resume_cycle = max(self.fetch_resume_cycle,
+                                          self.cycle + 1 + bubble)
+        return True
+
+    def target_is_landing_pad(self, target: int) -> bool:
+        """Whether ``target`` decodes to a BTI instruction (SpecCFI check)."""
+        static = self.program.fetch(target)
+        return static is not None and static.op is Opcode.BTI
+
+    # ==================================================================
+    # dispatch (rename + allocate)
+    # ==================================================================
+
+    def _needs_issue(self, static: Instruction) -> bool:
+        if static.op in (Opcode.B, Opcode.NOP, Opcode.BTI, Opcode.SB,
+                         Opcode.HALT):
+            return False
+        return True
+
+    def _dispatch(self) -> None:
+        budget = self.config.core.issue_width
+        while budget > 0 and self.fetch_queue:
+            dyn = self.fetch_queue[0]
+            if len(self.rob) >= self.config.core.rob_entries:
+                return
+            needs_issue = self._needs_issue(dyn.static)
+            if needs_issue and len(self.iq) >= self.config.core.iq_entries:
+                return
+            if not self.lsq.can_dispatch(dyn):
+                return
+            self.fetch_queue.pop(0)
+            self._rename(dyn)
+            self.rob.append(dyn)
+            self.lsq.dispatch(dyn)
+            if dyn.static.op is Opcode.SB:
+                self._pending_sb.append(dyn)
+            if needs_issue:
+                dyn.state = InstrState.DISPATCHED
+                self.iq.append(dyn)
+            else:
+                dyn.state = InstrState.COMPLETED
+                dyn.complete_cycle = self.cycle
+                if dyn.static.op is Opcode.BL:
+                    dyn.result = dyn.pc + INSTR_BYTES
+            budget -= 1
+
+    def _rename(self, dyn: DynInstr) -> None:
+        for reg in dyn.static.src_regs:
+            dyn.producers[reg] = self.rename.get(reg)
+        roots = set()
+        tainted = False
+        for producer in dyn.producers.values():
+            if producer is None:
+                continue
+            roots |= producer.taint_roots
+            if producer.is_load:
+                roots.add(producer.seq)
+        dyn.taint_roots = frozenset(roots)
+        for reg in dyn.static.dst_regs:
+            self.rename[reg] = dyn
+
+    # ==================================================================
+    # issue + execute
+    # ==================================================================
+
+    def _operands_ready(self, dyn: DynInstr) -> bool:
+        if dyn.is_store:
+            # Stores issue their address once base/index are ready; the data
+            # operand may arrive later (checked at forward/commit time).
+            needed = {r for r in (dyn.static.rn, dyn.static.rm)
+                      if r is not None and r != XZR}
+        else:
+            needed = set(dyn.static.src_regs)
+        for reg in needed:
+            producer = dyn.producers.get(reg)
+            if producer is not None and not producer.completed:
+                return False
+        return True
+
+    def _blocked_by_sb(self, dyn: DynInstr) -> bool:
+        return any(sb.seq < dyn.seq and sb.state is not InstrState.COMMITTED
+                   for sb in self._pending_sb)
+
+    def _issue(self) -> None:
+        budget = self.config.core.issue_width
+        for dyn in sorted(self.iq, key=lambda d: d.seq):
+            if budget <= 0:
+                break
+            if dyn.squashed:
+                self.iq.remove(dyn)
+                continue
+            if not self._operands_ready(dyn):
+                continue
+            if self._blocked_by_sb(dyn):
+                continue
+            if not self.policy.may_issue(dyn):
+                self.policy.restrict(dyn)
+                dyn.was_restricted = True
+                continue
+            if not self.ports.try_claim(dyn.static.klass):
+                continue
+            self.iq.remove(dyn)
+            dyn.state = InstrState.ISSUED
+            dyn.issue_cycle = self.cycle
+            self._execute(dyn)
+            budget -= 1
+
+    def _latency(self, klass: InstrClass) -> int:
+        core = self.config.core
+        return {
+            InstrClass.ALU: core.alu_latency,
+            InstrClass.MUL: core.mul_latency,
+            InstrClass.DIV: core.div_latency,
+            InstrClass.BRANCH: core.branch_latency,
+            InstrClass.MTE: core.alu_latency,
+            InstrClass.LOAD: core.agu_latency,
+            InstrClass.STORE: core.agu_latency,
+        }.get(klass, 1)
+
+    def _execute(self, dyn: DynInstr) -> None:
+        """Compute ``dyn``'s result (or address) and schedule completion."""
+        static = dyn.static
+        op = static.op
+        # Oracle taint flows through every computed value.
+        dyn.secret_tainted = dyn.secret_tainted or any(
+            p is not None and p.secret_tainted for p in dyn.producers.values())
+        if dyn.secret_tainted and self.is_speculative(dyn):
+            self.leak_log.append({
+                "kind": "contention", "seq": dyn.seq, "pc": dyn.pc,
+                "klass": static.klass.value, "cycle": self.cycle})
+
+        if static.is_memory:
+            base = self.value_of(dyn, static.rn) if static.rn is not None else 0
+            offset = (self.value_of(dyn, static.rm)
+                      if static.rm is not None else (static.imm or 0))
+            dyn.addr = (base + offset) & _WORD_MASK
+            dyn.addr_ready_cycle = self.cycle + self.config.core.agu_latency
+            if dyn.is_store:
+                self._schedule_completion(dyn, self.cycle + self.config.core.agu_latency)
+            # Loads complete later, via the LSQ.
+            return
+
+        latency = self._latency(static.klass)
+        if static.is_branch:
+            if dyn.resolved:  # B/BL resolved at fetch; BL just writes LR
+                if op in (Opcode.BL,):
+                    dyn.result = dyn.pc + INSTR_BYTES
+            else:
+                self._compute_branch_outcome(dyn)
+            self._schedule_completion(dyn, self.cycle + latency)
+            return
+        dyn.result = self._compute_alu(dyn)
+        self._schedule_completion(dyn, self.cycle + latency)
+
+    def _compute_alu(self, dyn: DynInstr) -> int:
+        static = dyn.static
+        op = static.op
+        a = self.value_of(dyn, static.rn) if static.rn is not None else 0
+        b = (self.value_of(dyn, static.rm) if static.rm is not None
+             else (static.imm or 0))
+        if op is Opcode.ADD:
+            return (a + b) & _WORD_MASK
+        if op is Opcode.SUB:
+            return (a - b) & _WORD_MASK
+        if op is Opcode.AND:
+            return a & b
+        if op is Opcode.ORR:
+            return a | b
+        if op is Opcode.EOR:
+            return a ^ b
+        if op is Opcode.LSL:
+            return (a << (b & 63)) & _WORD_MASK
+        if op is Opcode.LSR:
+            return (a >> (b & 63)) & _WORD_MASK
+        if op is Opcode.ASR:
+            return (_to_signed(a) >> (b & 63)) & _WORD_MASK
+        if op is Opcode.MUL:
+            return (a * b) & _WORD_MASK
+        if op is Opcode.UDIV:
+            return (a // b) & _WORD_MASK if b else 0
+        if op is Opcode.MOV:
+            return b if static.rn is None else a
+        if op is Opcode.CMP:
+            return self._flags_of_sub(a, b)
+        if op is Opcode.IRG:
+            tag = self._rng.randrange(self.config.mte.num_tags)
+            return with_key(a, tag, self.config.mte.tag_bits)
+        if op is Opcode.ADDG:
+            key = key_of(a, self.config.mte.tag_bits)
+            new_key = (key + (static.tag_imm or 0)) % self.config.mte.num_tags
+            return with_key((a + (static.imm or 0)) & _WORD_MASK, new_key,
+                            self.config.mte.tag_bits)
+        if op is Opcode.SUBG:
+            key = key_of(a, self.config.mte.tag_bits)
+            new_key = (key - (static.tag_imm or 0)) % self.config.mte.num_tags
+            return with_key((a - (static.imm or 0)) & _WORD_MASK, new_key,
+                            self.config.mte.tag_bits)
+        raise SimulationError(f"unhandled ALU opcode {op.value}")
+
+    @staticmethod
+    def _flags_of_sub(a: int, b: int) -> int:
+        """NZCV encoded as an integer value (N=8, Z=4, C=2, V=1)."""
+        result = (a - b) & _WORD_MASK
+        n = result >> 63
+        z = int(result == 0)
+        c = int(a >= b)
+        sa, sb, sr = a >> 63, b >> 63, result >> 63
+        v = int(sa != sb and sr != sa)
+        return (n << 3) | (z << 2) | (c << 1) | v
+
+    @staticmethod
+    def _cond_holds(cond: Cond, flags: int) -> bool:
+        n = bool(flags & 8)
+        z = bool(flags & 4)
+        c = bool(flags & 2)
+        v = bool(flags & 1)
+        return {
+            Cond.EQ: z, Cond.NE: not z,
+            Cond.LO: not c, Cond.HS: c,
+            Cond.LT: n != v, Cond.GE: n == v,
+            Cond.LE: z or (n != v), Cond.GT: (not z) and (n == v),
+            Cond.MI: n, Cond.PL: not n,
+        }[cond]
+
+    def _compute_branch_outcome(self, dyn: DynInstr) -> None:
+        static = dyn.static
+        op = static.op
+        next_pc = dyn.pc + INSTR_BYTES
+        if op is Opcode.B_COND:
+            flags = self.value_of(dyn, FLAGS_REG)
+            dyn.actual_taken = self._cond_holds(static.cond, flags)
+            dyn.actual_target = static.target_addr if dyn.actual_taken else next_pc
+        elif op in (Opcode.CBZ, Opcode.CBNZ):
+            value = self.value_of(dyn, static.rn)
+            zero = value == 0
+            dyn.actual_taken = zero if op is Opcode.CBZ else not zero
+            dyn.actual_target = static.target_addr if dyn.actual_taken else next_pc
+        elif op in (Opcode.BR, Opcode.BLR):
+            dyn.actual_taken = True
+            dyn.actual_target = strip_tag(self.value_of(dyn, static.rn))
+            if op is Opcode.BLR:
+                dyn.result = next_pc  # LR
+        elif op is Opcode.RET:
+            dyn.actual_taken = True
+            dyn.actual_target = strip_tag(self.value_of(dyn, LR))
+        else:  # pragma: no cover - B/BL resolve at fetch
+            raise SimulationError(f"unexpected branch {op.value} at execute")
+
+    def _schedule_completion(self, dyn: DynInstr, cycle: int) -> None:
+        cycle = max(cycle, self.cycle + 1)
+        dyn.complete_cycle = cycle
+        self._completions.setdefault(cycle, []).append(dyn)
+
+    # ==================================================================
+    # writeback
+    # ==================================================================
+
+    def _writeback(self) -> None:
+        for dyn in self._completions.pop(self.cycle, []):
+            if dyn.squashed:
+                continue
+            dyn.state = InstrState.COMPLETED
+            dyn.speculative_at_complete = (
+                self.is_speculative(dyn) or bool(dyn.bypassed_store_seqs))
+            self.policy.on_execute(dyn)
+            if dyn.is_branch and not dyn.resolved:
+                self._resolve_branch(dyn)
+
+    def _resolve_branch(self, dyn: DynInstr) -> None:
+        dyn.resolved = True
+        self._unresolved_branches.pop(dyn.seq, None)
+        self.stats.branches += 1
+        static = dyn.static
+        history = dyn.bhb_snapshot
+        if static.op in (Opcode.B_COND, Opcode.CBZ, Opcode.CBNZ):
+            self.pht.train(dyn.pc, dyn.actual_taken, history)
+        elif static.op in (Opcode.BR, Opcode.BLR):
+            self.btb.train(dyn.pc, dyn.actual_target, history)
+
+        if self.fetch_blocked_on is dyn:
+            # Fetch was stalled waiting for this target: resume, no squash.
+            self.fetch_blocked_on = None
+            self.fetch_pc = dyn.actual_target
+            self.fetch_resume_cycle = self.cycle + 1
+            self.policy.on_branch_resolved(dyn, mispredicted=False)
+            return
+
+        mispredicted = (dyn.actual_taken != dyn.pred_taken
+                        or (dyn.actual_taken
+                            and dyn.actual_target != dyn.pred_target))
+        dyn.mispredicted = mispredicted
+        if mispredicted:
+            self.stats.branch_mispredicts += 1
+            if static.op in (Opcode.B_COND, Opcode.CBZ, Opcode.CBNZ):
+                self.bhb.restore(history)
+                self.bhb.update(dyn.actual_taken)
+            self.squash_from(dyn.seq + 1, dyn.actual_target,
+                             reason="mispredict")
+        self.policy.on_branch_resolved(dyn, mispredicted)
+
+    # ==================================================================
+    # squash
+    # ==================================================================
+
+    def squash_from(self, seq: int, redirect_pc: int, reason: str = "") -> None:
+        """Squash every instruction with sequence >= ``seq`` and refetch."""
+        for dyn in self.rob:
+            if dyn.seq >= seq:
+                dyn.squashed = True
+                self.stats.squashed += 1
+        for dyn in self.fetch_queue:
+            dyn.squashed = True
+            self.stats.squashed += 1
+        self.rob = [d for d in self.rob if d.seq < seq]
+        self.iq = [d for d in self.iq if d.seq < seq]
+        self.fetch_queue = [d for d in self.fetch_queue if d.seq < seq]
+        self.lsq.squash_from(seq)
+        self._pending_sb = [d for d in self._pending_sb if d.seq < seq]
+        self._unresolved_branches = {
+            s: d for s, d in self._unresolved_branches.items() if s < seq}
+        self._unsafe_broadcasts = [
+            (c, d) for c, d in self._unsafe_broadcasts if d.seq < seq]
+        self._rebuild_rename()
+        self.fetch_pc = redirect_pc
+        self.fetch_resume_cycle = self.cycle + getattr(
+            self.config.core, "mispredict_penalty", MISPREDICT_REDIRECT_PENALTY)
+        self.fetch_blocked_on = None
+        self._fetch_stopped = False
+        self.policy.on_squash(seq)
+
+    def _rebuild_rename(self) -> None:
+        self.rename = {}
+        for dyn in self.rob:
+            for reg in dyn.static.dst_regs:
+                self.rename[reg] = dyn
+
+    # ==================================================================
+    # load completion + SpecASan plumbing
+    # ==================================================================
+
+    def complete_load(self, load: DynInstr, value: int, ready_cycle: int,
+                      source_address: Optional[int] = None,
+                      stale: bool = False,
+                      forwarded_store: Optional[DynInstr] = None) -> None:
+        """Deliver a load's value and schedule its completion."""
+        load.result = value
+        address = strip_tag(load.addr)
+        if self._in_secret_range(address) or (
+                source_address is not None
+                and self._in_secret_range(source_address)):
+            load.secret_tainted = True
+            self.leak_log.append({
+                "kind": "secret-access", "seq": load.seq, "pc": load.pc,
+                "addr": address, "stale": stale, "cycle": self.cycle,
+                "speculative": self.is_speculative(load)})
+        if forwarded_store is not None and forwarded_store.secret_tainted:
+            load.secret_tainted = True
+        self._schedule_completion(load, max(ready_cycle, self.cycle + 1))
+
+    def _in_secret_range(self, address: int) -> bool:
+        return any(lo <= address < hi for lo, hi in self.secret_ranges)
+
+    def note_memory_issue(self, load: DynInstr, speculative: bool) -> None:
+        """Oracle hook: a load reached the memory subsystem.
+
+        If its *address* derives from the secret, its cache footprint is a
+        transmission (the TRANSMIT stage of Figure 1).
+        """
+        address_tainted = any(
+            p is not None and p.secret_tainted
+            for r, p in load.producers.items()
+            if r in (load.static.rn, load.static.rm))
+        if address_tainted:
+            self.leak_log.append({
+                "kind": "cache-transmit", "seq": load.seq, "pc": load.pc,
+                "addr": strip_tag(load.addr), "cycle": self.cycle,
+                "speculative": speculative})
+
+    def schedule_unsafe_broadcast(self, unsafe: DynInstr) -> None:
+        """§3.4: the ROB marks dependent memory instructions unsafe; the
+        broadcast takes ``unsafe_broadcast_latency`` cycles."""
+        deliver_at = self.cycle + self.config.core.unsafe_broadcast_latency
+        self._unsafe_broadcasts.append((deliver_at, unsafe))
+
+    def _deliver_unsafe_broadcasts(self) -> None:
+        remaining = []
+        for deliver_at, unsafe in self._unsafe_broadcasts:
+            if deliver_at > self.cycle:
+                remaining.append((deliver_at, unsafe))
+                continue
+            for dyn in self.rob:
+                if (dyn.seq > unsafe.seq and dyn.static.is_memory
+                        and unsafe.seq in dyn.taint_roots):
+                    dyn.tcs = TagCheckStatus.UNSAFE
+                    dyn.unsafe_dependent = True
+                    dyn.ssa = False
+        self._unsafe_broadcasts = remaining
+
+    # ==================================================================
+    # commit
+    # ==================================================================
+
+    def _commit(self) -> None:
+        budget = self.config.core.commit_width
+        while budget > 0 and self.rob:
+            head = self.rob[0]
+            if head.is_load and not head.completed:
+                if self._load_faults_at_head(head):
+                    return
+                break
+            if head.is_load and head.verify_pending:
+                break  # transient value awaiting its full-address/fill check
+            if not head.completed:
+                break
+            if head.is_store:
+                if not self._commit_store(head):
+                    return
+            if head.static.op is Opcode.HALT:
+                self._retire(head)
+                self.halted = True
+                return
+            if head.is_load:
+                self.stats.loads_committed += 1
+                self.mdp.decay(head.pc)
+            self._retire(head)
+            budget -= 1
+
+    def _load_faults_at_head(self, head: DynInstr) -> bool:
+        """A withheld (unsafe) load that reached the ROB head is bound to
+        commit: its mismatch is architectural — raise the MTE fault (§3.4)."""
+        if (self.policy.mte_enabled and head.tcs is TagCheckStatus.UNSAFE
+                and head.response is not None and head.response.data_withheld
+                and self.cycle >= head.response.ready_cycle):
+            self._raise_tag_fault(head)
+            return True
+        if (head.response is not None and head.response.faulted
+                and self.cycle >= head.response.ready_cycle):
+            # Architectural access to unmapped memory: fatal (SIGSEGV).
+            self.fault = TagCheckFault(strip_tag(head.addr or 0), 0, 0,
+                                       pc=head.pc)
+            self.halted = True
+            return True
+        return False
+
+    def _commit_store(self, store: DynInstr) -> bool:
+        """Perform the architectural effects of a store; False on fault."""
+        if self.policy.mte_enabled and store.tcs is TagCheckStatus.UNSAFE:
+            self._raise_tag_fault(store)
+            return False
+        value = self.read_store_value(store)
+        if value is None:
+            raise SimulationError(
+                f"store #{store.seq} committed without data")
+        if store.static.op is Opcode.STG:
+            tag = key_of(value, self.config.mte.tag_bits)
+            self.hierarchy.store_tag(store.addr, tag, self.core_id, self.cycle)
+        else:
+            data = value.to_bytes(8, "little")[:store.static.memory_bytes]
+            self.hierarchy.commit_store(store.addr, data, self.core_id,
+                                        self.cycle)
+        self.stats.stores_committed += 1
+        return True
+
+    def _retire(self, head: DynInstr) -> None:
+        self.rob.pop(0)
+        head.state = InstrState.COMMITTED
+        for reg in head.static.dst_regs:
+            if head.result is not None:
+                self.arf[reg] = head.result
+        if head.static.op is Opcode.SB and head in self._pending_sb:
+            self._pending_sb.remove(head)
+        self.lsq.remove_committed(head)
+        self.policy.on_commit(head)
+        self.stats.committed += 1
+        if head.was_restricted:
+            self.stats.restricted_committed += 1
+        self._last_commit_cycle = self.cycle
+
+    def _raise_tag_fault(self, dyn: DynInstr) -> None:
+        """Record the architectural MTE fault and halt the core (the OS
+        would deliver SIGSEGV; the harness inspects :attr:`fault`)."""
+        lock = self.hierarchy.read_tag(dyn.addr) if dyn.addr is not None else 0
+        self.fault = TagCheckFault(
+            strip_tag(dyn.addr or 0),
+            key_of(dyn.addr or 0, self.config.mte.tag_bits), lock, pc=dyn.pc)
+        self.stats.tag_faults += 1
+        self.halted = True

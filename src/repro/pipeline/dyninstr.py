@@ -1,0 +1,127 @@
+"""Dynamic (in-flight) instructions.
+
+A :class:`DynInstr` wraps one static :class:`~repro.isa.instructions.Instruction`
+fetched down the (possibly wrong) predicted path.  It carries everything the
+out-of-order machinery needs: renamed source producers, the computed result,
+branch-resolution state, the memory access response, SpecASan's tag-check
+status (``tcs``) and ROB safe-speculative-access bit (``ssa``), and STT's
+taint roots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.isa.instructions import Instruction
+from repro.memory.request import MemResponse
+
+
+class TagCheckStatus(enum.Enum):
+    """The two-bit ``tcs`` field SpecASan adds to each LSQ entry (§3.3.2).
+
+    ``INIT`` (00) on allocation, ``WAIT`` (11) while the check is in flight,
+    ``SAFE`` (01) on a match, ``UNSAFE`` (10) on a mismatch.
+    """
+
+    INIT = 0b00
+    SAFE = 0b01
+    UNSAFE = 0b10
+    WAIT = 0b11
+
+
+class InstrState(enum.Enum):
+    """Lifecycle of a dynamic instruction."""
+
+    FETCHED = "fetched"
+    DISPATCHED = "dispatched"
+    ISSUED = "issued"
+    COMPLETED = "completed"
+    COMMITTED = "committed"
+
+
+@dataclass
+class DynInstr:
+    """One in-flight instruction."""
+
+    seq: int
+    static: Instruction
+    pc: int
+    state: InstrState = InstrState.FETCHED
+    squashed: bool = False
+
+    # Renamed sources: arch reg -> producing DynInstr (None = read the ARF).
+    producers: Dict[int, Optional["DynInstr"]] = field(default_factory=dict)
+    result: Optional[int] = None
+    issue_cycle: int = -1
+    complete_cycle: int = -1
+
+    # Branch state.
+    pred_taken: bool = False
+    pred_target: int = 0
+    bhb_snapshot: int = 0
+    resolved: bool = False
+    actual_taken: bool = False
+    actual_target: int = 0
+    mispredicted: bool = False
+
+    # Memory state.
+    addr: Optional[int] = None          # tagged effective address
+    addr_ready_cycle: int = -1
+    mem_issued: bool = False
+    response: Optional[MemResponse] = None
+    forwarded_from: Optional[int] = None
+    bypassed_store_seqs: FrozenSet[int] = frozenset()
+    used_stale_data: bool = False
+    #: The load's value is transient (loosenet forward / stale LFB data)
+    #: and must not commit until the full check verifies or machine-clears.
+    verify_pending: bool = False
+    store_value: Optional[int] = None
+
+    # SpecASan state (§3.3.2, §3.4).
+    tcs: TagCheckStatus = TagCheckStatus.INIT
+    ssa: Optional[bool] = None          # ROB safe-speculative-access bit
+    unsafe_dependent: bool = False      # marked unsafe by the ROB broadcast
+    tag_fault_pending: bool = False
+
+    # STT taint: sequence numbers of the speculative loads this value
+    # (transitively) derives from.
+    taint_roots: FrozenSet[int] = frozenset()
+    #: Whether this instruction was speculative when its result appeared
+    #: (STT taints such loads; untaint lags the visibility point by the
+    #: broadcast latency).
+    speculative_at_complete: bool = False
+
+    # Detector-level (oracle) taint used by the attack harness: does this
+    # value derive from the planted secret?  Independent of any defense.
+    secret_tainted: bool = False
+
+    # Stats plumbing.
+    was_restricted: bool = False
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        return self.state in (InstrState.COMPLETED, InstrState.COMMITTED)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.static.is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return self.static.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.static.is_store
+
+    def producer_values_ready(self) -> bool:
+        """All renamed sources have produced their values."""
+        return all(p is None or p.completed for p in self.producers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DynInstr #{self.seq} {self.static.render()} pc={self.pc:#x} "
+                f"{self.state.value}{' SQUASHED' if self.squashed else ''}>")

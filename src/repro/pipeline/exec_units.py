@@ -1,0 +1,59 @@
+"""Execution-unit ports.
+
+A Cortex-A76-like port layout: several single-cycle integer ALUs, one
+multiply/divide unit, two load ports, one store-address port, and a branch
+port.  Port occupancy is per-cycle; SMoTHERSpectre-style speculative
+contention channels (§4.1) arise precisely because a speculative
+instruction's issue consumes a port that co-runners would observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isa.instructions import InstrClass
+
+
+#: Ports available per class, per cycle.
+DEFAULT_PORTS: Dict[InstrClass, int] = {
+    InstrClass.ALU: 4,
+    InstrClass.MUL: 1,
+    InstrClass.DIV: 1,
+    InstrClass.BRANCH: 2,
+    InstrClass.LOAD: 2,
+    InstrClass.STORE: 1,
+    InstrClass.MTE: 1,
+    InstrClass.BARRIER: 1,
+    InstrClass.NOP: 8,
+    InstrClass.HALT: 1,
+}
+
+
+class ExecPorts:
+    """Per-cycle issue-port bookkeeping."""
+
+    def __init__(self, ports: Dict[InstrClass, int] = None):
+        self.ports = dict(DEFAULT_PORTS if ports is None else ports)
+        self._used: Dict[InstrClass, int] = {}
+        #: Cumulative per-class issue counts (contention-channel observable).
+        self.issue_counts: Dict[InstrClass, int] = {k: 0 for k in self.ports}
+        self.contention_stalls = 0
+
+    def new_cycle(self) -> None:
+        """Reset per-cycle occupancy."""
+        self._used = {}
+
+    def try_claim(self, klass: InstrClass) -> bool:
+        """Claim one port of ``klass`` this cycle; False when contended."""
+        used = self._used.get(klass, 0)
+        if used >= self.ports.get(klass, 1):
+            self.contention_stalls += 1
+            return False
+        self._used[klass] = used + 1
+        self.issue_counts[klass] = self.issue_counts.get(klass, 0) + 1
+        return True
+
+    def occupancy(self, klass: InstrClass) -> int:
+        """Ports of ``klass`` in use this cycle (the contention observable)."""
+        return self._used.get(klass, 0)

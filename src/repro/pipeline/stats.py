@@ -1,0 +1,51 @@
+"""Per-core statistics the evaluation harness consumes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    """Counters collected while a core runs.
+
+    ``restricted_committed`` counts committed instructions that were delayed
+    at least once by the active defense — the numerator of Figure 8's
+    "percentage of restricted speculative instructions".
+    """
+
+    cycles: int = 0
+    fetched: int = 0
+    committed: int = 0
+    squashed: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    loads_committed: int = 0
+    stores_committed: int = 0
+    loads_issued: int = 0
+    stale_forwards: int = 0
+    store_forwards: int = 0
+    forward_blocked: int = 0
+    ordering_violations: int = 0
+    restricted_committed: int = 0
+    restricted_events: int = 0
+    tag_checks: int = 0
+    tag_mismatches: int = 0
+    unsafe_delays: int = 0
+    tag_faults: int = 0
+    cfi_fetch_stalls: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.branch_mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def restricted_fraction(self) -> float:
+        """Fraction of committed instructions the defense restricted (Fig. 8)."""
+        return (self.restricted_committed / self.committed
+                if self.committed else 0.0)

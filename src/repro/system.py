@@ -1,0 +1,134 @@
+"""Top-level façade: build and run a complete simulated system.
+
+This is the main entry point downstream users touch::
+
+    from repro import build_system, CORTEX_A76, DefenseKind
+    from repro.isa import assemble
+
+    program = assemble('''
+        MOV X0, #41
+        ADD X0, X0, #1
+        HALT
+    ''')
+    system = build_system(CORTEX_A76.with_defense(DefenseKind.SPECASAN))
+    result = system.run(program)
+    assert result.register("X0") == 42
+
+A :class:`SimulatedSystem` owns one memory hierarchy and (for the
+single-core experiments) one out-of-order core; the PARSEC experiments use
+:class:`repro.multicore.MulticoreSystem`, which shares the same loader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import DefenseKind, SystemConfig
+from repro.defenses import make_policy
+from repro.errors import TagCheckFault
+from repro.isa.program import Program
+from repro.isa.registers import reg_index
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import Core
+from repro.pipeline.stats import CoreStats
+
+
+@dataclass
+class RunResult:
+    """Summary of one program execution."""
+
+    cycles: int
+    instructions: int
+    halted: bool
+    stats: CoreStats
+    fault: Optional[TagCheckFault] = None
+    registers: Dict[int, int] = field(default_factory=dict)
+    restricted: int = 0
+    leak_log: List[dict] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def faulted(self) -> bool:
+        return self.fault is not None
+
+    def register(self, name: str) -> int:
+        """Final architectural value of a register, by name (``"X5"``)."""
+        return self.registers.get(reg_index(name), 0)
+
+
+def load_program(hierarchy: MemoryHierarchy, program: Program) -> None:
+    """Place a program's data segments (bytes + allocation tags) in memory."""
+    program.link()
+    for segment in program.data_segments:
+        hierarchy.memory.load_image(segment.address, segment.data)
+        if segment.tag is not None:
+            hierarchy.memory.tag_range(segment.address, max(segment.size, 1),
+                                       segment.tag)
+
+
+class SimulatedSystem:
+    """One hierarchy plus one core, ready to run programs.
+
+    ``policy_factory`` overrides the defense policy construction — used by
+    the ablation studies to plug SpecASan variants that have no
+    :class:`~repro.config.DefenseKind` of their own.
+    """
+
+    def __init__(self, config: SystemConfig, policy_factory=None):
+        self.config = config
+        self.policy_factory = policy_factory
+        self.hierarchy = MemoryHierarchy(config)
+        self.core: Optional[Core] = None
+
+    def prepare(self, program: Program) -> Core:
+        """Load ``program`` and build a fresh core for it (not yet run)."""
+        self.hierarchy.quiesce()
+        load_program(self.hierarchy, program)
+        policy = (self.policy_factory() if self.policy_factory is not None
+                  else make_policy(self.config.defense))
+        self.core = Core(self.config, self.hierarchy, program, policy=policy)
+        return self.core
+
+    def run(self, program: Program, max_cycles: int = 2_000_000,
+            warm_runs: int = 0) -> RunResult:
+        """Load and run ``program`` to completion on a fresh core.
+
+        ``warm_runs`` first executes the program that many times on the
+        *same* memory hierarchy (caches and tag state stay warm) before the
+        measured run — the analogue of the paper's 10-billion-instruction
+        fast-forward before detailed simulation (§5.1).
+        """
+        for _ in range(warm_runs):
+            core = self.prepare(program)
+            core.run(max_cycles=max_cycles)
+        core = self.prepare(program)
+        core.run(max_cycles=max_cycles)
+        return self.result()
+
+    def result(self) -> RunResult:
+        """Snapshot the outcome of the last (possibly in-progress) run."""
+        core = self.core
+        if core is None:
+            raise RuntimeError("no program has been run on this system")
+        return RunResult(
+            cycles=core.cycle,
+            instructions=core.stats.committed,
+            halted=core.halted,
+            stats=core.stats,
+            fault=core.fault,
+            registers=dict(enumerate(core.arf)),
+            restricted=len(core.policy.restricted_seqs),
+            leak_log=list(core.leak_log),
+        )
+
+
+def build_system(config: Optional[SystemConfig] = None,
+                 policy_factory=None) -> SimulatedSystem:
+    """Construct a :class:`SimulatedSystem` (default: Table 2's CORTEX_A76)."""
+    return SimulatedSystem(config or SystemConfig(),
+                           policy_factory=policy_factory)

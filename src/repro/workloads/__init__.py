@@ -1,0 +1,35 @@
+"""Synthetic stand-ins for the paper's SPEC CPU2017 and PARSEC workloads."""
+
+from repro.workloads.generator import generate, GeneratedWorkload, HEAP_BASE
+from repro.workloads.parsec import (
+    build_parsec,
+    PARSEC_BY_NAME,
+    parsec_names,
+    PARSEC_SPECS,
+    ParsecSpec,
+    SHARED_BASE,
+)
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec import (
+    build_spec,
+    SPEC_BY_NAME,
+    spec_names,
+    SPEC_PROFILES,
+)
+
+__all__ = [
+    "build_parsec",
+    "build_spec",
+    "generate",
+    "GeneratedWorkload",
+    "HEAP_BASE",
+    "PARSEC_BY_NAME",
+    "parsec_names",
+    "PARSEC_SPECS",
+    "ParsecSpec",
+    "SHARED_BASE",
+    "SPEC_BY_NAME",
+    "spec_names",
+    "SPEC_PROFILES",
+    "WorkloadProfile",
+]

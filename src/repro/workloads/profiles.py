@@ -1,0 +1,94 @@
+"""Workload profiles: the knobs that shape a synthetic benchmark.
+
+The paper's Figures 6-9 report *normalized* execution time and restricted-
+instruction fractions, which depend on a workload's speculation and memory
+behaviour rather than on what it computes.  A :class:`WorkloadProfile`
+captures exactly those axes:
+
+- instruction mix (ALU / multiply / divide / load / store / branch),
+- branch behaviour: how many branches are data-dependent coin flips
+  (``branch_entropy``) versus strongly biased,
+- memory behaviour: working-set size (drives L1/L2 miss rates), the
+  fraction of loads that pointer-chase a random permutation (serialized
+  misses — the classic mcf pattern) versus stream with a fixed stride,
+- call structure: direct calls, indirect calls through a function-pointer
+  table (BTI-padded, exercising SpecCFI), and returns.
+
+The per-benchmark instances in :mod:`repro.workloads.spec` and
+:mod:`repro.workloads.parsec` are calibrated qualitatively from the
+published characterizations of SPEC CPU2017 and PARSEC (memory-bound vs
+compute-bound vs branchy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Shape of one synthetic benchmark."""
+
+    name: str
+    #: Instruction-mix weights (normalized internally; need not sum to 1).
+    alu_weight: float = 4.0
+    mul_weight: float = 0.5
+    div_weight: float = 0.1
+    load_weight: float = 3.0
+    store_weight: float = 1.0
+    branch_weight: float = 1.5
+    #: Fraction of conditional branches whose direction is a data-dependent
+    #: coin flip (drives the misprediction rate).
+    branch_entropy: float = 0.15
+    #: Working-set size in bytes (e.g. 16 KiB fits L1; 4 MiB spills L2).
+    working_set: int = 64 * 1024
+    #: Fraction of loads that follow a pointer chain through a random
+    #: permutation of the working set (dependent, cache-hostile).
+    pointer_chase: float = 0.1
+    #: Fraction of loads whose *address* is computed from previously loaded
+    #: data (indexed indirection, `a[b[i]]`) — the dependency STT's taint
+    #: tracking delays.
+    dependent_load: float = 0.15
+    #: Fraction of conditional branches that test *loaded* data rather than
+    #: the decision table — these stay unresolved for the load's latency,
+    #: opening the long speculation windows fences and STT pay for.
+    loaded_branch: float = 0.4
+    #: Fraction of work items that are calls to small helper functions.
+    call_fraction: float = 0.04
+    #: Of those calls, the fraction made through a function-pointer table.
+    indirect_fraction: float = 0.25
+    #: Number of distinct helper functions (indirect-target set size).
+    num_functions: int = 4
+    #: Work items per loop iteration (loop body size).
+    body_items: int = 24
+    #: Fraction of the working set that is MTE-tagged heap (vs untagged).
+    tagged_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        weights = (self.alu_weight, self.mul_weight, self.div_weight,
+                   self.load_weight, self.store_weight, self.branch_weight)
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigError(f"{self.name}: invalid instruction mix")
+        for name in ("branch_entropy", "pointer_chase", "call_fraction",
+                     "indirect_fraction", "tagged_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{self.name}: {name} must be in [0, 1]")
+        if self.working_set < 4096:
+            raise ConfigError(f"{self.name}: working set too small")
+
+    @property
+    def mix(self) -> dict:
+        """Normalized instruction-mix distribution."""
+        total = (self.alu_weight + self.mul_weight + self.div_weight
+                 + self.load_weight + self.store_weight + self.branch_weight)
+        return {
+            "alu": self.alu_weight / total,
+            "mul": self.mul_weight / total,
+            "div": self.div_weight / total,
+            "load": self.load_weight / total,
+            "store": self.store_weight / total,
+            "branch": self.branch_weight / total,
+        }

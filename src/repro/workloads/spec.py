@@ -1,0 +1,96 @@
+"""SPEC CPU2017-like single-threaded workloads (Figure 6/8/9's x-axis).
+
+Fifteen profiles, one per benchmark the paper runs (it excludes 8 of 23 for
+toolchain reasons, §5.1).  Calibration is qualitative, from the published
+characterizations: mcf/omnetpp/xalancbmk are memory-bound pointer-chasers,
+x264/imagick/nab/namd are compute-dense with predictable control flow,
+deepsjeng/leela/perlbench are branchy, gcc/xz mix everything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.generator import generate, GeneratedWorkload
+from repro.workloads.profiles import WorkloadProfile
+
+KB = 1024
+
+#: The 15 SPEC CPU2017 benchmarks of Figures 6/8/9, in plot order.
+SPEC_PROFILES: List[WorkloadProfile] = [
+    WorkloadProfile("500.perlbench_r", dependent_load=0.20, alu_weight=4.0, load_weight=3.0,
+                    store_weight=1.2, branch_weight=2.2, branch_entropy=0.12,
+                    working_set=128 * KB, pointer_chase=0.10,
+                    call_fraction=0.08, indirect_fraction=0.35),
+    WorkloadProfile("502.gcc_r", dependent_load=0.25, alu_weight=3.5, load_weight=3.2,
+                    store_weight=1.4, branch_weight=2.4, branch_entropy=0.14,
+                    working_set=512 * KB, pointer_chase=0.15,
+                    call_fraction=0.07, indirect_fraction=0.30),
+    WorkloadProfile("505.mcf_r", dependent_load=0.25, alu_weight=2.0, load_weight=4.5,
+                    store_weight=0.8, branch_weight=1.6, branch_entropy=0.10,
+                    working_set=4096 * KB, pointer_chase=0.50,
+                    call_fraction=0.02),
+    WorkloadProfile("508.namd_r", dependent_load=0.05, alu_weight=4.5, mul_weight=2.0,
+                    div_weight=0.2, load_weight=2.5, store_weight=0.8,
+                    branch_weight=0.6, branch_entropy=0.02,
+                    working_set=64 * KB, pointer_chase=0.02),
+    WorkloadProfile("510.parest_r", dependent_load=0.12, alu_weight=3.8, mul_weight=1.6,
+                    load_weight=3.0, store_weight=1.0, branch_weight=1.0,
+                    branch_entropy=0.05, working_set=1024 * KB,
+                    pointer_chase=0.10),
+    WorkloadProfile("511.povray_r", dependent_load=0.10, alu_weight=4.2, mul_weight=1.8,
+                    div_weight=0.3, load_weight=2.4, store_weight=0.8,
+                    branch_weight=1.4, branch_entropy=0.08,
+                    working_set=32 * KB, call_fraction=0.10,
+                    indirect_fraction=0.20),
+    WorkloadProfile("520.omnetpp_r", dependent_load=0.30, alu_weight=2.5, load_weight=4.0,
+                    store_weight=1.2, branch_weight=2.0, branch_entropy=0.12,
+                    working_set=2048 * KB, pointer_chase=0.40,
+                    call_fraction=0.08, indirect_fraction=0.45),
+    WorkloadProfile("523.xalancbmk_r", dependent_load=0.30, alu_weight=3.0, load_weight=3.6,
+                    store_weight=1.0, branch_weight=2.2, branch_entropy=0.11,
+                    working_set=1024 * KB, pointer_chase=0.25,
+                    call_fraction=0.09, indirect_fraction=0.50),
+    WorkloadProfile("525.x264_r", dependent_load=0.08, alu_weight=5.0, mul_weight=1.4,
+                    load_weight=2.8, store_weight=1.2, branch_weight=0.9,
+                    branch_entropy=0.05, working_set=256 * KB),
+    WorkloadProfile("526.blender_r", dependent_load=0.10, alu_weight=4.4, mul_weight=1.8,
+                    div_weight=0.2, load_weight=2.6, store_weight=1.0,
+                    branch_weight=1.2, branch_entropy=0.07,
+                    working_set=512 * KB, pointer_chase=0.06,
+                    call_fraction=0.05),
+    WorkloadProfile("531.deepsjeng_r", dependent_load=0.15, alu_weight=3.6, load_weight=2.8,
+                    store_weight=1.0, branch_weight=2.6, branch_entropy=0.20,
+                    working_set=128 * KB, pointer_chase=0.08,
+                    call_fraction=0.06),
+    WorkloadProfile("538.imagick_r", dependent_load=0.03, alu_weight=5.2, mul_weight=2.2,
+                    div_weight=0.3, load_weight=2.4, store_weight=1.0,
+                    branch_weight=0.6, branch_entropy=0.02,
+                    working_set=256 * KB),
+    WorkloadProfile("541.leela_r", dependent_load=0.15, alu_weight=3.4, load_weight=2.8,
+                    store_weight=0.9, branch_weight=2.4, branch_entropy=0.18,
+                    working_set=64 * KB, pointer_chase=0.15,
+                    call_fraction=0.07),
+    WorkloadProfile("544.nab_r", dependent_load=0.05, alu_weight=4.6, mul_weight=2.0,
+                    div_weight=0.4, load_weight=2.4, store_weight=0.9,
+                    branch_weight=0.7, branch_entropy=0.04,
+                    working_set=128 * KB),
+    WorkloadProfile("557.xz_r", dependent_load=0.20, alu_weight=3.6, load_weight=3.2,
+                    store_weight=1.3, branch_weight=1.8, branch_entropy=0.15,
+                    working_set=1024 * KB, pointer_chase=0.20),
+]
+
+SPEC_BY_NAME: Dict[str, WorkloadProfile] = {
+    profile.name: profile for profile in SPEC_PROFILES}
+
+
+def spec_names() -> List[str]:
+    """Benchmark names in Figure 6's plot order."""
+    return [profile.name for profile in SPEC_PROFILES]
+
+
+def build_spec(name: str, seed: int = 0,
+               target_instructions: int = 20_000) -> GeneratedWorkload:
+    """Generate one SPEC-like workload by name."""
+    return generate(SPEC_BY_NAME[name], seed=seed,
+                    target_instructions=target_instructions)

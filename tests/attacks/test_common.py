@@ -1,0 +1,97 @@
+"""Shared attack scaffolding and PoC structural properties."""
+
+import pytest
+
+from repro.attacks import build_variants, REGISTRY, TABLE1_ROWS
+from repro.attacks.common import (
+    AttackProgram,
+    emit_transmit,
+    make_probe_array,
+    plant_secret,
+    PROBE_BASE,
+    PROBE_STRIDE,
+    run_attack_program,
+    SECRET_BASE,
+    slow_cell_segment,
+    SLOW_CELLS,
+    TAG_SECRET,
+)
+from repro.config import DefenseKind
+from repro.isa import ProgramBuilder
+
+
+class TestRegistry:
+    def test_every_table1_row_has_builders(self):
+        for attack in TABLE1_ROWS:
+            assert attack in REGISTRY
+            assert REGISTRY[attack]
+
+    def test_build_variants_returns_fresh_programs(self):
+        first = build_variants("spectre-v1")
+        second = build_variants("spectre-v1")
+        assert first[0].builder_program is not second[0].builder_program
+
+    def test_variant_names_are_distinct(self):
+        for attack, variants in REGISTRY.items():
+            names = [name for name, _ in variants]
+            assert len(names) == len(set(names)), attack
+
+    def test_partial_attacks_have_multiple_variants(self):
+        """Partial Table-1 cells need >1 variant to be observable."""
+        for attack in ("spectre-v2", "spectre-v5", "spectre-bhb",
+                       "smotherspectre", "interference", "rewind"):
+            assert len(REGISTRY[attack]) >= 2, attack
+
+
+class TestHelpers:
+    def test_plant_secret_places_value_and_tag(self):
+        b = ProgramBuilder()
+        address = plant_secret(b, 9)
+        b.halt()
+        program = b.build()
+        segment = program.segment("secret")
+        assert segment.address == address == SECRET_BASE
+        assert segment.data[0] == 9
+        assert segment.tag == TAG_SECRET
+
+    def test_make_probe_array_size(self):
+        b = ProgramBuilder()
+        base = make_probe_array(b, candidates=16)
+        b.halt()
+        segment = b.build().segment("probe")
+        assert base == PROBE_BASE
+        assert segment.size == 16 * PROBE_STRIDE
+
+    def test_emit_transmit_shape(self):
+        b = ProgramBuilder()
+        b.li("X5", 3)
+        b.li("X3", PROBE_BASE)
+        emit_transmit(b, "X5", "X3")
+        b.halt()
+        renders = [i.render() for i in b.build().instructions]
+        assert any("LSL" in r for r in renders)
+        assert any("LDRB" in r for r in renders)
+
+    def test_slow_cells_hold_values(self):
+        b = ProgramBuilder()
+        slow_cell_segment(b, count=3, values=[7, 8])
+        b.halt()
+        segment = b.build().segment("slow_cells")
+        assert segment.data[0] == 7
+        assert segment.data[4096] == 8
+        assert segment.data[8192] == 0  # missing values default to zero
+
+
+class TestRunner:
+    def test_outcome_fields(self):
+        from repro.attacks import spectre_v1
+        outcome = run_attack_program(spectre_v1.build(), DefenseKind.NONE)
+        assert outcome.attack == "spectre-v1"
+        assert outcome.defense is DefenseKind.NONE
+        assert outcome.cycles > 0
+        assert "LEAKED" in str(outcome)
+
+    def test_benign_values_are_excluded_from_recovery(self):
+        from repro.attacks import spectre_v1
+        outcome = run_attack_program(spectre_v1.build(), DefenseKind.NONE)
+        assert spectre_v1.TRAIN_VALUE not in outcome.recovered

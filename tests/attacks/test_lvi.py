@@ -1,0 +1,39 @@
+"""LVI through the stale-LFB window (§6 discussion)."""
+
+import pytest
+
+from repro.attacks import lvi
+from repro.attacks.common import run_attack_program
+from repro.config import DefenseKind
+
+
+class TestLVI:
+    def test_injection_leaks_on_baseline(self):
+        outcome = run_attack_program(lvi.build(), DefenseKind.NONE)
+        assert outcome.leaked
+        assert outcome.recovered == [lvi.SECRET_VALUE]
+
+    @pytest.mark.parametrize("defense", [
+        DefenseKind.STT, DefenseKind.GHOSTMINION, DefenseKind.SPECCFI])
+    def test_speculation_window_defenses_miss_it(self, defense):
+        """No branch misprediction anywhere: nothing for them to delay."""
+        assert run_attack_program(lvi.build(), defense).leaked
+
+    def test_specasan_blocks_the_injection(self):
+        """§6: buffer tag validation stops the injected value."""
+        outcome = run_attack_program(lvi.build(), DefenseKind.SPECASAN)
+        assert not outcome.leaked
+        assert not outcome.faulted
+
+    def test_victim_architectural_result_is_always_correct(self):
+        """The injection is transient: the committed value is the real 0."""
+        from repro.config import CORTEX_A76
+        from repro.system import build_system
+        attack = lvi.build()
+        system = build_system(CORTEX_A76)
+        core = system.prepare(attack.builder_program)
+        core.secret_ranges = [(attack.secret_address,
+                               attack.secret_address + 16)]
+        core.run(max_cycles=attack.max_cycles)
+        # X5 holds the victim variable's low byte: architecturally 0.
+        assert core.arf[5] & 0xFF == 0

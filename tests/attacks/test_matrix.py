@@ -1,0 +1,65 @@
+"""Table-1 classification machinery (cell logic; the full matrix is a bench)."""
+
+from repro.attacks.matrix import (
+    classify,
+    evaluate_cell,
+    EXPECTED,
+    Mitigation,
+    TABLE1_DEFENSES,
+)
+from repro.attacks import TABLE1_ROWS
+from repro.attacks.common import AttackOutcome
+from repro.config import DefenseKind
+
+
+def _outcome(leaked):
+    return AttackOutcome(attack="x", variant="v", defense=DefenseKind.NONE,
+                         leaked=leaked, recovered=[], contention_events=0,
+                         cycles=0, faulted=False, restricted=0)
+
+
+class TestClassify:
+    def test_all_blocked_is_full(self):
+        assert classify([_outcome(False), _outcome(False)]) is Mitigation.FULL
+
+    def test_all_leaked_is_none(self):
+        assert classify([_outcome(True)]) is Mitigation.NONE
+
+    def test_mixed_is_partial(self):
+        assert classify([_outcome(True), _outcome(False)]) is Mitigation.PARTIAL
+
+
+class TestExpectedMatrix:
+    def test_expected_covers_every_row_and_column(self):
+        assert set(EXPECTED) == set(TABLE1_ROWS)
+        for row in EXPECTED.values():
+            assert len(row) == len(TABLE1_DEFENSES)
+
+    def test_specasan_cfi_column_is_all_full(self):
+        """§4.3: the combination addresses the whole spectrum."""
+        column = TABLE1_DEFENSES.index(DefenseKind.SPECASAN_CFI)
+        assert all(row[column] is Mitigation.FULL for row in EXPECTED.values())
+
+    def test_specasan_is_the_only_defense_covering_mds(self):
+        for attack in ("fallout", "ridl", "zombieload"):
+            row = EXPECTED[attack]
+            for defense, cell in zip(TABLE1_DEFENSES, row):
+                expected_full = defense.uses_specasan
+                assert (cell is Mitigation.FULL) == expected_full
+
+
+class TestLiveCells:
+    def test_spectre_v1_specasan_cell_matches_paper(self):
+        cell = evaluate_cell("spectre-v1", DefenseKind.SPECASAN)
+        assert cell.mitigation is Mitigation.FULL
+        assert cell.matches_paper
+
+    def test_spectre_v2_specasan_cell_is_partial(self):
+        cell = evaluate_cell("spectre-v2", DefenseKind.SPECASAN)
+        assert cell.mitigation is Mitigation.PARTIAL
+        assert cell.matches_paper
+
+    def test_ridl_ghostminion_cell_is_none(self):
+        cell = evaluate_cell("ridl", DefenseKind.GHOSTMINION)
+        assert cell.mitigation is Mitigation.NONE
+        assert cell.matches_paper

@@ -1,0 +1,119 @@
+"""Spectre-family PoCs: leak on the baseline, blocked per Table 1."""
+
+import pytest
+
+from repro.attacks import spectre_bhb, spectre_v1, spectre_v2, spectre_v4, \
+    spectre_v5
+from repro.attacks.common import run_attack_program
+from repro.config import DefenseKind
+
+
+def outcome(builder, defense):
+    return run_attack_program(builder(), defense)
+
+
+class TestSpectreV1:
+    def test_baseline_leaks_exact_secret(self):
+        result = outcome(spectre_v1.build, DefenseKind.NONE)
+        assert result.leaked
+        assert result.recovered == [spectre_v1.SECRET_VALUE]
+
+    @pytest.mark.parametrize("defense", [
+        DefenseKind.FENCE, DefenseKind.STT, DefenseKind.GHOSTMINION,
+        DefenseKind.SPECASAN, DefenseKind.SPECASAN_CFI])
+    def test_blocked(self, defense):
+        assert not outcome(spectre_v1.build, defense).leaked
+
+    def test_speccfi_does_not_help(self):
+        """v1 is not a control-flow violation: SpecCFI alone is ○."""
+        assert outcome(spectre_v1.build, DefenseKind.SPECCFI).leaked
+
+    def test_no_fault_on_wrong_path_block(self):
+        """SpecASan squashes the unsafe speculative access silently."""
+        result = outcome(spectre_v1.build, DefenseKind.SPECASAN)
+        assert not result.faulted
+
+
+class TestSpectreV2:
+    def test_baseline_leaks_both_variants(self):
+        for variant in spectre_v2.VARIANTS:
+            result = run_attack_program(spectre_v2.build(variant),
+                                        DefenseKind.NONE)
+            assert result.leaked, variant
+
+    def test_specasan_partial(self):
+        """Blocked when the gadget's key mismatches; leaks in-domain (§4.3)."""
+        mismatched = run_attack_program(
+            spectre_v2.build("mismatched-tag"), DefenseKind.SPECASAN)
+        matched = run_attack_program(
+            spectre_v2.build("matched-tag"), DefenseKind.SPECASAN)
+        assert not mismatched.leaked
+        assert matched.leaked
+
+    def test_speccfi_blocks_both(self):
+        for variant in spectre_v2.VARIANTS:
+            result = run_attack_program(spectre_v2.build(variant),
+                                        DefenseKind.SPECCFI)
+            assert not result.leaked, variant
+
+    def test_combination_blocks_matched_gadget(self):
+        result = run_attack_program(spectre_v2.build("matched-tag"),
+                                    DefenseKind.SPECASAN_CFI)
+        assert not result.leaked
+
+
+class TestSpectreV4:
+    def test_baseline_leaks_stale_value(self):
+        result = outcome(spectre_v4.build, DefenseKind.NONE)
+        assert result.leaked
+
+    def test_specasan_holds_tagged_bypass(self):
+        assert not outcome(spectre_v4.build, DefenseKind.SPECASAN).leaked
+
+    def test_stt_and_ghostminion_block(self):
+        assert not outcome(spectre_v4.build, DefenseKind.STT).leaked
+        assert not outcome(spectre_v4.build, DefenseKind.GHOSTMINION).leaked
+
+    def test_speccfi_irrelevant(self):
+        assert outcome(spectre_v4.build, DefenseKind.SPECCFI).leaked
+
+
+class TestSpectreV5:
+    def test_baseline_leaks_via_rsb_wrap(self):
+        result = run_attack_program(spectre_v5.build("mismatched-tag"),
+                                    DefenseKind.NONE)
+        assert result.leaked
+
+    def test_shadow_stack_blocks_both_variants(self):
+        for variant in spectre_v5.VARIANTS:
+            result = run_attack_program(spectre_v5.build(variant),
+                                        DefenseKind.SPECCFI)
+            assert not result.leaked, variant
+
+    def test_specasan_partial(self):
+        mismatched = run_attack_program(
+            spectre_v5.build("mismatched-tag"), DefenseKind.SPECASAN)
+        matched = run_attack_program(
+            spectre_v5.build("matched-tag"), DefenseKind.SPECASAN)
+        assert not mismatched.leaked
+        assert matched.leaked
+
+
+class TestSpectreBHB:
+    def test_history_collision_injection_leaks(self):
+        result = run_attack_program(spectre_bhb.build("mismatched-tag"),
+                                    DefenseKind.NONE)
+        assert result.leaked
+
+    def test_speccfi_blocks(self):
+        result = run_attack_program(spectre_bhb.build("matched-tag"),
+                                    DefenseKind.SPECCFI)
+        assert not result.leaked
+
+    def test_specasan_blocks_mismatched_only(self):
+        mismatched = run_attack_program(
+            spectre_bhb.build("mismatched-tag"), DefenseKind.SPECASAN)
+        matched = run_attack_program(
+            spectre_bhb.build("matched-tag"), DefenseKind.SPECASAN)
+        assert not mismatched.leaked
+        assert matched.leaked

@@ -1,0 +1,137 @@
+"""SpecASan ablation variants and the prefetcher extension."""
+
+import pytest
+
+from repro.attacks import run_attack_program, spectre_v1
+from repro.attacks.mds import build_ridl
+from repro.config import CORTEX_A76, DefenseKind
+from repro.core.ablations import (
+    FullDelaySpecASanPolicy,
+    lfb_untagged_config,
+    memory_controller_only_config,
+    NoLFBTagSpecASanPolicy,
+    prefetcher_config,
+)
+from repro.isa import assemble
+from repro.system import build_system
+
+
+class TestFullDelay:
+    def test_still_blocks_spectre_v1(self):
+        outcome = run_attack_program(spectre_v1.build(), DefenseKind.SPECASAN,
+                                     policy_factory=FullDelaySpecASanPolicy)
+        assert not outcome.leaked
+
+    def test_costs_more_than_selective_on_tagged_code(self):
+        source = """
+            .data slow 0x6040 words 1
+            .data arr 0x4000 tag=3 zero 256
+            MOV X1, #0x6040
+            MOV X2, #0x4000
+            ADDG X2, X2, #0, #3
+            MOV X9, #12
+        loop:
+            LDR X0, [X1]        // slow branch condition
+            CBNZ X0, body
+            HALT
+        body:
+            LDR X3, [X2]        // tagged speculative load
+            LDR X4, [X2, #8]
+            SUB X9, X9, #1
+            CBNZ X9, loop
+            HALT
+        """
+        selective = build_system(
+            CORTEX_A76.with_defense(DefenseKind.SPECASAN)).run(
+                assemble(source))
+        full = build_system(
+            CORTEX_A76.with_defense(DefenseKind.SPECASAN),
+            policy_factory=FullDelaySpecASanPolicy).run(assemble(source))
+        assert full.cycles > selective.cycles
+        assert full.restricted > selective.restricted
+
+
+class TestCheckPointAblation:
+    def test_controller_only_misses_cache_resident_secrets(self):
+        outcome = run_attack_program(
+            spectre_v1.build(), DefenseKind.SPECASAN,
+            config=memory_controller_only_config(CORTEX_A76))
+        assert outcome.leaked
+
+    def test_controller_only_still_blocks_cold_accesses(self):
+        """A mismatched access that must go to DRAM is still checked."""
+        result = build_system(
+            memory_controller_only_config(CORTEX_A76).with_defense(
+                DefenseKind.SPECASAN)).run(assemble("""
+            .data buf 0x4000 tag=5 words 42
+            MOV X1, #0x4000
+            ADDG X1, X1, #0, #3
+            LDR X2, [X1]
+            HALT
+        """))
+        assert result.faulted
+
+
+class TestLFBTagAblation:
+    def test_untagged_lfb_reopens_ridl(self):
+        blocked = run_attack_program(build_ridl(), DefenseKind.SPECASAN)
+        reopened = run_attack_program(
+            build_ridl(), DefenseKind.SPECASAN,
+            config=lfb_untagged_config(CORTEX_A76),
+            policy_factory=NoLFBTagSpecASanPolicy)
+        assert not blocked.leaked
+        assert reopened.leaked
+
+
+class TestPrefetcher:
+    STREAM = """
+        .data arr 0x40000 zero 8192
+        MOV X1, #0x40000
+        MOV X2, #0
+        MOV X3, #64
+    loop:
+        LDR X4, [X1, X2]
+        ADD X2, X2, #64
+        SUB X3, X3, #1
+        CBNZ X3, loop
+        HALT
+    """
+
+    def test_next_line_prefetcher_speeds_up_streams(self):
+        base = build_system(CORTEX_A76).run(assemble(self.STREAM))
+        system = build_system(prefetcher_config(CORTEX_A76, check_tags=False))
+        prefetched = system.run(assemble(self.STREAM))
+        assert system.hierarchy.stats.prefetches > 0
+        assert prefetched.cycles < base.cycles
+
+    def test_unchecked_prefetcher_crosses_tag_boundaries(self):
+        source = """
+            .data a 0x40000 tag=2 zero 64
+            .data b 0x40040 tag=5 zero 64
+            MOV X1, #0x40000
+            ADDG X1, X1, #0, #2
+            LDR X2, [X1]
+            HALT
+        """
+        system = build_system(prefetcher_config(
+            CORTEX_A76.with_defense(DefenseKind.SPECASAN), check_tags=False))
+        system.run(assemble(source))
+        system.hierarchy.drain(10 ** 9)
+        assert system.hierarchy.stats.cross_tag_prefetches >= 1
+        assert system.hierarchy.is_cached(0x40040)
+
+    def test_checked_prefetcher_suppresses_boundary_crossings(self):
+        source = """
+            .data a 0x40000 tag=2 zero 64
+            .data b 0x40040 tag=5 zero 64
+            MOV X1, #0x40000
+            ADDG X1, X1, #0, #2
+            LDR X2, [X1]
+            HALT
+        """
+        system = build_system(prefetcher_config(
+            CORTEX_A76.with_defense(DefenseKind.SPECASAN), check_tags=True))
+        system.run(assemble(source))
+        system.hierarchy.drain(10 ** 9)
+        assert system.hierarchy.stats.prefetches_suppressed >= 1
+        assert not system.hierarchy.is_cached(0x40040)

@@ -1,0 +1,49 @@
+"""The DefensePolicy base contract (the unsafe baseline)."""
+
+from repro.core.policy import DefensePolicy, NoDefense, RequestFlags
+from repro.isa.instructions import Instruction, Opcode
+from repro.pipeline.dyninstr import DynInstr
+
+
+def _dyn():
+    return DynInstr(seq=0, static=Instruction(Opcode.LDR, rd=0, rn=1), pc=0)
+
+
+class TestBasePolicy:
+    def test_defaults_permit_everything(self):
+        policy = DefensePolicy()
+        dyn = _dyn()
+        assert policy.may_issue(dyn)
+        assert policy.may_issue_load(dyn)
+        assert policy.may_forward_store(dyn, dyn)
+        assert policy.fetch_may_follow_indirect(dyn, 0x1000)
+        assert not policy.must_hold_bypass_data(dyn)
+        assert policy.predict_return(dyn, 0x2000) == 0x2000
+
+    def test_default_request_flags_are_unchecked(self):
+        flags = DefensePolicy().request_flags(_dyn())
+        assert not flags.check_tag
+        assert not flags.block_fill_on_mismatch
+        assert not flags.fill_to_minion
+        assert flags.allow_stale_forward
+
+    def test_no_mte_no_bubble(self):
+        policy = NoDefense()
+        assert not policy.mte_enabled
+        assert policy.cfi_validation_bubble == 0
+
+    def test_restrict_tracks_unique_seqs(self):
+        policy = DefensePolicy()
+        dyn = _dyn()
+        policy.restrict(dyn)
+        policy.restrict(dyn)
+        assert len(policy.restricted_seqs) == 1
+
+    def test_request_flags_is_frozen(self):
+        flags = RequestFlags()
+        try:
+            flags.check_tag = True
+        except Exception:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("RequestFlags must be immutable")

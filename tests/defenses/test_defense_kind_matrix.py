@@ -1,0 +1,73 @@
+"""Cross-cutting defense properties on a shared scenario suite.
+
+One scenario, every defense: these tests pin the *relative* behaviour the
+paper's narrative depends on (who delays what), complementing the absolute
+checks elsewhere.
+"""
+
+import pytest
+
+from repro import build_system, CORTEX_A76, DefenseKind
+from repro.isa import assemble
+
+SPEC_WINDOW = """
+    .data guard 0x6040 words 1
+    .data hot 0x5000 words 1 2 3 4 5 6 7 8
+    MOV X1, #0x6040
+    MOV X2, #0x5000
+    MOV X9, #6
+outer:
+    LDR X0, [X1]        // slow condition: a long speculation window
+    CBZ X0, never       // never taken; unresolved for the load's latency
+    LDR X3, [X2]        // speculative but safe work underneath it
+    LDR X4, [X2, #8]
+    ADD X5, X3, X4
+never:
+    SUB X9, X9, #1
+    CBNZ X9, outer
+    HALT
+"""
+
+
+@pytest.fixture(scope="module")
+def cycles_by_defense():
+    results = {}
+    for defense in DefenseKind:
+        system = build_system(CORTEX_A76.with_defense(defense))
+        first = system.run(assemble(SPEC_WINDOW))
+        results[defense] = first.cycles
+    return results
+
+
+class TestRelativeCosts:
+    def test_fence_is_the_most_expensive(self, cycles_by_defense):
+        fence = cycles_by_defense[DefenseKind.FENCE]
+        for defense, cycles in cycles_by_defense.items():
+            if defense is not DefenseKind.FENCE:
+                assert fence >= cycles, defense
+
+    def test_specasan_is_near_baseline(self, cycles_by_defense):
+        baseline = cycles_by_defense[DefenseKind.NONE]
+        specasan = cycles_by_defense[DefenseKind.SPECASAN]
+        assert specasan <= baseline * 1.05
+
+    def test_all_defenses_terminate(self, cycles_by_defense):
+        assert len(cycles_by_defense) == len(DefenseKind)
+        assert all(cycles > 0 for cycles in cycles_by_defense.values())
+
+
+class TestSafeSpeculationFlows:
+    def test_specasan_does_not_restrict_safe_window_work(self):
+        """§3.2: safe speculative accesses proceed without delay."""
+        system = build_system(CORTEX_A76.with_defense(DefenseKind.SPECASAN))
+        core = system.prepare(assemble(SPEC_WINDOW))
+        core.run()
+        assert core.stats.unsafe_delays == 0
+        assert core.policy.tsh.unsafe_outcomes == 0
+        assert core.policy.tsh.safe_outcomes > 0
+
+    def test_fence_restricts_the_window_work(self):
+        system = build_system(CORTEX_A76.with_defense(DefenseKind.FENCE))
+        core = system.prepare(assemble(SPEC_WINDOW))
+        core.run()
+        assert len(core.policy.restricted_seqs) > 5

@@ -1,0 +1,198 @@
+"""Per-defense behaviour on targeted micro-scenarios."""
+
+import pytest
+
+from repro import build_system, CORTEX_A76, DefenseKind
+from repro.defenses import (
+    CompositePolicy,
+    FencePolicy,
+    GhostMinionPolicy,
+    make_policy,
+    NoDefense,
+    SpecASanPolicy,
+    SpecCFIPolicy,
+    STTPolicy,
+)
+from repro.isa import assemble, ProgramBuilder
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        (DefenseKind.NONE, NoDefense),
+        (DefenseKind.FENCE, FencePolicy),
+        (DefenseKind.STT, STTPolicy),
+        (DefenseKind.GHOSTMINION, GhostMinionPolicy),
+        (DefenseKind.SPECCFI, SpecCFIPolicy),
+        (DefenseKind.SPECASAN, SpecASanPolicy),
+        (DefenseKind.SPECASAN_CFI, CompositePolicy),
+    ])
+    def test_kinds_map_to_policies(self, kind, cls):
+        assert isinstance(make_policy(kind), cls)
+
+    def test_composite_properties(self):
+        policy = make_policy(DefenseKind.SPECASAN_CFI)
+        assert policy.mte_enabled
+        assert policy.cfi_validation_bubble >= 1
+        assert policy.name == "specasan+cfi"
+
+    def test_mte_only_on_specasan(self):
+        for kind in DefenseKind:
+            assert make_policy(kind).mte_enabled == kind.uses_specasan
+
+
+WRONG_PATH_LOAD = """
+    .data guard 0x6040 words 1
+    .data probe 0x8000 zero 64
+    MOV X1, #0x6040
+    MOV X2, #0x8000
+    LDR X0, [X1]        // slow guard, actually taken
+    CBNZ X0, skip
+    LDR X3, [X2]        // wrong-path load
+skip:
+    HALT
+"""
+
+
+def wrong_path_probe_cached(defense):
+    system = build_system(CORTEX_A76.with_defense(defense))
+    system.run(assemble(WRONG_PATH_LOAD))
+    system.hierarchy.drain(10 ** 9)
+    return system.hierarchy.is_cached(0x8000)
+
+
+class TestFence:
+    def test_blocks_wrong_path_loads(self):
+        assert wrong_path_probe_cached(DefenseKind.NONE)
+        assert not wrong_path_probe_cached(DefenseKind.FENCE)
+
+    def test_architectural_results_unchanged(self):
+        source = """
+            MOV X0, #0
+            MOV X1, #12
+        loop:
+            ADD X0, X0, X1
+            SUB X1, X1, #1
+            CBNZ X1, loop
+            HALT
+        """
+        base = build_system(CORTEX_A76).run(assemble(source))
+        fenced = build_system(
+            CORTEX_A76.with_defense(DefenseKind.FENCE)).run(assemble(source))
+        assert base.register("X0") == fenced.register("X0") == 78
+        assert fenced.cycles >= base.cycles
+
+    def test_restriction_accounting(self):
+        system = build_system(CORTEX_A76.with_defense(DefenseKind.FENCE))
+        core = system.prepare(assemble(WRONG_PATH_LOAD))
+        core.run()
+        assert len(core.policy.restricted_seqs) >= 1
+
+
+class TestGhostMinion:
+    def test_wrong_path_fills_stay_shadowed(self):
+        assert not wrong_path_probe_cached(DefenseKind.GHOSTMINION)
+
+    def test_committed_loads_promote(self):
+        system = build_system(CORTEX_A76.with_defense(DefenseKind.GHOSTMINION))
+        system.run(assemble("""
+            .data data 0x5000 words 42
+            MOV X1, #0x5000
+            LDR X2, [X1]
+            HALT
+        """))
+        system.hierarchy.drain(10 ** 9)
+        assert system.hierarchy.is_cached(0x5000)
+
+
+class TestSTT:
+    def test_tainted_transmit_blocked_on_wrong_path(self):
+        source = """
+            .data guard 0x6040 words 1
+            .data secretish 0x5000 words 3
+            .data probe 0x8000 zero 4096
+            MOV X1, #0x6040
+            MOV X2, #0x5000
+            MOV X3, #0x8000
+            LDR X0, [X1]
+            CBNZ X0, skip
+            LDR X4, [X2]        // speculative access
+            LSL X5, X4, #6
+            ADD X6, X3, X5
+            LDR X7, [X6]        // tainted-address transmit
+        skip:
+            HALT
+        """
+        base = build_system(CORTEX_A76)
+        base.run(assemble(source))
+        base.hierarchy.drain(10 ** 9)
+        assert base.hierarchy.is_cached(0x8000 + 3 * 64)
+
+        stt = build_system(CORTEX_A76.with_defense(DefenseKind.STT))
+        stt.run(assemble(source))
+        stt.hierarchy.drain(10 ** 9)
+        assert not stt.hierarchy.is_cached(0x8000 + 3 * 64)
+
+
+class TestSpecCFI:
+    def test_refuses_non_landing_pad_prediction(self):
+        """An indirect branch trained to a non-BTI target must stall fetch
+        instead of speculating into it."""
+        builder = ProgramBuilder()
+        builder.zero_segment("probe", 0x8000, 64)
+        builder.words_segment("slow", 0x200000, [0])
+        builder.li("X9", 0)
+        li = builder.build().instructions[-1]
+        builder.li("X25", 0)
+        builder.label("loop")
+        builder.blr("X9")
+        builder.add("X25", "X25", imm=1)
+        builder.cmp("X25", imm=12)
+        builder.b_cond("LO", "loop")
+        builder.halt()
+        builder.label("gadget")  # no BTI
+        builder.li("X8", 0x8000)
+        builder.ldr("X7", "X8")
+        builder.ret()
+        program = builder.build()
+        li.imm = program.address_of("gadget")
+        system = build_system(CORTEX_A76.with_defense(DefenseKind.SPECCFI))
+        core = system.prepare(program)
+        core.run()
+        # The program still works architecturally...
+        assert core.halted and core.fault is None
+        # ...but the policy restricted the speculative target at least once.
+        assert core.stats.cfi_fetch_stalls >= 1
+
+    def test_shadow_stack_squash_repair(self):
+        """Speculative calls/returns must not desync the shadow stack."""
+        system = build_system(CORTEX_A76.with_defense(DefenseKind.SPECCFI))
+        result = system.run(assemble("""
+            MOV X0, #0
+            MOV X1, #6
+        loop:
+            BL bump
+            SUB X1, X1, #1
+            CBNZ X1, loop
+            HALT
+        bump:
+            ADD X0, X0, #1
+            RET
+        """))
+        assert result.register("X0") == 6
+
+
+class TestComposite:
+    def test_members_share_restriction_set(self):
+        policy = make_policy(DefenseKind.SPECASAN_CFI)
+        for member in policy.members:
+            assert member.restricted_seqs is policy.restricted_seqs
+
+    def test_request_flags_are_strictest(self):
+        policy = make_policy(DefenseKind.SPECASAN_CFI)
+
+        class _Dyn:  # minimal stand-in
+            pass
+
+        flags = policy.request_flags(_Dyn())
+        assert flags.check_tag and flags.block_fill_on_mismatch
+        assert not flags.allow_stale_forward

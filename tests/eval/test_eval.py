@@ -1,0 +1,98 @@
+"""The evaluation harness (small-scale smoke of every figure)."""
+
+import pytest
+
+from repro.config import DefenseKind
+from repro.eval import (
+    figure1,
+    figure5_trace,
+    geomean,
+    normalized,
+    percent,
+    render_figure1,
+    render_rows,
+    run_spec,
+)
+
+
+class TestMetrics:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_normalized(self):
+        assert normalized(110, 100) == pytest.approx(1.1)
+        assert normalized(5, 0) == 0.0
+
+    def test_percent(self):
+        assert percent(0.0176) == 1.76
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure1()
+
+    def test_baseline_runs_and_leaks_every_stage(self, rows):
+        baseline = next(r for r in rows if r.defense is DefenseKind.NONE)
+        assert baseline.access_happened and baseline.transmit_happened
+        assert baseline.leaked
+
+    def test_delay_access_class_blocks_the_access(self, rows):
+        fence = next(r for r in rows if r.defense is DefenseKind.FENCE)
+        assert not fence.access_happened and not fence.leaked
+
+    def test_delay_use_class_allows_access_blocks_transmit(self, rows):
+        stt = next(r for r in rows if r.defense is DefenseKind.STT)
+        assert stt.access_happened
+        assert not stt.transmit_happened and not stt.leaked
+
+    def test_delay_transmit_class_hides_the_trace(self, rows):
+        ghost = next(r for r in rows if r.defense is DefenseKind.GHOSTMINION)
+        assert ghost.access_happened and ghost.transmit_happened
+        assert not ghost.leaked
+
+    def test_specasan_is_selective_delay(self, rows):
+        spec = next(r for r in rows if r.defense is DefenseKind.SPECASAN)
+        assert not spec.access_happened and not spec.leaked
+
+    def test_render(self, rows):
+        text = render_figure1(rows)
+        assert "delay ACCESS" in text and "selective" in text
+
+
+class TestFigure5:
+    def test_trace_shows_the_unsafe_transition(self):
+        trace = figure5_trace()
+        events = [event for _, _, event in trace]
+        assert any("unsafe" in event for event in events)
+        assert any("safe SSA=1" in event for event in events)
+
+
+class TestRunSpec:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_spec(benchmarks=["541.leela_r"],
+                        defenses=[DefenseKind.FENCE, DefenseKind.SPECASAN],
+                        target_instructions=1500)
+
+    def test_baseline_row_present(self, rows):
+        baseline = [r for r in rows if r.defense is DefenseKind.NONE]
+        assert len(baseline) == 1
+        assert baseline[0].normalized_time == 1.0
+
+    def test_fence_costs_more_than_specasan(self, rows):
+        by_defense = {r.defense: r for r in rows}
+        assert (by_defense[DefenseKind.FENCE].normalized_time
+                >= by_defense[DefenseKind.SPECASAN].normalized_time)
+
+    def test_fence_restricts_far_more(self, rows):
+        by_defense = {r.defense: r for r in rows}
+        assert (by_defense[DefenseKind.FENCE].restricted_pct
+                > 10 * max(by_defense[DefenseKind.SPECASAN].restricted_pct, 0.01))
+
+    def test_render_rows(self, rows):
+        text = render_rows(rows)
+        assert "541.leela_r" in text and "geomean" in text
+        text = render_rows(rows, metric="restricted")
+        assert "average" in text

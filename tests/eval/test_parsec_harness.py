@@ -1,0 +1,31 @@
+"""The PARSEC side of the evaluation harness."""
+
+import pytest
+
+from repro.config import DefenseKind
+from repro.eval import run_parsec
+
+
+class TestRunParsec:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_parsec(benchmarks=["swaptions"],
+                          defenses=[DefenseKind.FENCE, DefenseKind.SPECASAN],
+                          num_threads=2, target_instructions=500)
+
+    def test_row_structure(self, rows):
+        defenses = [row.defense for row in rows]
+        assert defenses == [DefenseKind.NONE, DefenseKind.FENCE,
+                            DefenseKind.SPECASAN]
+        assert all(row.benchmark == "swaptions" for row in rows)
+
+    def test_baseline_normalization(self, rows):
+        assert rows[0].normalized_time == 1.0
+
+    def test_fence_costs_most(self, rows):
+        by_defense = {row.defense: row for row in rows}
+        assert (by_defense[DefenseKind.FENCE].normalized_time
+                >= by_defense[DefenseKind.SPECASAN].normalized_time)
+
+    def test_ipc_positive(self, rows):
+        assert all(row.ipc > 0 for row in rows)

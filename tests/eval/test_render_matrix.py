@@ -1,0 +1,63 @@
+"""The Table-1 renderer."""
+
+from repro.attacks.common import AttackOutcome
+from repro.attacks.matrix import (
+    classify,
+    MatrixCell,
+    Mitigation,
+    render_matrix,
+)
+from repro.config import DefenseKind
+
+
+def _cell(attack, defense, mitigation):
+    return MatrixCell(attack, defense, mitigation)
+
+
+class TestRenderMatrix:
+    def test_symbols_and_agreement(self):
+        matrix = {
+            "spectre-v1": {
+                DefenseKind.STT: _cell("spectre-v1", DefenseKind.STT,
+                                       Mitigation.FULL),
+                DefenseKind.GHOSTMINION: _cell("spectre-v1",
+                                               DefenseKind.GHOSTMINION,
+                                               Mitigation.FULL),
+                DefenseKind.SPECCFI: _cell("spectre-v1", DefenseKind.SPECCFI,
+                                           Mitigation.NONE),
+                DefenseKind.SPECASAN: _cell("spectre-v1",
+                                            DefenseKind.SPECASAN,
+                                            Mitigation.FULL),
+                DefenseKind.SPECASAN_CFI: _cell("spectre-v1",
+                                                DefenseKind.SPECASAN_CFI,
+                                                Mitigation.FULL),
+            },
+        }
+        text = render_matrix(matrix)
+        assert "●" in text and "○" in text
+        assert "match" in text
+
+    def test_disagreement_is_flagged(self):
+        matrix = {
+            "spectre-v1": {
+                DefenseKind.STT: _cell("spectre-v1", DefenseKind.STT,
+                                       Mitigation.NONE),  # paper says FULL
+                DefenseKind.GHOSTMINION: _cell("spectre-v1",
+                                               DefenseKind.GHOSTMINION,
+                                               Mitigation.FULL),
+                DefenseKind.SPECCFI: _cell("spectre-v1", DefenseKind.SPECCFI,
+                                           Mitigation.NONE),
+                DefenseKind.SPECASAN: _cell("spectre-v1",
+                                            DefenseKind.SPECASAN,
+                                            Mitigation.FULL),
+                DefenseKind.SPECASAN_CFI: _cell("spectre-v1",
+                                                DefenseKind.SPECASAN_CFI,
+                                                Mitigation.FULL),
+            },
+        }
+        assert "DIFFERS" in render_matrix(matrix)
+
+    def test_mitigation_symbols(self):
+        assert Mitigation.FULL.symbol == "●"
+        assert Mitigation.PARTIAL.symbol == "◐"
+        assert Mitigation.NONE.symbol == "○"

@@ -1,0 +1,95 @@
+"""The hardware cost model (Table 3)."""
+
+import pytest
+
+from repro.hwcost import (
+    build_components,
+    compute_table3,
+    LogicBlock,
+    MECHANISMS,
+    render_table3,
+    SRAMArray,
+)
+
+
+class TestSRAMModel:
+    def test_area_scales_with_bits(self):
+        small = SRAMArray("a", entries=16, bits_per_entry=64)
+        big = SRAMArray("b", entries=32, bits_per_entry=64)
+        assert big.area_um2 == pytest.approx(2 * small.area_um2)
+
+    def test_ports_cost_area_and_leakage(self):
+        single = SRAMArray("a", entries=16, bits_per_entry=64, ports=1)
+        dual = SRAMArray("b", entries=16, bits_per_entry=64, ports=2)
+        assert dual.area_um2 > single.area_um2
+        assert dual.leakage_uw > single.leakage_uw
+
+    def test_access_energy_uses_access_bits(self):
+        array = SRAMArray("a", entries=16, bits_per_entry=512, access_bits=4)
+        full = SRAMArray("b", entries=16, bits_per_entry=512)
+        assert array.read_energy_fj < full.read_energy_fj
+
+    def test_logic_block_scales_with_gates(self):
+        assert (LogicBlock("x", gates=200).area_um2
+                == 2 * LogicBlock("y", gates=100).area_um2)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return compute_table3()
+
+    def _cell(self, rows, component, metric, mechanism):
+        for row in rows:
+            if row.component == component and metric in row.metric:
+                return row.values[mechanism]
+        raise KeyError((component, metric))
+
+    def test_mte_touches_only_the_l1d(self, rows):
+        assert self._cell(rows, "L1 D-Cache", "Area", "ARM MTE") > 0
+        assert self._cell(rows, "LFB", "Area", "ARM MTE") == 0
+        assert self._cell(rows, "ROB/LSQ/MSHR", "Area", "ARM MTE") == 0
+
+    def test_specasan_adds_lfb_and_backend_bits(self, rows):
+        assert self._cell(rows, "LFB", "Area", "SpecASan") > 0
+        assert self._cell(rows, "ROB/LSQ/MSHR", "Area", "SpecASan") > 0
+        # ...but inherits MTE's L1D cost unchanged.
+        assert (self._cell(rows, "L1 D-Cache", "Area", "SpecASan")
+                == self._cell(rows, "L1 D-Cache", "Area", "ARM MTE"))
+
+    def test_cfi_only_in_the_combined_column(self, rows):
+        assert self._cell(rows, "CFI Extensions", "Area", "SpecASan") == 0
+        assert self._cell(rows, "CFI Extensions", "Area", "SpecASan+CFI") > 0
+
+    def test_l1d_overhead_matches_paper_band(self, rows):
+        """Paper: 3.84% area / 3.31% static / 0.74% dynamic."""
+        assert 3.0 <= self._cell(rows, "L1 D-Cache", "Area", "ARM MTE") <= 4.5
+        assert 2.4 <= self._cell(rows, "L1 D-Cache", "Static", "ARM MTE") <= 4.0
+        assert 0.5 <= self._cell(rows, "L1 D-Cache", "Dynamic", "ARM MTE") <= 1.0
+
+    def test_lfb_overhead_matches_paper_band(self, rows):
+        """Paper: 3.72% area / 3.11% static / 0.68% dynamic."""
+        assert 2.8 <= self._cell(rows, "LFB", "Area", "SpecASan") <= 4.5
+        assert 0.4 <= self._cell(rows, "LFB", "Dynamic", "SpecASan") <= 1.0
+
+    def test_total_core_ordering(self, rows):
+        """MTE < SpecASan < SpecASan+CFI, all well under 1%."""
+        totals = [self._cell(rows, "Total Core", "Area", m)
+                  for m in MECHANISMS]
+        assert totals[0] < totals[1] < totals[2] < 1.0
+
+    def test_total_core_matches_paper_band(self, rows):
+        """Paper: 0.17 / 0.28 / 0.38 (%)."""
+        assert self._cell(rows, "Total Core", "Area", "ARM MTE") == pytest.approx(0.17, abs=0.03)
+        assert self._cell(rows, "Total Core", "Area", "SpecASan") == pytest.approx(0.28, abs=0.08)
+        assert self._cell(rows, "Total Core", "Area", "SpecASan+CFI") == pytest.approx(0.38, abs=0.10)
+
+    def test_render_contains_all_mechanisms(self, rows):
+        text = render_table3(rows)
+        for mechanism in MECHANISMS:
+            assert mechanism in text
+
+    def test_components_list(self):
+        names = [c.name for c in build_components()]
+        assert names == ["L1 D-Cache", "LFB", "ROB/LSQ/MSHR",
+                         "CFI Extensions"]

@@ -1,0 +1,172 @@
+"""Two-pass assembler: syntax, labels, directives, and errors."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import assemble
+from repro.isa.instructions import Cond, Opcode
+
+
+class TestBasicParsing:
+    def test_empty_lines_and_comments(self):
+        program = assemble("""
+            // a comment
+            MOV X0, #1   ; trailing comment
+            HALT
+        """)
+        assert len(program) == 2
+
+    def test_alu_register_and_immediate(self):
+        program = assemble("ADD X0, X1, X2\nADD X0, X1, #7\nHALT")
+        assert program.instructions[0].rm == 2
+        assert program.instructions[1].imm == 7
+
+    def test_hex_immediates(self):
+        program = assemble("MOV X0, #0x1F\nHALT")
+        assert program.instructions[0].imm == 0x1F
+
+    def test_negative_immediate(self):
+        program = assemble("ADD X0, X1, #-4\nHALT")
+        assert program.instructions[0].imm == -4
+
+    def test_memory_operands(self):
+        program = assemble("""
+            LDR X0, [X1]
+            LDR X0, [X1, #16]
+            LDR X0, [X1, X2]
+            STRB X0, [X1]
+            HALT
+        """)
+        assert program.instructions[0].imm == 0
+        assert program.instructions[1].imm == 16
+        assert program.instructions[2].rm == 2
+        assert program.instructions[3].op is Opcode.STRB
+
+    def test_mte_instructions(self):
+        program = assemble("""
+            IRG X0, X1
+            ADDG X0, X1, #16, #1
+            STG X0, [X0]
+            LDG X2, [X0]
+            HALT
+        """)
+        assert program.instructions[0].op is Opcode.IRG
+        assert program.instructions[1].imm == 16
+        assert program.instructions[1].tag_imm == 1
+
+    def test_conditions(self):
+        program = assemble("""
+        top:
+            B.LO top
+            B.HS top
+            B.EQ top
+            HALT
+        """)
+        assert program.instructions[0].cond is Cond.LO
+        assert program.instructions[1].cond is Cond.HS
+
+
+class TestLabels:
+    def test_forward_and_backward_references(self):
+        program = assemble("""
+        start:
+            B forward
+        back:
+            B back
+        forward:
+            B back
+            HALT
+        """)
+        assert program.instructions[0].target_addr == program.address_of("forward")
+        assert program.instructions[2].target_addr == program.address_of("back")
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("loop: SUB X0, X0, #1\nCBNZ X0, loop\nHALT")
+        assert program.instructions[1].target_addr == program.base_address
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\nNOP\na:\nHALT")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("B nowhere\nHALT")
+
+
+class TestDirectives:
+    def test_base_directive(self):
+        program = assemble(".base 0x8000\nNOP\nHALT")
+        assert program.base_address == 0x8000
+        assert program.instructions[0].address == 0x8000
+
+    def test_entry_directive(self):
+        program = assemble("""
+            .entry main
+            NOP
+        main:
+            HALT
+        """)
+        assert program.entry_address == program.address_of("main")
+
+    def test_data_words(self):
+        program = assemble(".data tbl 0x4000 words 1 2 3\nHALT")
+        segment = program.segment("tbl")
+        assert segment.address == 0x4000
+        assert segment.data[:8] == (1).to_bytes(8, "little")
+        assert segment.size == 24
+
+    def test_data_zero_and_tag(self):
+        program = assemble(".data buf 0x5000 tag=3 zero 32\nHALT")
+        segment = program.segment("buf")
+        assert segment.size == 32 and segment.tag == 3
+
+    def test_data_bytes(self):
+        program = assemble(".data b 0x6000 bytes 1 2 255\nHALT")
+        assert program.segment("b").data == bytes([1, 2, 255])
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 1\nHALT")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "FROB X0, X1, X2",       # unknown mnemonic
+        "ADD X0, X1",            # missing operand
+        "LDR X0, X1",            # bad memory operand
+        "B.XX somewhere",        # unknown condition
+        "MOV X0, #zzz",          # bad immediate
+    ])
+    def test_bad_syntax_raises_with_line(self, source):
+        with pytest.raises(AssemblerError):
+            assemble(source + "\nHALT")
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("NOP\nNOP\nFROB X0\nHALT")
+        except AssemblerError as exc:
+            assert "line 3" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblerError")
+
+
+class TestRoundTrip:
+    def test_render_then_reassemble(self):
+        source = """
+        entry:
+            MOV X0, #5
+            ADD X1, X0, #3
+            CMP X1, X0
+            B.HS entry
+            LDR X2, [X1, X0]
+            STR X2, [X1, #8]
+            RET
+        """
+        first = assemble(source)
+        rendered = "\n".join(
+            i.render().replace("entry", "e") if i.target else i.render()
+            for i in first.instructions)
+        rendered = "e:\n" + rendered
+        second = assemble(rendered)
+        assert [i.op for i in first.instructions] == [
+            i.op for i in second.instructions]

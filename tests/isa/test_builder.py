@@ -1,0 +1,86 @@
+"""Programmatic builder API."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import ProgramBuilder
+from repro.isa.instructions import Opcode
+
+
+class TestBuilder:
+    def test_build_simple_loop(self):
+        b = ProgramBuilder()
+        b.li("X0", 10)
+        b.label("loop")
+        b.sub("X0", "X0", imm=1)
+        b.cbnz("X0", "loop")
+        b.halt()
+        program = b.build()
+        assert len(program) == 4
+        assert program.instructions[2].target_addr == program.address_of("loop")
+
+    def test_register_accepts_names_and_indices(self):
+        b = ProgramBuilder()
+        b.add(0, "X1", rm=2)
+        instr = b.build().instructions[0]
+        assert (instr.rd, instr.rn, instr.rm) == (0, 1, 2)
+
+    def test_alu_requires_exactly_one_second_operand(self):
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            b.add("X0", "X1")
+        with pytest.raises(ValueError):
+            b.add("X0", "X1", rm="X2", imm=3)
+
+    def test_li_masks_to_64_bits(self):
+        b = ProgramBuilder()
+        b.li("X0", 1 << 70)
+        assert b.build().instructions[0].imm == 0
+
+    def test_segments(self):
+        b = ProgramBuilder()
+        b.words_segment("w", 0x4000, [7, 8])
+        b.zero_segment("z", 0x5000, 64, tag=2)
+        b.bytes_segment("b", 0x6000, b"\x01\x02")
+        b.halt()
+        program = b.build()
+        assert program.segment("w").data[:8] == (7).to_bytes(8, "little")
+        assert program.segment("z").tag == 2
+        assert program.segment("b").size == 2
+
+    def test_overlapping_segments_rejected(self):
+        b = ProgramBuilder()
+        b.zero_segment("a", 0x4000, 64)
+        with pytest.raises(AssemblerError):
+            b.zero_segment("b", 0x4020, 64)
+
+    def test_fresh_labels_are_unique(self):
+        b = ProgramBuilder()
+        assert b.fresh_label() != b.fresh_label()
+
+    def test_current_address_and_pad_to(self):
+        b = ProgramBuilder()
+        start = b.current_address()
+        b.nop()
+        assert b.current_address() == start + 4
+        b.pad_to(start + 32)
+        assert b.current_address() == start + 32
+        with pytest.raises(ValueError):
+            b.pad_to(start)  # backwards
+
+    def test_mte_helpers(self):
+        b = ProgramBuilder()
+        b.irg("X0", "X1")
+        b.addg("X2", "X0", offset=16, tag_offset=1)
+        b.stg("X2", "X2")
+        b.ldg("X3", "X2")
+        ops = [i.op for i in b.build().instructions]
+        assert ops == [Opcode.IRG, Opcode.ADDG, Opcode.STG, Opcode.LDG]
+
+    def test_entry_point(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.label("main")
+        b.halt()
+        b.entry("main")
+        assert b.build().entry_address == b.build().address_of("main")

@@ -1,0 +1,49 @@
+"""Property-based checks on instruction dependency extraction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import FLAGS_REG, Instruction, Opcode
+from repro.isa.registers import XZR
+
+regs = st.integers(min_value=0, max_value=30)
+alu_ops = st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.ORR,
+                           Opcode.EOR, Opcode.LSL, Opcode.LSR, Opcode.MUL,
+                           Opcode.UDIV])
+
+
+class TestDependencyProperties:
+    @settings(max_examples=60)
+    @given(alu_ops, regs, regs, regs)
+    def test_alu_srcs_are_exactly_the_operands(self, op, rd, rn, rm):
+        instr = Instruction(op, rd=rd, rn=rn, rm=rm)
+        assert set(instr.src_regs) == {r for r in (rn, rm) if r != XZR}
+        assert instr.dst_regs == ((rd,) if rd != XZR else ())
+
+    @settings(max_examples=40)
+    @given(alu_ops, regs, regs, st.integers(0, 4095))
+    def test_immediate_forms_have_single_source(self, op, rd, rn, imm):
+        instr = Instruction(op, rd=rd, rn=rn, imm=imm)
+        assert set(instr.src_regs) <= {rn}
+
+    @settings(max_examples=40)
+    @given(regs, regs, regs)
+    def test_stores_never_write_registers(self, rd, rn, rm):
+        instr = Instruction(Opcode.STR, rd=rd, rn=rn, rm=rm)
+        assert instr.dst_regs == ()
+        assert rd in instr.src_regs or rd == XZR
+
+    @settings(max_examples=40)
+    @given(regs, regs)
+    def test_flags_never_leak_into_plain_ops(self, rd, rn):
+        instr = Instruction(Opcode.ADD, rd=rd, rn=rn, imm=1)
+        assert FLAGS_REG not in instr.src_regs
+        assert FLAGS_REG not in instr.dst_regs
+
+    @settings(max_examples=40)
+    @given(alu_ops, regs, regs, regs)
+    def test_render_is_reparsable(self, op, rd, rn, rm):
+        from repro.isa import assemble
+        instr = Instruction(op, rd=rd, rn=rn, rm=rm)
+        program = assemble(instr.render() + "\nHALT")
+        again = program.instructions[0]
+        assert (again.op, again.rd, again.rn, again.rm) == (op, rd, rn, rm)

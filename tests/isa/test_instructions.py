@@ -1,0 +1,113 @@
+"""Static-instruction classification and dependency extraction."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Cond,
+    FLAGS_REG,
+    Instruction,
+    InstrClass,
+    Opcode,
+)
+from repro.isa.registers import XZR
+
+
+class TestClassification:
+    def test_alu_ops(self):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.ORR,
+                   Opcode.EOR, Opcode.LSL, Opcode.MOV, Opcode.CMP):
+            assert Instruction(op, rd=0, rn=1, imm=1).klass is InstrClass.ALU
+
+    def test_mul_div_classes(self):
+        assert Instruction(Opcode.MUL, rd=0, rn=1, rm=2).klass is InstrClass.MUL
+        assert Instruction(Opcode.UDIV, rd=0, rn=1, rm=2).klass is InstrClass.DIV
+
+    def test_loads(self):
+        for op in (Opcode.LDR, Opcode.LDRB, Opcode.LDG):
+            instr = Instruction(op, rd=0, rn=1)
+            assert instr.is_load and instr.is_memory and not instr.is_store
+
+    def test_stores(self):
+        for op in (Opcode.STR, Opcode.STRB, Opcode.STG):
+            instr = Instruction(op, rd=0, rn=1)
+            assert instr.is_store and instr.is_memory and not instr.is_load
+
+    def test_branch_kinds(self):
+        assert Instruction(Opcode.B, target="x").is_branch
+        assert Instruction(Opcode.B_COND, cond=Cond.EQ,
+                           target="x").is_conditional_branch
+        assert Instruction(Opcode.BR, rn=3).is_indirect_branch
+        assert Instruction(Opcode.RET).is_return
+        assert Instruction(Opcode.BL, target="x").is_call
+        assert Instruction(Opcode.BLR, rn=2).is_call
+        assert Instruction(Opcode.BLR, rn=2).is_indirect_branch
+
+    def test_barrier(self):
+        assert Instruction(Opcode.SB).is_barrier
+        assert Instruction(Opcode.SB).klass is InstrClass.BARRIER
+
+    def test_memory_width(self):
+        assert Instruction(Opcode.LDR, rd=0, rn=1).memory_bytes == 8
+        assert Instruction(Opcode.LDRB, rd=0, rn=1).memory_bytes == 1
+        assert Instruction(Opcode.STG, rd=0, rn=1).memory_bytes == 16
+
+
+class TestDependencies:
+    def test_alu_sources(self):
+        instr = Instruction(Opcode.ADD, rd=0, rn=1, rm=2)
+        assert set(instr.src_regs) == {1, 2}
+        assert instr.dst_regs == (0,)
+
+    def test_imm_form_has_one_source(self):
+        instr = Instruction(Opcode.ADD, rd=0, rn=1, imm=4)
+        assert instr.src_regs == (1,)
+
+    def test_xzr_never_a_dependency(self):
+        instr = Instruction(Opcode.ADD, rd=XZR, rn=XZR, rm=XZR)
+        assert instr.src_regs == ()
+        assert instr.dst_regs == ()
+
+    def test_cmp_writes_flags(self):
+        instr = Instruction(Opcode.CMP, rn=1, imm=5)
+        assert instr.dst_regs == (FLAGS_REG,)
+
+    def test_bcond_reads_flags(self):
+        instr = Instruction(Opcode.B_COND, cond=Cond.LO, target="t")
+        assert instr.src_regs == (FLAGS_REG,)
+
+    def test_store_reads_data_and_address(self):
+        instr = Instruction(Opcode.STR, rd=5, rn=6, rm=7)
+        assert set(instr.src_regs) == {5, 6, 7}
+        assert instr.dst_regs == ()
+
+    def test_load_writes_destination(self):
+        instr = Instruction(Opcode.LDR, rd=5, rn=6)
+        assert instr.src_regs == (6,)
+        assert instr.dst_regs == (5,)
+
+    def test_call_writes_link_register(self):
+        assert Instruction(Opcode.BL, target="f").dst_regs == (30,)
+        assert Instruction(Opcode.BLR, rn=4).dst_regs == (30,)
+
+    def test_ret_reads_link_register(self):
+        assert Instruction(Opcode.RET).src_regs == (30,)
+
+    def test_cbz_reads_its_register(self):
+        assert Instruction(Opcode.CBZ, rn=9, target="t").src_regs == (9,)
+
+    def test_stg_reads_tag_source_and_base(self):
+        instr = Instruction(Opcode.STG, rd=2, rn=3)
+        assert set(instr.src_regs) == {2, 3}
+
+
+class TestRender:
+    @pytest.mark.parametrize("instr,expected", [
+        (Instruction(Opcode.ADD, rd=0, rn=1, imm=4), "ADD X0, X1, #4"),
+        (Instruction(Opcode.LDR, rd=5, rn=2, rm=0), "LDR X5, [X2, X0]"),
+        (Instruction(Opcode.STR, rd=5, rn=2, imm=8), "STR X5, [X2, #8]"),
+        (Instruction(Opcode.B_COND, cond=Cond.LO, target="loop"), "B.LO loop"),
+        (Instruction(Opcode.RET), "RET"),
+        (Instruction(Opcode.MOV, rd=1, imm=42), "MOV X1, #42"),
+    ])
+    def test_render(self, instr, expected):
+        assert instr.render() == expected

@@ -1,0 +1,106 @@
+"""The sequential reference interpreter."""
+
+import pytest
+
+from repro.errors import SimulationError, TagCheckFault
+from repro.isa import assemble, Interpreter
+
+
+def run(source, **kwargs):
+    interpreter = Interpreter(assemble(source), **kwargs)
+    interpreter.run()
+    return interpreter
+
+
+class TestBasics:
+    def test_arithmetic_and_loop(self):
+        interp = run("""
+            MOV X0, #0
+            MOV X1, #10
+        loop:
+            ADD X0, X0, X1
+            SUB X1, X1, #1
+            CBNZ X1, loop
+            HALT
+        """)
+        assert interp.regs[0] == 55
+
+    def test_memory_round_trip(self):
+        interp = run("""
+            MOV X1, #0x3000
+            MOV X2, #77
+            STR X2, [X1]
+            LDRB X3, [X1]
+            HALT
+        """)
+        assert interp.regs[3] == 77
+
+    def test_calls(self):
+        interp = run("""
+            MOV X0, #1
+            BL f
+            HALT
+        f:
+            ADD X0, X0, #41
+            RET
+        """)
+        assert interp.regs[0] == 42
+
+    def test_executed_counter(self):
+        interp = run("NOP\nNOP\nHALT")
+        assert interp.executed == 3
+
+    def test_timeout(self):
+        program = assemble("loop:\nB loop\nHALT")
+        interpreter = Interpreter(program)
+        with pytest.raises(SimulationError):
+            interpreter.run(max_steps=100)
+
+    def test_falls_off_text(self):
+        program = assemble("NOP")  # no HALT
+        interpreter = Interpreter(program)
+        with pytest.raises(SimulationError):
+            interpreter.run(max_steps=10)
+
+
+class TestMTE:
+    def test_tag_checked_mode_faults_on_mismatch(self):
+        source = """
+            .data buf 0x4000 tag=5 words 1
+            MOV X1, #0x4000
+            ADDG X1, X1, #0, #3
+            LDR X2, [X1]
+            HALT
+        """
+        with pytest.raises(TagCheckFault):
+            run(source, check_tags=True)
+
+    def test_tag_checked_mode_passes_on_match(self):
+        source = """
+            .data buf 0x4000 tag=5 words 9
+            MOV X1, #0x4000
+            ADDG X1, X1, #0, #5
+            LDR X2, [X1]
+            HALT
+        """
+        assert run(source, check_tags=True).regs[2] == 9
+
+    def test_stg_ldg(self):
+        interp = run("""
+            MOV X1, #0x4000
+            ADDG X2, X1, #0, #7
+            STG X2, [X2]
+            LDG X3, [X1]
+            HALT
+        """)
+        assert (interp.regs[3] >> 56) & 0xF == 7
+
+    def test_irg_is_seed_deterministic(self):
+        source = "MOV X1, #0x4000\nIRG X2, X1\nHALT"
+        first = run(source, seed=5).regs[2]
+        second = run(source, seed=5).regs[2]
+        third = run(source, seed=6).regs[2]
+        assert first == second
+        assert first & ((1 << 56) - 1) == 0x4000
+        # (different seeds usually differ; at minimum they stay valid)
+        assert third & ((1 << 56) - 1) == 0x4000

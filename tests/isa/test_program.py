@@ -1,0 +1,50 @@
+"""Program container: linking, fetching, listings."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import assemble
+from repro.isa.instructions import INSTR_BYTES
+
+
+class TestLinking:
+    def test_addresses_are_sequential(self):
+        program = assemble("NOP\nNOP\nNOP\nHALT")
+        addresses = [i.address for i in program.instructions]
+        assert addresses == [program.base_address + k * INSTR_BYTES
+                             for k in range(4)]
+
+    def test_fetch_by_address(self):
+        program = assemble("NOP\nMOV X0, #1\nHALT")
+        assert program.fetch(program.base_address + 4).imm == 1
+
+    def test_fetch_outside_text_returns_none(self):
+        program = assemble("HALT")
+        assert program.fetch(program.base_address - 4) is None
+        assert program.fetch(program.end_address) is None
+
+    def test_fetch_misaligned_returns_none(self):
+        program = assemble("NOP\nHALT")
+        assert program.fetch(program.base_address + 2) is None
+
+    def test_end_address(self):
+        program = assemble("NOP\nHALT")
+        assert program.end_address == program.base_address + 8
+
+    def test_address_of_unknown_label(self):
+        program = assemble("HALT")
+        with pytest.raises(AssemblerError):
+            program.address_of("missing")
+
+
+class TestListing:
+    def test_listing_contains_labels_and_addresses(self):
+        program = assemble("entry:\nMOV X0, #1\nloop:\nB loop\nHALT")
+        text = program.listing()
+        assert "entry:" in text and "loop:" in text
+        assert f"{program.base_address:#08x}" in text
+
+    def test_listing_window(self):
+        program = assemble("NOP\nNOP\nNOP\nHALT")
+        text = program.listing(start=2, count=1)
+        assert text.count("NOP") == 1

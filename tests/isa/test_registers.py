@@ -1,0 +1,44 @@
+"""Register naming round-trips and aliases."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.registers import FP, LR, reg_index, reg_name, SP, XZR
+
+
+class TestRegIndex:
+    def test_numbered_registers(self):
+        for index in range(31):
+            assert reg_index(f"X{index}") == index
+
+    def test_case_insensitive(self):
+        assert reg_index("x7") == 7
+        assert reg_index("xzr") == XZR
+
+    def test_aliases(self):
+        assert reg_index("XZR") == 31
+        assert reg_index("FP") == FP == 29
+        assert reg_index("LR") == LR == 30
+        assert reg_index("SP") == SP == 32
+
+    def test_whitespace_tolerated(self):
+        assert reg_index("  X3 ") == 3
+
+    @pytest.mark.parametrize("bad", ["X31", "X32", "Y0", "", "X", "X-1", "W5"])
+    def test_invalid_names_raise(self, bad):
+        with pytest.raises(AssemblerError):
+            reg_index(bad)
+
+
+class TestRegName:
+    def test_round_trip(self):
+        for index in range(31):
+            assert reg_index(reg_name(index)) == index
+
+    def test_special_names(self):
+        assert reg_name(XZR) == "XZR"
+        assert reg_name(SP) == "SP"
+
+    def test_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            reg_name(64)

@@ -1,0 +1,102 @@
+"""Set-associative cache with allocation-tag sidecars."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+from repro.mte.tags import with_key
+
+
+def make_cache(size=4096, assoc=2):
+    return Cache(CacheConfig(name="T", size_bytes=size, associativity=assoc))
+
+
+class TestGeometry:
+    def test_line_address_strips_tag_and_offset(self):
+        cache = make_cache()
+        assert cache.line_address(with_key(0x1234, 7)) == 0x1200
+
+    def test_granule_offset(self):
+        cache = make_cache()
+        assert cache.granule_offset(0x1000) == 0
+        assert cache.granule_offset(0x1010) == 1
+        assert cache.granule_offset(0x103F) == 3
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0x1000) is None
+        cache.insert(0x1000)
+        assert cache.lookup(0x1008) is not None  # same line
+
+    def test_contains_does_not_touch_lru(self):
+        cache = make_cache(size=256, assoc=2)  # 2 sets
+        cache.insert(0x000)
+        cache.insert(0x100)   # same set (stride = sets*line = 0x100)
+        cache.contains(0x000)  # must NOT refresh recency
+        cache.lookup(0x100)
+        cache.insert(0x200)   # evicts LRU = 0x000
+        assert not cache.contains(0x000)
+        assert cache.contains(0x100)
+
+    def test_lru_eviction(self):
+        cache = make_cache(size=256, assoc=2)
+        cache.insert(0x000)
+        cache.insert(0x100)
+        cache.lookup(0x000)          # make 0x100 the LRU
+        victim = cache.insert(0x200)
+        assert victim.line_address == 0x100
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        assert cache.invalidate(0x1000)
+        assert not cache.contains(0x1000)
+        assert not cache.invalidate(0x1000)
+
+    def test_dirty_marking(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        cache.mark_dirty(0x1008)
+        assert cache.lookup(0x1000).dirty
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=200))
+    @settings(max_examples=25)
+    def test_resident_lines_never_exceed_capacity(self, line_numbers):
+        cache = make_cache(size=1024, assoc=2)  # 16 lines capacity
+        for number in line_numbers:
+            cache.insert(number * 64)
+        assert cache.resident_lines <= 16
+
+
+class TestTagSidecar:
+    def test_lock_lookup_by_granule(self):
+        cache = make_cache()
+        cache.insert(0x1000, locks=(1, 2, 3, 4))
+        line = cache.lookup(0x1000)
+        assert cache.lock_for(line, 0x1000) == 1
+        assert cache.lock_for(line, 0x1030) == 4
+
+    def test_check_tag_match_and_mismatch(self):
+        cache = make_cache()
+        cache.insert(0x1000, locks=(5, 5, 5, 5))
+        line = cache.lookup(0x1000)
+        assert cache.check_tag(line, with_key(0x1000, 5))
+        assert not cache.check_tag(line, with_key(0x1000, 4))
+        assert cache.tag_mismatches == 1
+
+    def test_untracked_locks_always_pass(self):
+        cache = make_cache()
+        cache.insert(0x1000)  # no locks recorded
+        line = cache.lookup(0x1000)
+        assert cache.check_tag(line, with_key(0x1000, 9))
+
+    def test_update_lock(self):
+        cache = make_cache()
+        cache.insert(0x1000, locks=(0, 0, 0, 0))
+        cache.update_lock(0x1010, 7)
+        line = cache.lookup(0x1000)
+        assert line.locks == (0, 7, 0, 0)

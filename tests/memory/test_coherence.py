@@ -1,0 +1,37 @@
+"""The invalidation directory."""
+
+from repro.memory.coherence import CoherenceDirectory
+
+
+class TestDirectory:
+    def test_store_invalidates_other_sharers(self):
+        directory = CoherenceDirectory(num_cores=3)
+        invalidated = []
+        directory.register_invalidator(lambda c, l: invalidated.append((c, l)))
+        directory.on_fill(0, 0x1000)
+        directory.on_fill(1, 0x1000)
+        directory.on_fill(2, 0x1000)
+        count = directory.on_store(1, 0x1000)
+        assert count == 2
+        assert sorted(invalidated) == [(0, 0x1000), (2, 0x1000)]
+        assert directory.sharers_of(0x1000) == {1}
+
+    def test_store_with_no_other_sharers_is_free(self):
+        directory = CoherenceDirectory(num_cores=2)
+        directory.on_fill(0, 0x2000)
+        assert directory.on_store(0, 0x2000) == 0
+
+    def test_evict_removes_sharer(self):
+        directory = CoherenceDirectory(num_cores=2)
+        directory.on_fill(0, 0x1000)
+        directory.on_evict(0, 0x1000)
+        assert directory.sharers_of(0x1000) == set()
+
+    def test_tag_update_broadcast_counts(self):
+        """STG updates ride the clean-and-invalidate path (§3.3.1)."""
+        directory = CoherenceDirectory(num_cores=2)
+        directory.on_fill(0, 0x1000)
+        directory.on_fill(1, 0x1000)
+        directory.on_tag_update(0, 0x1000)
+        assert directory.tag_update_broadcasts == 1
+        assert directory.sharers_of(0x1000) == {0}

@@ -1,0 +1,62 @@
+"""The memory controller's paired data + tag-storage accesses (§3.3.4)."""
+
+import pytest
+
+from repro.memory.controller import MemoryController
+from repro.memory.dram import MainMemory
+from repro.mte.tags import with_key
+
+
+@pytest.fixture
+def controller():
+    memory = MainMemory()
+    memory.tag_range(0x1000, 64, 0x6)
+    return MemoryController(memory)
+
+
+class TestLatency:
+    def test_unchecked_line_latency(self, controller):
+        base = controller.config.controller_latency + controller.config.dram_latency
+        assert controller.line_latency(check_tag=False) == base
+
+    def test_tag_read_adds_latency(self, controller):
+        delta = (controller.line_latency(True)
+                 - controller.line_latency(False))
+        assert delta == controller.config.tag_fetch_extra_latency
+
+
+class TestTagCheck:
+    def test_matching_key_delivers(self, controller):
+        result = controller.fetch_line(with_key(0x1000, 0x6), 0x1000, 64,
+                                       cycle=0, check_tag=True,
+                                       block_fill_on_mismatch=True)
+        assert result.tag_ok is True
+        assert result.deliver_data
+        assert result.locks == (6, 6, 6, 6)
+
+    def test_mismatch_blocks_delivery_when_requested(self, controller):
+        result = controller.fetch_line(with_key(0x1000, 0x2), 0x1000, 64,
+                                       cycle=0, check_tag=True,
+                                       block_fill_on_mismatch=True)
+        assert result.tag_ok is False
+        assert not result.deliver_data
+        assert controller.blocked_fills == 1
+
+    def test_mismatch_without_blocking_still_delivers(self, controller):
+        """Baseline MTE: the data returns; the fault is architectural."""
+        result = controller.fetch_line(with_key(0x1000, 0x2), 0x1000, 64,
+                                       cycle=0, check_tag=True,
+                                       block_fill_on_mismatch=False)
+        assert result.tag_ok is False
+        assert result.deliver_data
+
+    def test_unchecked_fetch_reports_no_verdict(self, controller):
+        result = controller.fetch_line(0x1000, 0x1000, 64, cycle=0,
+                                       check_tag=False,
+                                       block_fill_on_mismatch=False)
+        assert result.tag_ok is None
+        assert controller.tag_reads == 0
+
+    def test_lock_read_write(self, controller):
+        controller.write_lock(0x2000, 0xB)
+        assert controller.read_lock(0x2000) == 0xB

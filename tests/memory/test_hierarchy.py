@@ -1,0 +1,160 @@
+"""The full hierarchy: levels, tag-check points, fills, and probes."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.request import AccessKind, MemRequest, ServedFrom
+from repro.mte.tags import with_key
+
+
+@pytest.fixture
+def hierarchy():
+    h = MemoryHierarchy(SystemConfig())
+    h.memory.write_word(0x2000, 0xABCD)
+    h.memory.tag_range(0x2000, 64, 0x3)
+    return h
+
+
+def load(hierarchy, address, cycle, **kwargs):
+    return hierarchy.access(MemRequest(
+        address=address, size=8, kind=AccessKind.LOAD, cycle=cycle, **kwargs))
+
+
+class TestLevels:
+    def test_cold_miss_goes_to_dram(self, hierarchy):
+        response = load(hierarchy, 0x2000, 0)
+        assert response.served_from is ServedFrom.DRAM
+        assert response.ready_cycle > 80
+        assert response.data == (0xABCD).to_bytes(8, "little")
+
+    def test_fill_lands_in_l1_and_l2(self, hierarchy):
+        response = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(response.ready_cycle + 1)
+        assert hierarchy.l1ds[0].contains(0x2000)
+        assert hierarchy.l2.contains(0x2000)
+
+    def test_warm_hit_is_l1_latency(self, hierarchy):
+        first = load(hierarchy, 0x2000, 0)
+        second = load(hierarchy, 0x2000, first.ready_cycle + 5)
+        assert second.served_from is ServedFrom.L1
+        assert (second.ready_cycle - (first.ready_cycle + 5)
+                == hierarchy.config.l1d.hit_latency)
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        first = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(first.ready_cycle + 1)
+        hierarchy.l1ds[0].invalidate(0x2000)
+        hierarchy.lfbs[0].flush()  # drop the lingering fill-buffer copy too
+        response = load(hierarchy, 0x2000, first.ready_cycle + 10)
+        assert response.served_from is ServedFrom.L2
+
+    def test_pending_same_line_merges(self, hierarchy):
+        first = load(hierarchy, 0x2000, 0)
+        merged = load(hierarchy, 0x2008, 3)
+        assert merged.ready_cycle <= first.ready_cycle + 4
+
+    def test_unmapped_access_reports_fault_without_state_change(self, hierarchy):
+        response = load(hierarchy, 1 << 40, 0)
+        assert response.faulted
+        assert response.data == bytes(8)
+        assert hierarchy.l2.resident_lines == 0
+
+
+class TestTagChecks:
+    def test_check_at_dram(self, hierarchy):
+        response = load(hierarchy, with_key(0x2000, 0x3), 0, check_tag=True)
+        assert response.tag_ok is True
+
+    def test_mismatch_blocked_leaves_no_trace(self, hierarchy):
+        response = load(hierarchy, with_key(0x2000, 0x5), 0, check_tag=True,
+                        block_fill_on_mismatch=True)
+        assert response.tag_ok is False
+        assert response.data_withheld
+        hierarchy.drain(response.ready_cycle + 10)
+        assert not hierarchy.is_cached(0x2000)
+
+    def test_mismatch_unblocked_fills_anyway(self, hierarchy):
+        """Baseline MTE semantics: the speculative fill still happens."""
+        response = load(hierarchy, with_key(0x2000, 0x5), 0, check_tag=True)
+        assert response.tag_ok is False and not response.data_withheld
+        hierarchy.drain(response.ready_cycle + 1)
+        assert hierarchy.is_cached(0x2000)
+
+    def test_check_at_l1_after_warm(self, hierarchy):
+        warm = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(warm.ready_cycle + 1)
+        response = load(hierarchy, with_key(0x2000, 0x4),
+                        warm.ready_cycle + 5, check_tag=True,
+                        block_fill_on_mismatch=True)
+        assert response.served_from is ServedFrom.L1
+        assert response.tag_ok is False
+        # The check was resolved at L1 latency, not a DRAM round trip.
+        assert (response.tag_known_cycle - (warm.ready_cycle + 5)
+                <= hierarchy.config.l1d.hit_latency)
+
+
+class TestCommitPaths:
+    def test_commit_store_updates_memory_and_caches(self, hierarchy):
+        hierarchy.commit_store(0x3000, b"\x99" * 8, core_id=0, cycle=5)
+        assert hierarchy.memory.read(0x3000, 1) == b"\x99"
+        assert hierarchy.l1ds[0].contains(0x3000)
+
+    def test_store_tag_updates_all_copies(self, hierarchy):
+        warm = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(warm.ready_cycle + 1)
+        hierarchy.store_tag(0x2000, 0xA, core_id=0, cycle=warm.ready_cycle + 2)
+        assert hierarchy.memory.lock_of(0x2000) == 0xA
+        line = hierarchy.l1ds[0].lookup(0x2000, touch=False)
+        assert line.locks[0] == 0xA
+
+    def test_read_tag(self, hierarchy):
+        assert hierarchy.read_tag(0x2000) == 0x3
+
+
+class TestMinionPath:
+    def test_minion_fill_bypasses_primary_hierarchy(self, hierarchy):
+        response = load(hierarchy, 0x2000, 0, fill_to_minion=True, seq=7)
+        hierarchy.drain(response.ready_cycle + 5)
+        assert not hierarchy.is_cached(0x2000)
+        assert hierarchy.minions[0].contains(0x2000)
+
+    def test_promote_installs_into_l1_and_l2(self, hierarchy):
+        response = load(hierarchy, 0x2000, 0, fill_to_minion=True, seq=7)
+        hierarchy.drain(response.ready_cycle + 5)
+        hierarchy.promote_minion(0x2000, core_id=0)
+        assert hierarchy.l1ds[0].contains(0x2000)
+        assert hierarchy.l2.contains(0x2000)
+
+    def test_squash_drops_shadow_lines(self, hierarchy):
+        response = load(hierarchy, 0x2000, 0, fill_to_minion=True, seq=7)
+        hierarchy.drain(response.ready_cycle + 5)
+        hierarchy.squash_minion(core_id=0, owner_seq=7)
+        assert not hierarchy.minions[0].contains(0x2000)
+        assert not hierarchy.is_cached(0x2000)
+
+
+class TestProbes:
+    def test_probe_latency_tiers(self, hierarchy):
+        cold = hierarchy.probe_latency(0x2000)
+        warm = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(warm.ready_cycle + 1)
+        hot = hierarchy.probe_latency(0x2000)
+        assert hot < cold
+        assert hot == hierarchy.config.l1d.hit_latency
+
+    def test_probe_does_not_perturb_state(self, hierarchy):
+        before = hierarchy.l2.resident_lines
+        hierarchy.probe_latency(0x8000)
+        hierarchy.is_cached(0x8000)
+        assert hierarchy.l2.resident_lines == before
+
+
+class TestQuiesce:
+    def test_quiesce_settles_pending_fills(self, hierarchy):
+        load(hierarchy, 0x2000, 0)
+        hierarchy.quiesce()
+        assert hierarchy.is_cached(0x2000)
+        # A fresh-timebase access must not wait on stale fill cycles.
+        response = load(hierarchy, 0x2008, 0)
+        assert response.served_from is ServedFrom.L1

@@ -1,0 +1,72 @@
+"""Property-based hierarchy invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.request import AccessKind, MemRequest
+from repro.mte.tags import with_key
+
+addresses = st.integers(min_value=0, max_value=(1 << 20) - 8)
+tags = st.integers(min_value=0, max_value=15)
+
+
+class TestDataCorrectness:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(addresses, st.integers(0, (1 << 64) - 1)),
+                    min_size=1, max_size=12))
+    def test_loads_always_return_memory_truth(self, writes):
+        """Whatever the cache/LFB state, unwithheld responses carry the
+        architectural memory contents."""
+        hierarchy = MemoryHierarchy(SystemConfig())
+        cycle = 0
+        for address, value in writes:
+            address &= ~7
+            hierarchy.memory.write_word(address, value)
+            response = hierarchy.access(MemRequest(
+                address=address, size=8, kind=AccessKind.LOAD, cycle=cycle))
+            assert int.from_bytes(response.data, "little") == value & (2**64 - 1)
+            cycle = response.ready_cycle + 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(addresses, tags, tags)
+    def test_tag_check_verdict_matches_tag_storage(self, address, lock, key):
+        hierarchy = MemoryHierarchy(SystemConfig())
+        address &= ~15
+        hierarchy.memory.tag_range(address, 64, lock)
+        response = hierarchy.access(MemRequest(
+            address=with_key(address, key), size=8, kind=AccessKind.LOAD,
+            cycle=0, check_tag=True))
+        assert response.tag_ok == (key == lock)
+
+    @settings(max_examples=20, deadline=None)
+    @given(addresses, tags, tags)
+    def test_blocked_mismatches_never_install_anywhere(self, address, lock, key):
+        hierarchy = MemoryHierarchy(SystemConfig())
+        address &= ~15
+        hierarchy.memory.tag_range(address, 64, lock)
+        response = hierarchy.access(MemRequest(
+            address=with_key(address, key), size=8, kind=AccessKind.LOAD,
+            cycle=0, check_tag=True, block_fill_on_mismatch=True))
+        hierarchy.drain(response.ready_cycle + 100)
+        if key != lock:
+            assert response.data_withheld
+            assert not hierarchy.is_cached(address)
+        else:
+            assert not response.data_withheld
+            assert hierarchy.is_cached(address)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(addresses, min_size=1, max_size=20))
+    def test_latency_is_monotone_in_presence(self, sequence):
+        """A warm probe is never slower than a cold one."""
+        hierarchy = MemoryHierarchy(SystemConfig())
+        cycle = 0
+        for address in sequence:
+            cold = hierarchy.probe_latency(address)
+            response = hierarchy.access(MemRequest(
+                address=address, size=8, kind=AccessKind.LOAD, cycle=cycle))
+            hierarchy.drain(response.ready_cycle + 1)
+            warm = hierarchy.probe_latency(address)
+            assert warm <= cold
+            cycle = response.ready_cycle + 2

@@ -1,0 +1,61 @@
+"""Line-Fill Buffer: fills, stale windows, tag coherence."""
+
+from repro.memory.lfb import LineFillBuffer
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        lfb = LineFillBuffer(entries=4)
+        entry = lfb.allocate(0x1000, fill_ready_cycle=100)
+        assert lfb.lookup(0x1000) is entry
+        assert not entry.filled
+
+    def test_round_robin_reuse(self):
+        lfb = LineFillBuffer(entries=2)
+        first = lfb.allocate(0x1000, 10)
+        second = lfb.allocate(0x2000, 10)
+        assert first is not second
+        lfb.complete_fill(first, b"x" * 64, (1, 1, 1, 1))
+        lfb.complete_fill(second, b"y" * 64, (2, 2, 2, 2))
+        third = lfb.allocate(0x3000, 20)
+        assert third in (first, second)
+
+    def test_stale_content_preserved_until_fill(self):
+        """The MDS window: a reused entry keeps its old bytes (§3.3.3)."""
+        lfb = LineFillBuffer(entries=1)
+        entry = lfb.allocate(0x1000, 10)
+        lfb.complete_fill(entry, b"SECRET!!" + bytes(56), (5, 5, 5, 5))
+        reused = lfb.allocate(0x2000, 100)
+        assert reused is entry
+        assert reused.stale_line_address == 0x1000
+        assert reused.data.startswith(b"SECRET!!")   # stale bytes observable
+        assert reused.locks == (5, 5, 5, 5)          # stale locks checked
+
+    def test_drain_returns_arrived_fills(self):
+        lfb = LineFillBuffer(entries=2)
+        lfb.allocate(0x1000, 10)
+        lfb.allocate(0x2000, 99)
+        arrived = lfb.drain(cycle=50)
+        assert [e.line_address for e in arrived] == [0x1000]
+
+
+class TestCoherence:
+    def test_update_lock_in_filled_entry(self):
+        """STG must update LFB copies too (§3.3.3)."""
+        lfb = LineFillBuffer(entries=2)
+        entry = lfb.allocate(0x1000, 10)
+        lfb.complete_fill(entry, bytes(64), (0, 0, 0, 0))
+        lfb.update_lock(0x1000, granule_offset=2, tag=9)
+        assert entry.locks == (0, 0, 9, 0)
+
+    def test_invalidate(self):
+        lfb = LineFillBuffer(entries=2)
+        lfb.allocate(0x1000, 10)
+        lfb.invalidate(0x1000)
+        assert lfb.lookup(0x1000) is None
+
+    def test_flush(self):
+        lfb = LineFillBuffer(entries=2)
+        lfb.allocate(0x1000, 10)
+        lfb.flush()
+        assert lfb.lookup(0x1000) is None

@@ -1,0 +1,44 @@
+"""The GhostMinion shadow structure."""
+
+from repro.memory.minion import MinionCache
+
+
+class TestMinion:
+    def test_fill_and_lookup(self):
+        minion = MinionCache(entries=4)
+        minion.fill(0x1000, (1, 1, 1, 1), owner_seq=5)
+        assert minion.contains(0x1000)
+        assert minion.lookup(0x1000).owner_seq == 5
+
+    def test_refill_keeps_youngest_owner(self):
+        minion = MinionCache(entries=4)
+        minion.fill(0x1000, (), owner_seq=5)
+        minion.fill(0x1000, (), owner_seq=9)
+        assert minion.lookup(0x1000).owner_seq == 9
+
+    def test_capacity_eviction_is_lru(self):
+        minion = MinionCache(entries=2)
+        minion.fill(0x1000, (), 1)
+        minion.fill(0x2000, (), 2)
+        minion.lookup(0x1000)
+        minion.fill(0x3000, (), 3)
+        assert not minion.contains(0x2000)
+        assert minion.capacity_evictions == 1
+
+    def test_promotion_removes_line(self):
+        minion = MinionCache(entries=2)
+        minion.fill(0x1000, (7,), 1)
+        line = minion.promote(0x1000)
+        assert line.locks == (7,)
+        assert not minion.contains(0x1000)
+        assert minion.promote(0x1000) is None
+
+    def test_squash_drops_younger_owners_only(self):
+        """Strictness ordering: squashed loads leave no shadow trace."""
+        minion = MinionCache(entries=4)
+        minion.fill(0x1000, (), owner_seq=3)
+        minion.fill(0x2000, (), owner_seq=8)
+        dropped = minion.squash_younger(5)
+        assert dropped == 1
+        assert minion.contains(0x1000)
+        assert not minion.contains(0x2000)

@@ -1,0 +1,47 @@
+"""Miss Status Holding Registers."""
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestMSHR:
+    def test_allocate_and_lookup(self):
+        mshrs = MSHRFile(entries=2)
+        entry = mshrs.allocate(0x1000, ready_cycle=50)
+        assert mshrs.lookup(0x1000) is entry
+        assert mshrs.lookup(0x2000) is None
+
+    def test_merge_counts(self):
+        mshrs = MSHRFile(entries=2)
+        entry = mshrs.allocate(0x1000, 50)
+        mshrs.merge(entry)
+        mshrs.merge(entry)
+        assert entry.merged == 2
+        assert mshrs.merges == 2
+
+    def test_full(self):
+        mshrs = MSHRFile(entries=2)
+        mshrs.allocate(0x1000, 10)
+        mshrs.allocate(0x2000, 20)
+        assert mshrs.full
+        assert mshrs.earliest_ready() == 10
+
+    def test_drain_removes_completed(self):
+        mshrs = MSHRFile(entries=4)
+        mshrs.allocate(0x1000, 10)
+        mshrs.allocate(0x2000, 30)
+        done = mshrs.drain(15)
+        assert [e.line_address for e in done] == [0x1000]
+        assert mshrs.lookup(0x2000) is not None
+
+    def test_unsafe_flag_defaults_false(self):
+        mshrs = MSHRFile(entries=1)
+        entry = mshrs.allocate(0x1000, 5)
+        assert entry.unsafe is False
+        entry.unsafe = True  # SpecASan's single-bit flag (§3.3.1)
+        assert mshrs.lookup(0x1000).unsafe
+
+    def test_flush(self):
+        mshrs = MSHRFile(entries=2)
+        mshrs.allocate(0x1000, 10)
+        mshrs.flush()
+        assert len(mshrs) == 0

@@ -1,0 +1,93 @@
+"""The tagging heap allocator (out-of-bounds / use-after-free semantics)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import MTEConfig, TagPolicy
+from repro.errors import SimulationError
+from repro.mte.allocator import TaggedHeap
+from repro.mte.tags import key_of, strip_tag
+
+
+def make_heap(policy=TagPolicy.DETERMINISTIC, size=1 << 16):
+    return TaggedHeap(0x40000, size, MTEConfig(tag_policy=policy))
+
+
+class TestAllocation:
+    def test_pointer_carries_the_allocation_tag(self):
+        heap = make_heap()
+        allocation = heap.malloc(32)
+        assert key_of(allocation.pointer) == allocation.tag
+        assert strip_tag(allocation.pointer) == allocation.address
+
+    def test_allocations_are_granule_aligned_and_disjoint(self):
+        heap = make_heap()
+        first = heap.malloc(5)
+        second = heap.malloc(20)
+        assert first.address % 16 == 0
+        assert second.address >= first.end
+
+    def test_deterministic_adjacent_tags_differ(self):
+        heap = make_heap(TagPolicy.DETERMINISTIC)
+        tags = [heap.malloc(16).tag for _ in range(20)]
+        for left, right in zip(tags, tags[1:]):
+            assert left != right
+
+    def test_deterministic_never_uses_tag_zero(self):
+        heap = make_heap(TagPolicy.DETERMINISTIC)
+        assert all(heap.malloc(16).tag != 0 for _ in range(40))
+
+    def test_explicit_tag_honoured(self):
+        heap = make_heap()
+        assert heap.malloc(16, tag=0x9).tag == 0x9
+
+    def test_random_policy_is_seeded_deterministically(self):
+        tags_a = [make_heap(TagPolicy.RANDOM).malloc(16).tag for _ in range(1)]
+        tags_b = [make_heap(TagPolicy.RANDOM).malloc(16).tag for _ in range(1)]
+        assert tags_a == tags_b
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SimulationError):
+            make_heap().malloc(0)
+
+    def test_exhaustion(self):
+        heap = make_heap(size=64)
+        heap.malloc(48)
+        with pytest.raises(SimulationError):
+            heap.malloc(32)
+
+
+class TestFree:
+    def test_free_retags_the_memory(self):
+        heap = make_heap()
+        allocation = heap.malloc(32)
+        heap.free(allocation)
+        retag = heap.assignments[-1]
+        assert retag.address == allocation.address
+        assert retag.tag != allocation.tag  # stale pointers now mismatch
+
+    def test_double_free_detected(self):
+        heap = make_heap()
+        allocation = heap.malloc(16)
+        heap.free(allocation)
+        with pytest.raises(SimulationError):
+            heap.free(allocation)
+
+    def test_bytes_used_tracks_granules(self):
+        heap = make_heap()
+        heap.malloc(1)
+        heap.malloc(17)
+        assert heap.bytes_used == 16 + 32
+
+
+class TestAssignmentReplay:
+    @given(st.lists(st.integers(min_value=1, max_value=200),
+                    min_size=1, max_size=12))
+    def test_assignments_cover_every_allocation(self, sizes):
+        heap = make_heap(size=1 << 16)
+        allocations = [heap.malloc(size) for size in sizes]
+        assert len(heap.assignments) == len(allocations)
+        for allocation, assignment in zip(allocations, heap.assignments):
+            assert assignment.address == allocation.address
+            assert assignment.tag == allocation.tag
+            assert assignment.size >= allocation.size

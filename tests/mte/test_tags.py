@@ -1,0 +1,59 @@
+"""Pointer-key arithmetic (hypothesis-backed invariants)."""
+
+from hypothesis import given, strategies as st
+
+from repro.mte.tags import (
+    granule_align,
+    granule_count,
+    granule_index,
+    key_of,
+    strip_tag,
+    with_key,
+)
+
+addresses = st.integers(min_value=0, max_value=(1 << 56) - 1)
+keys = st.integers(min_value=0, max_value=15)
+
+
+class TestKeyRoundTrips:
+    @given(addresses, keys)
+    def test_with_key_then_key_of(self, address, key):
+        assert key_of(with_key(address, key)) == key
+
+    @given(addresses, keys)
+    def test_with_key_preserves_address(self, address, key):
+        assert strip_tag(with_key(address, key)) == address
+
+    @given(addresses, keys, keys)
+    def test_rekeying_overwrites(self, address, key1, key2):
+        pointer = with_key(with_key(address, key1), key2)
+        assert key_of(pointer) == key2
+
+    def test_untagged_pointer_has_key_zero(self):
+        assert key_of(0x4000) == 0
+
+    def test_strip_is_idempotent(self):
+        pointer = with_key(0x1234, 7)
+        assert strip_tag(strip_tag(pointer)) == strip_tag(pointer)
+
+
+class TestGranules:
+    @given(addresses)
+    def test_granule_index_ignores_tag(self, address):
+        assert granule_index(with_key(address, 9)) == granule_index(address)
+
+    def test_granule_boundaries(self):
+        assert granule_index(0) == 0
+        assert granule_index(15) == 0
+        assert granule_index(16) == 1
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_alignment_covers_size(self, size):
+        aligned = granule_align(size)
+        assert aligned >= size
+        assert aligned % 16 == 0
+        assert aligned - size < 16
+
+    @given(st.integers(min_value=1, max_value=1 << 20))
+    def test_count_matches_align(self, size):
+        assert granule_count(size) * 16 == granule_align(size)

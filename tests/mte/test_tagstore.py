@@ -1,0 +1,67 @@
+"""The DRAM allocation-tag array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.mte.tags import with_key
+from repro.mte.tagstore import TagStorage
+
+
+@pytest.fixture
+def store():
+    return TagStorage(memory_bytes=4096)
+
+
+class TestBasics:
+    def test_initially_untagged(self, store):
+        assert store.get(0) == 0
+        assert store.get(4080) == 0
+
+    def test_set_and_get(self, store):
+        store.set(0x100, 7)
+        assert store.get(0x100) == 7
+        assert store.get(0x10F) == 7      # same granule
+        assert store.get(0x110) == 0      # next granule
+
+    def test_tag_masked_to_width(self, store):
+        store.set(0, 0x1F)
+        assert store.get(0) == 0xF
+
+    def test_tagged_address_reads_same_granule(self, store):
+        store.set(0x200, 5)
+        assert store.get(with_key(0x200, 3)) == 5
+
+    def test_out_of_range_raises(self, store):
+        with pytest.raises(SimulationError):
+            store.get(4096)
+
+    def test_check(self, store):
+        store.set(0x40, 0x3)
+        assert store.check(with_key(0x40, 0x3))
+        assert not store.check(with_key(0x40, 0x4))
+
+
+class TestRanges:
+    def test_set_range_covers_partial_granules(self, store):
+        store.set_range(0x10, 17, 2)  # spills one byte into granule 2
+        assert store.get(0x10) == 2
+        assert store.get(0x20) == 2
+        assert store.get(0x30) == 0
+
+    def test_zero_size_range_is_noop(self, store):
+        store.set_range(0x10, 0, 9)
+        assert store.get(0x10) == 0
+
+    def test_line_tags(self, store):
+        store.set_range(0x40, 64, 6)
+        assert store.line_tags(0x40, 64) == (6, 6, 6, 6)
+
+    @given(st.integers(min_value=0, max_value=4000),
+           st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=15))
+    def test_every_byte_in_range_reads_the_tag(self, start, size, tag):
+        fresh = TagStorage(memory_bytes=8192)
+        fresh.set_range(start, size, tag)
+        for offset in (0, size // 2, size - 1):
+            assert fresh.get(start + offset) == tag

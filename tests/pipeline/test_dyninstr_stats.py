@@ -1,0 +1,65 @@
+"""Dynamic-instruction records and the per-core statistics."""
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.pipeline.dyninstr import DynInstr, InstrState, TagCheckStatus
+from repro.pipeline.stats import CoreStats
+
+
+class TestTagCheckStatus:
+    def test_two_bit_encoding(self):
+        """§3.3.2: init=00, safe=01, unsafe=10, wait=11."""
+        assert TagCheckStatus.INIT.value == 0b00
+        assert TagCheckStatus.SAFE.value == 0b01
+        assert TagCheckStatus.UNSAFE.value == 0b10
+        assert TagCheckStatus.WAIT.value == 0b11
+
+
+class TestDynInstr:
+    def _dyn(self, op=Opcode.ADD, **kwargs):
+        static = Instruction(op, rd=0, rn=1, imm=1)
+        return DynInstr(seq=1, static=static, pc=0x1000, **kwargs)
+
+    def test_initial_state(self):
+        dyn = self._dyn()
+        assert dyn.state is InstrState.FETCHED
+        assert dyn.tcs is TagCheckStatus.INIT
+        assert not dyn.completed
+        assert not dyn.squashed
+        assert dyn.taint_roots == frozenset()
+
+    def test_completed_covers_committed(self):
+        dyn = self._dyn()
+        dyn.state = InstrState.COMPLETED
+        assert dyn.completed
+        dyn.state = InstrState.COMMITTED
+        assert dyn.completed
+
+    def test_producer_readiness(self):
+        producer = self._dyn()
+        consumer = self._dyn()
+        consumer.producers = {1: producer}
+        assert not consumer.producer_values_ready()
+        producer.state = InstrState.COMPLETED
+        assert consumer.producer_values_ready()
+        consumer.producers = {1: None}  # reads the ARF
+        assert consumer.producer_values_ready()
+
+    def test_classification_shortcuts(self):
+        load = DynInstr(seq=2, static=Instruction(Opcode.LDR, rd=0, rn=1),
+                        pc=0)
+        assert load.is_load and not load.is_store and not load.is_branch
+
+
+class TestCoreStats:
+    def test_derived_metrics(self):
+        stats = CoreStats(cycles=100, committed=250, branches=50,
+                          branch_mispredicts=5, restricted_committed=25)
+        assert stats.ipc == 2.5
+        assert stats.mispredict_rate == 0.1
+        assert stats.restricted_fraction == 0.1
+
+    def test_zero_division_guards(self):
+        stats = CoreStats()
+        assert stats.ipc == 0.0
+        assert stats.mispredict_rate == 0.0
+        assert stats.restricted_fraction == 0.0

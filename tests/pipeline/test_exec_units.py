@@ -1,0 +1,35 @@
+"""Execution-port accounting."""
+
+from repro.isa.instructions import InstrClass
+from repro.pipeline.exec_units import ExecPorts
+
+
+class TestPorts:
+    def test_claims_up_to_capacity(self):
+        ports = ExecPorts({InstrClass.MUL: 1, InstrClass.ALU: 2})
+        ports.new_cycle()
+        assert ports.try_claim(InstrClass.MUL)
+        assert not ports.try_claim(InstrClass.MUL)
+        assert ports.contention_stalls == 1
+
+    def test_new_cycle_resets_occupancy(self):
+        ports = ExecPorts({InstrClass.MUL: 1})
+        ports.new_cycle()
+        ports.try_claim(InstrClass.MUL)
+        ports.new_cycle()
+        assert ports.try_claim(InstrClass.MUL)
+
+    def test_issue_counts_accumulate(self):
+        ports = ExecPorts({InstrClass.ALU: 4})
+        for _ in range(3):
+            ports.new_cycle()
+            ports.try_claim(InstrClass.ALU)
+        assert ports.issue_counts[InstrClass.ALU] == 3
+
+    def test_occupancy_observable(self):
+        """The SCC contention observable."""
+        ports = ExecPorts({InstrClass.DIV: 1})
+        ports.new_cycle()
+        assert ports.occupancy(InstrClass.DIV) == 0
+        ports.try_claim(InstrClass.DIV)
+        assert ports.occupancy(InstrClass.DIV) == 1

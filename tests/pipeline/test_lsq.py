@@ -1,0 +1,120 @@
+"""Load/store queue mechanics: forwarding, disambiguation, replay."""
+
+from repro import build_system, CORTEX_A76
+from repro.isa import assemble, ProgramBuilder
+
+
+class TestForwarding:
+    def test_exact_forward_from_pending_store(self):
+        """The commit-blocked store's value must forward to the load."""
+        result = build_system(CORTEX_A76).run(assemble("""
+            .data slow 0x6040 words 7
+            MOV X1, #0x6040
+            MOV X2, #0x3000
+            MOV X3, #55
+            LDR X0, [X1]        // blocks commit for ~a DRAM round trip
+            STR X3, [X2]        // waits in the SQ
+            LDR X4, [X2]        // must forward 55 from the SQ
+            ADD X5, X4, X0
+            HALT
+        """))
+        assert result.register("X4") == 55
+        assert result.register("X5") == 62
+        assert result.stats.store_forwards >= 1
+
+    def test_partial_overlap_waits_for_commit(self):
+        """A byte store inside a word load's footprint: no forward, but the
+        final value must still be correct."""
+        result = build_system(CORTEX_A76).run(assemble("""
+            MOV X2, #0x3000
+            MOV X3, #0x1111
+            STR X3, [X2]
+            MOV X4, #0xFF
+            STRB X4, [X2]
+            LDR X5, [X2]
+            HALT
+        """))
+        assert result.register("X5") == 0x11FF
+
+
+class TestMemoryDependenceSpeculation:
+    def test_bypass_violation_replays(self):
+        """A load that bypasses an unresolved aliasing store must replay
+        and observe the store's value."""
+        builder = ProgramBuilder()
+        import struct
+        builder.bytes_segment("slowptr", 0x200000,
+                              struct.pack("<Q", 0x3000) + bytes(4088))
+        builder.words_segment("slot", 0x3000, [111])
+        builder.li("X15", 0x200000)
+        builder.li("X2", 0x3000)
+        builder.li("X12", 222)
+        builder.ldr("X11", "X15", note="store address arrives late")
+        builder.str_("X12", "X11")
+        builder.ldr("X5", "X2", note="bypasses, then replays")
+        builder.halt()
+        result = build_system(CORTEX_A76).run(builder.build())
+        assert result.register("X5") == 222
+        assert result.stats.ordering_violations >= 1
+
+    def test_mdp_becomes_conservative_after_violation(self):
+        builder = ProgramBuilder()
+        import struct
+        builder.bytes_segment("slowptr", 0x200000,
+                              struct.pack("<Q", 0x3000) + bytes(4088))
+        builder.words_segment("slot", 0x3000, [1])
+        builder.li("X15", 0x200000)
+        builder.li("X2", 0x3000)
+        builder.li("X12", 2)
+        builder.ldr("X11", "X15")
+        builder.str_("X12", "X11")
+        builder.ldr("X5", "X2")
+        builder.halt()
+        system = build_system(CORTEX_A76)
+        core = system.prepare(builder.build())
+        core.run()
+        load_pc = None
+        for instr in core.program.instructions:
+            if instr.render() == "LDR X5, [X2]":
+                load_pc = instr.address
+        assert core.mdp.predicts_dependence(load_pc)
+
+
+class TestLoosenetForwarding:
+    def test_partial_address_alias_machine_clears(self):
+        """4KB-aliased load transiently forwards, then replays with the
+        correct memory value (the Fallout window, §4.1)."""
+        result = build_system(CORTEX_A76).run(assemble("""
+            .data slow 0x210000 words 7
+            .data a 0x3040 words 0
+            .data b 0x4040 words 77
+            MOV X1, #0x210000
+            MOV X2, #0x3040
+            MOV X3, #0x4040
+            MOV X4, #99
+            LDR X0, [X1]        // commit blocker
+            STR X4, [X2]        // in-flight store at page offset 0x40
+            LDR X5, [X3]        // same page offset, different page
+            HALT
+        """))
+        # The architectural value must be B's memory content, not the
+        # transient forward.
+        assert result.register("X5") == 77
+        assert result.stats.ordering_violations >= 1
+
+    def test_transient_forward_never_commits(self):
+        """verify_pending must gate commit until the finenet check lands."""
+        result = build_system(CORTEX_A76).run(assemble("""
+            .data slow 0x210000 words 7
+            .data b 0x4040 words 13
+            MOV X1, #0x210000
+            MOV X2, #0x3040
+            MOV X3, #0x4040
+            MOV X4, #99
+            LDR X0, [X1]
+            STR X4, [X2]
+            LDR X5, [X3]
+            ADD X6, X5, #1      // consumer of the (possibly wrong) value
+            HALT
+        """))
+        assert result.register("X6") == 14

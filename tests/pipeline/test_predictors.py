@@ -1,0 +1,122 @@
+"""Branch-prediction and memory-dependence structures."""
+
+from repro.pipeline.predictors import (
+    BranchHistoryBuffer,
+    BranchTargetBuffer,
+    MemoryDependencePredictor,
+    PatternHistoryTable,
+    ReturnStackBuffer,
+)
+
+
+class TestBHB:
+    def test_history_shifts(self):
+        bhb = BranchHistoryBuffer(bits=4)
+        for taken in (True, False, True, True):
+            bhb.update(taken)
+        assert bhb.history == 0b1011
+
+    def test_history_saturates_to_width(self):
+        bhb = BranchHistoryBuffer(bits=4)
+        for _ in range(10):
+            bhb.update(True)
+        assert bhb.history == 0b1111
+
+    def test_snapshot_restore(self):
+        bhb = BranchHistoryBuffer()
+        bhb.update(True)
+        snapshot = bhb.snapshot()
+        bhb.update(False)
+        bhb.restore(snapshot)
+        assert bhb.history == snapshot
+
+
+class TestPHT:
+    def test_cold_predicts_not_taken(self):
+        pht = PatternHistoryTable(64, BranchHistoryBuffer())
+        assert pht.predict(0x1000) is False
+
+    def test_training_flips_prediction(self):
+        bhb = BranchHistoryBuffer()
+        pht = PatternHistoryTable(64, bhb)
+        history = bhb.snapshot()
+        pht.train(0x1000, True, history)
+        pht.train(0x1000, True, history)
+        assert pht.predict(0x1000) is True
+
+    def test_counters_saturate(self):
+        bhb = BranchHistoryBuffer()
+        pht = PatternHistoryTable(64, bhb)
+        history = bhb.snapshot()
+        for _ in range(10):
+            pht.train(0x1000, True, history)
+        pht.train(0x1000, False, history)
+        assert pht.predict(0x1000) is True  # one not-taken can't flip it
+
+    def test_history_contexts_are_distinct(self):
+        bhb = BranchHistoryBuffer()
+        pht = PatternHistoryTable(1024, bhb)
+        pht.train(0x1000, True, 0b0)
+        bhb.update(True)  # different history -> different counter
+        assert pht.predict(0x1000) is False
+
+
+class TestBTB:
+    def test_miss_then_train_then_hit(self):
+        bhb = BranchHistoryBuffer()
+        btb = BranchTargetBuffer(128, bhb)
+        assert btb.predict(0x1000) is None
+        btb.train(0x1000, 0x4000, bhb.snapshot())
+        assert btb.predict(0x1000) == 0x4000
+
+    def test_history_aliasing_is_possible(self):
+        """The BHB-injection surface: same PC, different history, may map to
+        a different slot; engineered (pc, history) pairs collide."""
+        bhb = BranchHistoryBuffer(bits=8)
+        btb = BranchTargetBuffer(512, bhb)
+        # The Spectre-BHB collision construction: pc ^= 32 <-> history ^= 1.
+        pc_t, h_t = 0x1000, 0b11111111
+        pc_v, h_v = pc_t + 32, 0b11111110
+        btb.train(pc_t, 0xBAD, h_t)
+        bhb.restore(h_v)
+        assert btb.predict(pc_v) == 0xBAD
+
+
+class TestRSB:
+    def test_push_pop(self):
+        rsb = ReturnStackBuffer(4)
+        rsb.push(0x100)
+        rsb.push(0x200)
+        assert rsb.pop() == 0x200
+        assert rsb.pop() == 0x100
+
+    def test_wraparound_returns_stale_entries(self):
+        """Spectre-RSB's surface: deep chains wrap and pops past the
+        underflow point re-read stale slots instead of reporting empty."""
+        rsb = ReturnStackBuffer(4)
+        for address in (1, 2, 3, 4, 5):  # 5 pushes into 4 slots
+            rsb.push(address)
+        assert [rsb.pop() for _ in range(4)] == [5, 4, 3, 2]
+        assert rsb.pop() == 5  # stale wrap-around, not None
+
+    def test_empty_rsb_predicts_none(self):
+        assert ReturnStackBuffer(4).pop() is None
+
+
+class TestMDP:
+    def test_default_aggressive(self):
+        mdp = MemoryDependencePredictor(64)
+        assert not mdp.predicts_dependence(0x1000)
+
+    def test_violation_trains_conservative(self):
+        mdp = MemoryDependencePredictor(64)
+        mdp.train_violation(0x1000)
+        assert mdp.predicts_dependence(0x1000)
+        assert mdp.violations == 1
+
+    def test_decay_re_enables_speculation(self):
+        mdp = MemoryDependencePredictor(64)
+        mdp.train_violation(0x1000)
+        for _ in range(3):
+            mdp.decay(0x1000)
+        assert not mdp.predicts_dependence(0x1000)

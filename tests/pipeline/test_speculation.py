@@ -1,0 +1,151 @@
+"""Speculative execution mechanics: wrong paths, squash, recovery."""
+
+from repro import build_system, CORTEX_A76
+from repro.isa import assemble, ProgramBuilder
+
+
+class TestMisprediction:
+    def test_mispredicted_branch_recovers_architecturally(self):
+        """A trained-then-flipped branch squashes its wrong path cleanly."""
+        result = build_system(CORTEX_A76).run(assemble("""
+            .data flags 0x4000 words 0 0 0 0 0 0 0 1
+            MOV X0, #0
+            MOV X5, #0
+            MOV X1, #0x4000
+            MOV X2, #0
+        loop:
+            LSL X3, X2, #3
+            LDR X4, [X1, X3]
+            CBNZ X4, taken
+            ADD X0, X0, #1      // not-taken path (trained)
+            B next
+        taken:
+            ADD X5, X5, #100    // flips on the last iteration
+        next:
+            ADD X2, X2, #1
+            CMP X2, #8
+            B.LO loop
+            HALT
+        """))
+        assert result.register("X0") == 7
+        assert result.register("X5") == 100
+        assert result.stats.branch_mispredicts >= 1
+        assert result.stats.squashed >= 1
+
+    def test_wrong_path_stores_never_reach_memory(self):
+        """Speculative stores must not commit when squashed."""
+        result = build_system(CORTEX_A76).run(assemble("""
+            .data guard 0x6040 words 1
+            MOV X1, #0x6040
+            MOV X2, #0x3000
+            MOV X3, #0xBAD
+            LDR X0, [X1]        // cold load: the branch resolves late
+            CBNZ X0, skip       // actually taken; cold prediction says no
+            STR X3, [X2]        // wrong path: must never commit
+        skip:
+            LDR X4, [X2]
+            HALT
+        """))
+        assert result.register("X4") == 0
+
+    def test_wrong_path_loads_do_perturb_the_cache(self):
+        """The residual state TEAs exploit: squashed loads leave fills."""
+        builder = ProgramBuilder()
+        builder.words_segment("guard", 0x6040, [1])
+        builder.zero_segment("probe", 0x8000, 64)
+        builder.li("X1", 0x6040)
+        builder.li("X2", 0x8000)
+        builder.ldr("X0", "X1", note="cold guard")
+        builder.cbnz("X0", "skip")
+        builder.ldr("X3", "X2", note="wrong-path load")
+        builder.label("skip")
+        builder.halt()
+        system = build_system(CORTEX_A76)
+        system.run(builder.build())
+        system.hierarchy.drain(10**9)
+        assert system.hierarchy.is_cached(0x8000)
+
+    def test_nested_misprediction(self):
+        result = build_system(CORTEX_A76).run(assemble("""
+            .data guard 0x6040 words 1 1
+            MOV X1, #0x6040
+            MOV X0, #0
+            LDR X2, [X1]
+            CBNZ X2, a          // mispredicted (cold)
+            MOV X0, #111
+            HALT
+        a:
+            LDR X3, [X1, #8]
+            CBNZ X3, b          // second misprediction in flight
+            MOV X0, #222
+            HALT
+        b:
+            MOV X0, #333
+            HALT
+        """))
+        assert result.register("X0") == 333
+
+
+class TestReturnPrediction:
+    def test_deep_call_chain_correctness_despite_rsb_wrap(self):
+        """22 nested calls exceed the 16-entry RSB; results must still be
+        architecturally correct (mispredicted returns squash and recover)."""
+        builder = ProgramBuilder()
+        builder.zero_segment("stack", 0x9000, 0x400)
+        builder.li("X28", 0x9200)
+        builder.li("X26", 0)
+        builder.li("X0", 0)
+        builder.bl("f")
+        builder.halt()
+        builder.label("f")
+        builder.sub("X28", "X28", imm=8)
+        builder.str_("X30", "X28")
+        builder.add("X26", "X26", imm=1)
+        builder.add("X0", "X0", imm=1)
+        builder.cmp("X26", imm=22)
+        builder.b_cond("HS", "unwind")
+        builder.bl("f")
+        builder.label("unwind")
+        builder.ldr("X30", "X28")
+        builder.add("X28", "X28", imm=8)
+        builder.ret()
+        result = build_system(CORTEX_A76).run(builder.build())
+        assert result.register("X0") == 22
+
+
+class TestOracleTaint:
+    def test_secret_access_logged(self):
+        builder = ProgramBuilder()
+        builder.bytes_segment("secret", 0x5000, bytes([9] * 16))
+        builder.li("X1", 0x5000)
+        builder.ldrb("X2", "X1")
+        builder.halt()
+        system = build_system(CORTEX_A76)
+        core = system.prepare(builder.build())
+        core.secret_ranges = [(0x5000, 0x5010)]
+        core.run()
+        kinds = {event["kind"] for event in core.leak_log}
+        assert "secret-access" in kinds
+
+    def test_taint_propagates_to_dependent_address(self):
+        builder = ProgramBuilder()
+        builder.bytes_segment("secret", 0x5000, bytes([4] * 16))
+        builder.zero_segment("probe", 0x8000, 0x1000)
+        builder.words_segment("guard", 0x6040, [1])
+        builder.li("X1", 0x5000)
+        builder.li("X3", 0x8000)
+        builder.li("X9", 0x6040)
+        builder.ldrb("X2", "X1", note="read the secret")
+        builder.ldr("X8", "X9", note="slow guard")
+        builder.cbnz("X8", "skip")
+        builder.lsl("X4", "X2", imm=6)
+        builder.add("X5", "X3", "X4")
+        builder.ldrb("X6", "X5", note="speculative transmit")
+        builder.label("skip")
+        builder.halt()
+        system = build_system(CORTEX_A76)
+        core = system.prepare(builder.build())
+        core.secret_ranges = [(0x5000, 0x5010)]
+        core.run()
+        kinds = [event["kind"] for event in core.leak_log]
+        assert "cache-transmit" in kinds

@@ -1,0 +1,82 @@
+"""Configuration validation and helpers."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    CORTEX_A76,
+    DefenseKind,
+    describe,
+    MemoryConfig,
+    MTEConfig,
+    SystemConfig,
+    TagPolicy,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cache = CacheConfig("x", size_bytes=32 * 1024, associativity=2)
+        assert cache.num_sets == 256
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(size_bytes=0, associativity=2),
+        dict(size_bytes=1000, associativity=3),   # not divisible
+        dict(size_bytes=4096, associativity=2, line_bytes=48),
+    ])
+    def test_invalid_geometry(self, kwargs):
+        with pytest.raises(ConfigError):
+            CacheConfig("x", **kwargs)
+
+
+class TestMTEConfig:
+    def test_arm_defaults(self):
+        mte = MTEConfig()
+        assert mte.granule_bytes == 16
+        assert mte.num_tags == 16
+
+    def test_wider_tags_for_ablation(self):
+        assert MTEConfig(tag_bits=8).num_tags == 256
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            MTEConfig(granule_bytes=24)
+        with pytest.raises(ConfigError):
+            MTEConfig(tag_bits=0)
+
+
+class TestSystemConfig:
+    def test_table2_defaults(self):
+        config = CORTEX_A76
+        assert config.core.rob_entries == 40
+        assert config.core.iq_entries == 32
+        assert config.core.lq_entries == 16
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l2.size_bytes == 1024 * 1024
+        assert config.memory.lfb_entries == 16
+
+    def test_with_defense_is_a_copy(self):
+        tagged = CORTEX_A76.with_defense(DefenseKind.SPECASAN)
+        assert tagged.defense is DefenseKind.SPECASAN
+        assert CORTEX_A76.defense is DefenseKind.NONE
+
+    def test_with_cores(self):
+        assert CORTEX_A76.with_cores(4).num_cores == 4
+
+    def test_defense_kind_helpers(self):
+        assert DefenseKind.SPECASAN.uses_specasan
+        assert DefenseKind.SPECASAN_CFI.uses_specasan
+        assert DefenseKind.SPECASAN_CFI.uses_cfi
+        assert DefenseKind.SPECCFI.uses_cfi
+        assert not DefenseKind.STT.uses_specasan
+
+    def test_describe_renders_table2(self):
+        text = describe(CORTEX_A76)
+        assert "40-entry Reorder Buffer" in text
+        assert "1 MB" in text
+
+    def test_memory_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(dram_latency=0)

@@ -1,0 +1,52 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AssemblerError,
+    ConfigError,
+    DeadlockError,
+    MemoryFault,
+    ReproError,
+    SimulationError,
+    TagCheckFault,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", [
+        ConfigError, AssemblerError, SimulationError, MemoryFault,
+        TagCheckFault, DeadlockError])
+    def test_everything_derives_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_simulation_subtypes(self):
+        assert issubclass(MemoryFault, SimulationError)
+        assert issubclass(TagCheckFault, SimulationError)
+        assert issubclass(DeadlockError, SimulationError)
+
+
+class TestMessages:
+    def test_assembler_error_line_number(self):
+        error = AssemblerError("bad thing", line_no=7)
+        assert error.line_no == 7
+        assert "line 7" in str(error)
+
+    def test_assembler_error_without_line(self):
+        assert AssemblerError("oops").line_no is None
+
+    def test_memory_fault_address(self):
+        error = MemoryFault(0xDEAD)
+        assert error.address == 0xDEAD
+        assert "0xdead" in str(error)
+
+    def test_tag_check_fault_fields(self):
+        error = TagCheckFault(0x4000, key=3, lock=5, pc=0x1040)
+        assert (error.address, error.key, error.lock) == (0x4000, 3, 5)
+        assert "0x3" in str(error) and "0x5" in str(error)
+        assert "pc=0x1040" in str(error)
+
+    def test_deadlock_error(self):
+        error = DeadlockError(50_000, detail="rob stuck")
+        assert error.cycles == 50_000
+        assert "rob stuck" in str(error)

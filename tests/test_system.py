@@ -1,0 +1,63 @@
+"""The top-level SimulatedSystem façade."""
+
+import pytest
+
+from repro import build_system, CORTEX_A76, DefenseKind
+from repro.isa import assemble
+
+
+class TestRunResult:
+    def test_register_access_by_name(self):
+        result = build_system(CORTEX_A76).run(assemble("MOV X7, #9\nHALT"))
+        assert result.register("X7") == 9
+        assert result.register("XZR") == 0
+
+    def test_result_before_run_raises(self):
+        with pytest.raises(RuntimeError):
+            build_system(CORTEX_A76).result()
+
+    def test_ipc_and_counts(self):
+        result = build_system(CORTEX_A76).run(assemble("NOP\nNOP\nHALT"))
+        assert result.instructions == 3
+        assert result.cycles > 0
+        assert result.ipc == result.instructions / result.cycles
+
+
+class TestWarmRuns:
+    def test_warm_run_speeds_up_the_measured_run(self):
+        source = """
+            .data arr 0x5000 zero 4096
+            MOV X1, #0x5000
+            MOV X2, #0
+            MOV X3, #32
+        loop:
+            LDR X4, [X1, X2]
+            ADD X2, X2, #64
+            SUB X3, X3, #1
+            CBNZ X3, loop
+            HALT
+        """
+        cold = build_system(CORTEX_A76).run(assemble(source))
+        warm = build_system(CORTEX_A76).run(assemble(source), warm_runs=1)
+        assert warm.cycles < cold.cycles
+
+    def test_warm_run_preserves_architectural_results(self):
+        source = "MOV X0, #3\nADD X0, X0, #4\nHALT"
+        result = build_system(CORTEX_A76).run(assemble(source), warm_runs=2)
+        assert result.register("X0") == 7
+
+
+class TestDefensePlumbing:
+    def test_every_defense_kind_runs_a_program(self):
+        for defense in DefenseKind:
+            result = build_system(CORTEX_A76.with_defense(defense)).run(
+                assemble("""
+                    MOV X0, #0
+                    MOV X1, #5
+                loop:
+                    ADD X0, X0, X1
+                    SUB X1, X1, #1
+                    CBNZ X1, loop
+                    HALT
+                """))
+            assert result.register("X0") == 15, defense

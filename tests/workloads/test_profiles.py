@@ -1,0 +1,36 @@
+"""Workload profile validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import WorkloadProfile
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        profile = WorkloadProfile("x")
+        assert 0.99 < sum(profile.mix.values()) < 1.01
+
+    def test_mix_is_normalized(self):
+        profile = WorkloadProfile("x", alu_weight=10, load_weight=10,
+                                  store_weight=0, mul_weight=0,
+                                  div_weight=0, branch_weight=0)
+        assert profile.mix["alu"] == pytest.approx(0.5)
+        assert profile.mix["load"] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(alu_weight=-1),
+        dict(branch_entropy=1.5),
+        dict(pointer_chase=-0.1),
+        dict(working_set=100),
+        dict(alu_weight=0, mul_weight=0, div_weight=0, load_weight=0,
+             store_weight=0, branch_weight=0),
+    ])
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            WorkloadProfile("bad", **kwargs)
+
+    def test_frozen(self):
+        profile = WorkloadProfile("x")
+        with pytest.raises(Exception):
+            profile.alu_weight = 9

@@ -1,0 +1,77 @@
+"""The SPEC and PARSEC suite definitions."""
+
+import pytest
+
+from repro.workloads import (
+    build_parsec,
+    build_spec,
+    PARSEC_SPECS,
+    parsec_names,
+    SPEC_PROFILES,
+    spec_names,
+)
+from repro.workloads.parsec import SHARED_BASE, THREAD_HEAP_STRIDE
+from repro.workloads.generator import HEAP_BASE
+
+
+class TestSpecSuite:
+    def test_fifteen_benchmarks(self):
+        """§5.1: the paper runs 15 of 23 SPEC CPU2017 benchmarks."""
+        assert len(SPEC_PROFILES) == 15
+        assert spec_names()[0] == "500.perlbench_r"
+        assert spec_names()[-1] == "557.xz_r"
+
+    def test_profiles_are_distinct(self):
+        keys = {(p.working_set, p.branch_entropy, p.pointer_chase,
+                 p.alu_weight) for p in SPEC_PROFILES}
+        assert len(keys) >= 13  # essentially all distinct
+
+    def test_mcf_is_the_memory_bound_one(self):
+        from repro.workloads import SPEC_BY_NAME
+        mcf = SPEC_BY_NAME["505.mcf_r"]
+        assert mcf.working_set == max(p.working_set for p in SPEC_PROFILES)
+        assert mcf.pointer_chase == max(p.pointer_chase for p in SPEC_PROFILES)
+
+    def test_build_spec_produces_program(self):
+        workload = build_spec("541.leela_r", target_instructions=1200)
+        assert workload.name == "541.leela_r"
+        assert len(workload.program.instructions) > 20
+
+
+class TestParsecSuite:
+    def test_seven_benchmarks(self):
+        """§5.1: 7 of 13 PARSEC benchmarks, 4 threads."""
+        assert len(PARSEC_SPECS) == 7
+        assert "blackscholes" in parsec_names()
+        assert "streamcluster" in parsec_names()
+
+    def test_threads_get_disjoint_heaps(self):
+        threads = build_parsec("swaptions", num_threads=4,
+                               target_instructions=800)
+        assert len(threads) == 4
+        spans = []
+        for index, workload in enumerate(threads):
+            base = HEAP_BASE + index * THREAD_HEAP_STRIDE
+            for segment in workload.program.data_segments:
+                if segment.name in ("stream", "chase", "hot_chase"):
+                    assert base <= segment.address < base + THREAD_HEAP_STRIDE
+                    spans.append((segment.address, segment.end))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start  # no overlap anywhere
+
+    def test_threads_share_the_shared_region(self):
+        threads = build_parsec("streamcluster", num_threads=2,
+                               target_instructions=800)
+        for workload in threads:
+            shared = workload.program.segment("shared")
+            assert shared.address == SHARED_BASE
+
+    def test_heaps_and_shared_region_fit_in_memory(self):
+        from repro.config import MemoryConfig
+        limit = MemoryConfig().size_bytes
+        for name in parsec_names():
+            for workload in build_parsec(name, num_threads=4,
+                                         target_instructions=400):
+                for segment in workload.program.data_segments:
+                    assert segment.end <= limit, (name, segment.name)
