@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.config import CORTEX_A76, DefenseKind, SystemConfig
+from repro.errors import DeadlockError, SimulationError
 from repro.isa.builder import ProgramBuilder
 from repro.system import build_system
 
@@ -97,7 +98,9 @@ def run_attack_program(attack: AttackProgram, defense: DefenseKind,
                            attack.secret_address + attack.secret_size)]
     try:
         core.run(max_cycles=attack.max_cycles)
-    except Exception:  # deadlock/timeout counts as "did not leak via cache"
+    except (DeadlockError, SimulationError):
+        # Deadlock/timeout counts as "did not leak via cache"; anything
+        # else (a real bug) propagates.
         pass
     # Let in-flight fills land before probing.
     system.hierarchy.drain(core.cycle + 10_000)

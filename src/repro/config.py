@@ -182,6 +182,10 @@ class CoreConfig:
     # Cycles the ROB takes to broadcast "unsafe" to dependents (§3.4 notes
     # a large ROB may need multiple cycles; ablated in the benchmarks).
     unsafe_broadcast_latency: int = 1
+    # Consecutive cycles without a commit before the core declares deadlock.
+    # Must comfortably exceed the worst legitimate stall (an MSHR-full chain
+    # of DRAM fetches plus tag reads is still well under a thousand cycles).
+    deadlock_threshold: int = 50_000
 
     def __post_init__(self) -> None:
         for name in ("fetch_width", "issue_width", "commit_width", "iq_entries",
@@ -190,6 +194,8 @@ class CoreConfig:
                 raise ConfigError(f"core parameter {name} must be positive")
         if self.rsb_entries <= 0 or self.btb_entries <= 0 or self.pht_entries <= 0:
             raise ConfigError("predictor sizes must be positive")
+        if self.deadlock_threshold <= 0:
+            raise ConfigError("deadlock_threshold must be positive")
 
 
 @dataclass(frozen=True)

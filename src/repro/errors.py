@@ -70,9 +70,65 @@ class TagCheckFault(SimulationError):
 
 
 class DeadlockError(SimulationError):
-    """The pipeline made no forward progress for too many consecutive cycles."""
+    """The pipeline made no forward progress for too many consecutive cycles.
 
-    def __init__(self, cycles: int, detail: str = ""):
+    Attributes:
+        cycles: consecutive cycles without a commit when the core gave up.
+        snapshot: structured pipeline state captured at detection time
+            (see :func:`repro.resilience.snapshot.core_snapshot`); empty when
+            the error was raised without a core in hand.
+    """
+
+    def __init__(self, cycles: int, detail: str = "",
+                 snapshot: dict | None = None):
         self.cycles = cycles
+        self.snapshot = snapshot or {}
         suffix = f": {detail}" if detail else ""
         super().__init__(f"no instruction committed for {cycles} cycles{suffix}")
+
+
+class LivelockError(SimulationError):
+    """Instructions commit but the architectural PC makes no forward progress.
+
+    Distinct from :class:`DeadlockError`: the commit stage is busy (so the
+    no-commit watchdog never fires), yet the same tiny set of PCs retires
+    forever — e.g. a one-instruction ``B .`` spin or a squash/replay storm
+    that keeps re-committing the same loop with no exit.
+
+    Attributes:
+        commits: committed instructions observed inside the stuck window.
+        distinct_pcs: the PCs the stuck window kept revisiting.
+        snapshot: structured pipeline state captured at detection time.
+    """
+
+    def __init__(self, commits: int, distinct_pcs: tuple = (),
+                 snapshot: dict | None = None):
+        self.commits = commits
+        self.distinct_pcs = tuple(distinct_pcs)
+        self.snapshot = snapshot or {}
+        pcs = ", ".join(f"{pc:#x}" for pc in self.distinct_pcs)
+        super().__init__(
+            f"{commits} commits with no forward PC progress (pcs: {pcs})")
+
+
+class InvariantViolation(ReproError):
+    """A cycle-level microarchitectural invariant failed.
+
+    Raised by :class:`repro.resilience.invariants.InvariantChecker` when the
+    pipeline or memory-system state is internally inconsistent — either a
+    simulator bug or the intended effect of injected faults.
+
+    Attributes:
+        invariant: machine-readable invariant name (e.g. ``"rob-commit-order"``).
+        structure: the faulty structure (``"rob"``, ``"lq"``, ``"sq"``,
+            ``"mshr"``, ``"lfb"``, ``"tag-storage"``, ...).
+        snapshot: structured pipeline state captured at detection time.
+    """
+
+    def __init__(self, invariant: str, message: str, structure: str = "",
+                 snapshot: dict | None = None):
+        self.invariant = invariant
+        self.structure = structure or invariant.split("-")[0]
+        self.snapshot = snapshot or {}
+        super().__init__(f"invariant '{invariant}' violated "
+                         f"[structure={self.structure}]: {message}")

@@ -22,12 +22,13 @@ preserving the paper's qualitative shape (who wins, by roughly what factor).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.attacks import run_attack_program, spectre_v1
 from repro.attacks.matrix import evaluate_matrix, MatrixCell, render_matrix
 from repro.config import CORTEX_A76, DefenseKind, SystemConfig
+from repro.errors import ReproError
 from repro.eval.metrics import geomean, normalized, percent
 from repro.multicore import MulticoreSystem
 from repro.system import build_system
@@ -251,6 +252,46 @@ def figure5_trace() -> List[tuple]:
     return list(core.policy.tsh.trace)
 
 
+def run_resilient(program, defense: DefenseKind = DefenseKind.SPECASAN, *,
+                  config: Optional[SystemConfig] = None,
+                  max_retries: int = 2, max_cycles: int = 2_000_000,
+                  attach=None):
+    """Run ``program`` with bounded retry-with-reseed on typed failures.
+
+    Long experiment sweeps should not abandon a whole campaign because one
+    run deadlocked or tripped an invariant: retry up to ``max_retries``
+    times, perturbing the MTE tag-assignment seed each attempt so the rerun
+    does not just replay the identical failure.  Only :class:`ReproError`
+    subclasses (deadlock, livelock, invariant violations, simulation
+    timeouts) are retried — a bare Python exception is a bug and propagates
+    immediately.  The last error is re-raised once retries are exhausted.
+
+    ``attach`` is called with the fresh core before each attempt — the hook
+    point for resilience objects (checker, watchdog, injector).
+
+    Returns ``(RunResult, failures)`` where ``failures`` lists the error
+    message of each failed attempt (empty on first-try success).
+    """
+    base = (config or CORTEX_A76).with_defense(defense)
+    failures: List[str] = []
+    last_error: Optional[ReproError] = None
+    for attempt in range(1 + max_retries):
+        cfg = base if attempt == 0 else replace(
+            base, mte=replace(base.mte, seed=base.mte.seed + attempt))
+        system = build_system(cfg)
+        core = system.prepare(program)
+        if attach is not None:
+            attach(core)
+        try:
+            core.run(max_cycles=max_cycles)
+        except ReproError as exc:
+            failures.append(f"attempt {attempt}: {exc}")
+            last_error = exc
+            continue
+        return system.result(), failures
+    raise last_error
+
+
 # ----------------------------------------------------------------------
 # renderers
 # ----------------------------------------------------------------------
@@ -323,6 +364,7 @@ __all__ = [
     "render_matrix",
     "render_rows",
     "run_parsec",
+    "run_resilient",
     "run_spec",
     "table1",
 ]

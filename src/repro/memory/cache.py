@@ -133,6 +133,11 @@ class Cache:
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)
 
+    def iter_lines(self):
+        """Yield every resident :class:`CacheLine` (invariant checking)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
     def flush(self) -> None:
         """Drop all lines (tests / context-switch baselines)."""
         for cache_set in self._sets:

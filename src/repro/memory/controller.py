@@ -47,6 +47,11 @@ class MemoryController:
         self.tag_reads = 0
         self.tag_mismatches = 0
         self.blocked_fills = 0
+        #: Fault-injection hook (``repro.resilience.faults.FaultInjector``):
+        #: consulted on every tag-storage read to drop or delay the response.
+        self.injector = None
+        self.dropped_tag_responses = 0
+        self.delayed_tag_responses = 0
 
     def line_latency(self, check_tag: bool) -> int:
         """Cycles for a line fetch; the parallel tag read adds a small tail
@@ -55,6 +60,28 @@ class MemoryController:
         if check_tag:
             latency += self.config.tag_fetch_extra_latency
         return latency
+
+    def _tag_response_penalty(self) -> int:
+        """Extra cycles caused by an injected tag-response drop or delay.
+
+        A *dropped* response is re-requested after a timeout of one full
+        round trip (the fail-safe a real controller implements: data is never
+        forwarded without its tag verdict, so the check is retried — the
+        access is delayed, never unchecked).  A *delayed* response simply
+        arrives late.  Either way the tag verdict still arrives, so safety
+        degrades to extra latency — the paper's "delay, never leak" shape.
+        """
+        if self.injector is None:
+            return 0
+        drop, delay = self.injector.perturb_tag_response()
+        penalty = 0
+        if drop:
+            self.dropped_tag_responses += 1
+            penalty += self.config.controller_latency + self.config.dram_latency
+        if delay:
+            self.delayed_tag_responses += 1
+            penalty += delay
+        return penalty
 
     def fetch_line(self, pointer: int, line_address: int, line_bytes: int,
                    cycle: int, check_tag: bool,
@@ -71,6 +98,7 @@ class MemoryController:
         deliver = True
         if check_tag:
             self.tag_reads += 1
+            ready += self._tag_response_penalty()
             key = key_of(pointer, self.mte.tag_bits)
             lock = self.memory.lock_of(pointer)
             tag_ok = key == lock

@@ -37,6 +37,9 @@ class LFBEntry:
     locks: Tuple[int, ...] = ()
     #: Whether the fill in flight was flagged unsafe by a lower level.
     unsafe: bool = False
+    #: Fault injection: the slot is held hostage by the injector (counts
+    #: against capacity, never matches a lookup, never fills).
+    phantom: bool = False
 
 
 class LineFillBuffer:
@@ -54,7 +57,7 @@ class LineFillBuffer:
     def lookup(self, line_address: int) -> Optional[LFBEntry]:
         """The entry tracking ``line_address``, filled or in flight."""
         for entry in self.entries:
-            if entry.line_address == line_address:
+            if entry.line_address == line_address and not entry.phantom:
                 return entry
         return None
 
@@ -71,6 +74,7 @@ class LineFillBuffer:
         entry.fill_ready_cycle = fill_ready_cycle
         entry.filled = False
         entry.unsafe = unsafe
+        entry.phantom = False
         self.allocations += 1
         return entry
 
@@ -96,7 +100,39 @@ class LineFillBuffer:
     def drain(self, cycle: int) -> List[LFBEntry]:
         """Entries whose fills have arrived by ``cycle`` but aren't marked filled."""
         return [e for e in self.entries
-                if not e.filled and 0 <= e.fill_ready_cycle <= cycle]
+                if not e.filled and not e.phantom
+                and 0 <= e.fill_ready_cycle <= cycle]
+
+    def reserve(self, count: int, until_cycle: int) -> int:
+        """Fault-injection hook: hold ``count`` free slots hostage.
+
+        Phantom slots look like fills in flight to the victim picker (so
+        real allocations crowd into the remaining slots) but never match a
+        lookup and never deliver data.  Returns the number reserved.
+        """
+        taken = 0
+        for entry in self.entries:
+            if taken >= count:
+                break
+            if entry.filled and not entry.phantom:
+                entry.phantom = True
+                entry.filled = False
+                entry.line_address = -1
+                entry.stale_line_address = -1
+                entry.fill_ready_cycle = until_cycle
+                entry.data = b""
+                entry.locks = ()
+                taken += 1
+        return taken
+
+    def release_reserved(self) -> None:
+        """Free every injector-held phantom slot."""
+        for entry in self.entries:
+            if entry.phantom:
+                entry.phantom = False
+                entry.filled = True
+                entry.line_address = -1
+                entry.fill_ready_cycle = -1
 
     def update_lock(self, line_address: int, granule_offset: int, tag: int) -> None:
         """STG coherence: update a lock held in a (filled) LFB entry."""

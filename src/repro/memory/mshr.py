@@ -37,13 +37,35 @@ class MSHRFile:
         self.allocations = 0
         self.merges = 0
         self.full_stalls = 0
+        # Fault injection: entries held hostage by the injector.  Reserved
+        # slots count against capacity but never hold a real miss, modelling
+        # a structure whose free list has been (transiently) exhausted.
+        self.reserved = 0
+        self.reserved_until = 0
 
     def __len__(self) -> int:
         return len(self._by_line)
 
     @property
     def full(self) -> bool:
-        return len(self._by_line) >= self.capacity
+        return len(self._by_line) + self.reserved >= self.capacity
+
+    def reserve(self, count: int, until_cycle: int) -> int:
+        """Fault-injection hook: occupy ``count`` free slots until released.
+
+        Returns the number actually reserved (never more than the free
+        slots, so real in-flight misses are not evicted).
+        """
+        free = max(0, self.capacity - len(self._by_line) - self.reserved)
+        taken = min(count, free)
+        self.reserved += taken
+        self.reserved_until = max(self.reserved_until, until_cycle)
+        return taken
+
+    def release_reserved(self) -> None:
+        """Return every injector-held slot to the free pool."""
+        self.reserved = 0
+        self.reserved_until = 0
 
     def lookup(self, line_address: int) -> Optional[MSHR]:
         """The in-flight entry for ``line_address``, if any."""
@@ -63,7 +85,13 @@ class MSHRFile:
         return entry
 
     def earliest_ready(self) -> int:
-        """Completion cycle of the oldest outstanding miss (for full stalls)."""
+        """Completion cycle of the oldest outstanding miss (for full stalls).
+
+        When the file is full purely because of injector reservations, the
+        stall lasts until the reservation lifts.
+        """
+        if not self._by_line:
+            return self.reserved_until
         return min(e.ready_cycle for e in self._by_line.values())
 
     def drain(self, cycle: int) -> list:

@@ -30,6 +30,11 @@ class TagStorage:
         self.tag_bits = tag_bits
         self._mask = (1 << tag_bits) - 1
         self._tags = bytearray(memory_bytes // granule_bytes)
+        #: Number of injected bit flips (fault-injection diagnostics).
+        self.corruptions = 0
+        #: Granule indices whose stored tag was corrupted and not since
+        #: rewritten — what an ECC/parity scrub of tag storage would flag.
+        self.corrupted_granules: set = set()
 
     def __len__(self) -> int:
         return len(self._tags)
@@ -47,7 +52,9 @@ class TagStorage:
 
     def set(self, address: int, tag: int) -> None:
         """Set the lock of the granule covering ``address``."""
-        self._tags[self._index(address)] = tag & self._mask
+        index = self._index(address)
+        self._tags[index] = tag & self._mask
+        self.corrupted_granules.discard(index)  # a rewrite scrubs the error
 
     def set_range(self, address: int, size: int, tag: int) -> None:
         """Tag every granule of ``[address, address+size)`` with ``tag``."""
@@ -58,6 +65,22 @@ class TagStorage:
         value = tag & self._mask
         for index in range(start, end + 1):
             self._tags[index] = value
+            self.corrupted_granules.discard(index)
+
+    def flip_bit(self, address: int, bit: int) -> int:
+        """Fault-injection hook: flip one bit of the lock covering ``address``.
+
+        Models a soft error (or a TikTag-style perturbation) in DRAM tag
+        storage.  Returns the new lock value; ``corruptions`` counts every
+        flip so diagnostics can report how much of the store was perturbed.
+        """
+        if not 0 <= bit < self.tag_bits:
+            raise ConfigError(f"bit {bit} outside the {self.tag_bits}-bit tag")
+        index = self._index(address)
+        self._tags[index] ^= (1 << bit)
+        self.corruptions += 1
+        self.corrupted_granules.add(index)
+        return self._tags[index]
 
     def line_tags(self, line_address: int, line_bytes: int) -> tuple:
         """The locks covering one cache line (4 tags for a 64B line, Fig. 3)."""

@@ -53,8 +53,6 @@ from repro.pipeline.stats import CoreStats
 _WORD_MASK = (1 << 64) - 1
 #: Fallback redirect penalty (configs override via ``mispredict_penalty``).
 MISPREDICT_REDIRECT_PENALTY = 6
-#: Cycles of no commit before the core declares a deadlock.
-DEADLOCK_THRESHOLD = 50_000
 
 
 def _to_signed(value: int) -> int:
@@ -111,6 +109,15 @@ class Core:
         self.halted = False
         self.fault: Optional[TagCheckFault] = None
         self._last_commit_cycle = 0
+        self.last_commit_pc: Optional[int] = None
+
+        # Resilience hooks (opt-in; attached by repro.resilience objects).
+        #: Cycle-level invariant checker consulted periodically by run().
+        self.invariant_checker = None
+        #: Livelock watchdog notified at each retire.
+        self.watchdog = None
+        #: Microarchitectural fault injector driven once per cycle by run().
+        self.fault_injector = None
 
         # Attack-oracle state (§4.3): secret address ranges and the log of
         # secret-dependent speculative activity the detector inspects.
@@ -135,12 +142,25 @@ class Core:
         self._fetch()
 
     def run(self, max_cycles: int = 2_000_000) -> None:
-        """Run until HALT commits, a tag fault halts the core, or timeout."""
+        """Run until HALT commits, a tag fault halts the core, or timeout.
+
+        When resilience hooks are attached, each cycle additionally drives
+        the fault injector, and the invariant checker runs at its configured
+        interval; the livelock watchdog is fed from the commit stage.
+        """
+        threshold = self.config.core.deadlock_threshold
         while not self.halted and self.cycle < max_cycles:
+            if self.fault_injector is not None:
+                self.fault_injector.tick(self)
             self.tick()
-            if self.cycle - self._last_commit_cycle > DEADLOCK_THRESHOLD:
+            checker = self.invariant_checker
+            if checker is not None and self.cycle % checker.interval == 0:
+                checker.check(self)
+            if self.cycle - self._last_commit_cycle > threshold:
+                from repro.resilience.snapshot import core_snapshot, summarize
+                snapshot = core_snapshot(self)
                 raise DeadlockError(self.cycle - self._last_commit_cycle,
-                                    f"pc={self.fetch_pc:#x} rob={len(self.rob)}")
+                                    summarize(snapshot), snapshot=snapshot)
         if not self.halted and self.cycle >= max_cycles:
             raise SimulationError(
                 f"program did not halt within {max_cycles} cycles")
@@ -765,6 +785,9 @@ class Core:
         if head.was_restricted:
             self.stats.restricted_committed += 1
         self._last_commit_cycle = self.cycle
+        self.last_commit_pc = head.pc
+        if self.watchdog is not None:
+            self.watchdog.on_commit(self, head)
 
     def _raise_tag_fault(self, dyn: DynInstr) -> None:
         """Record the architectural MTE fault and halt the core (the OS

@@ -37,6 +37,10 @@ class BranchHistoryBuffer:
     def restore(self, value: int) -> None:
         self.history = value & self._mask
 
+    def corrupt(self, rng) -> None:
+        """Fault injection: scramble the global history register."""
+        self.history = rng.getrandbits(self.bits)
+
 
 class PatternHistoryTable:
     """gshare: 2-bit saturating counters indexed by PC xor history."""
@@ -73,6 +77,16 @@ class PatternHistoryTable:
         else:
             self._counters[index] = max(0, counter - 1)
 
+    def corrupt(self, rng, fraction: float = 1.0) -> None:
+        """Fault injection: randomize a ``fraction`` of the 2-bit counters.
+
+        Mistrained direction state only costs mispredicts (and widens
+        wrong-path windows); architectural results must survive unchanged.
+        """
+        for index in range(self.entries):
+            if fraction >= 1.0 or rng.random() < fraction:
+                self._counters[index] = rng.randrange(4)
+
 
 class BranchTargetBuffer:
     """Direct-mapped indirect-target predictor, history-hashed (BHB-prone)."""
@@ -102,6 +116,17 @@ class BranchTargetBuffer:
         index = ((pc >> 2) ^ (history << 3)) % self.entries
         self._targets[index] = target
         self._tags[index] = pc
+
+    def corrupt(self, rng) -> None:
+        """Fault injection: scramble every trained target.
+
+        Predicted targets become garbage; fetch follows them, finds no
+        text, and recovers at branch resolution — a misprediction storm,
+        never a wrong architectural result.
+        """
+        for index, target in enumerate(self._targets):
+            if target is not None:
+                self._targets[index] = rng.randrange(1 << 20) & ~3
 
 
 class ReturnStackBuffer:
@@ -134,6 +159,12 @@ class ReturnStackBuffer:
     def peek(self) -> Optional[int]:
         return self._slots[self._tos]
 
+    def corrupt(self, rng) -> None:
+        """Fault injection: scramble every occupied return-address slot."""
+        for index, slot in enumerate(self._slots):
+            if slot is not None:
+                self._slots[index] = rng.randrange(1 << 20) & ~3
+
 
 class MemoryDependencePredictor:
     """The Memory Disambiguation Unit's predictor (§3.4).
@@ -165,3 +196,12 @@ class MemoryDependencePredictor:
         index = self._index(pc)
         if self._wait_bits[index] > 0:
             self._wait_bits[index] -= 1
+
+    def corrupt(self, rng) -> None:
+        """Fault injection: clear every trained wait bit.
+
+        Re-opens the Spectre-STL window for loads that had gone
+        conservative; ordering violations re-detect and re-train, so the
+        cost is replays, not wrong results.
+        """
+        self._wait_bits = [0] * self.entries

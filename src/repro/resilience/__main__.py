@@ -1,0 +1,87 @@
+"""Resilience self-test: ``python -m repro.resilience --selftest``.
+
+Two phases, both bounded to stay inside a CI smoke budget (~1 minute):
+
+1. **Benign run under full checking** — a spectre-v1 PoC under SpecASan with
+   the invariant checker and watchdog attached but *no* faults injected must
+   complete with zero violations (the checker must not cry wolf).
+2. **Fault sweep** — every fault kind against SpecASan; each cell must be
+   *safe*: absorbed (completed/degraded, no leak) or a typed error naming
+   the faulty structure.
+
+Exit code 0 on success, 1 on any violated expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.attacks import spectre_v1
+from repro.config import DefenseKind
+from repro.resilience.faults import ALL_FAULT_KINDS
+from repro.resilience.harness import (render_resilience_matrix,
+                                      run_resilient_attack)
+
+
+def selftest(verbose: bool = True) -> int:
+    started = time.time()
+    failures = []
+    attack = spectre_v1.build()
+
+    # Phase 1: benign-fault baseline — checker and watchdog stay silent.
+    baseline = run_resilient_attack(attack, DefenseKind.SPECASAN, None)
+    if baseline.outcome != "completed":
+        failures.append(f"baseline did not complete cleanly: {baseline}")
+    if baseline.leaked:
+        failures.append(f"baseline leaked under SPECASAN: {baseline}")
+
+    # The attack itself must work when undefended, or the sweep proves
+    # nothing.
+    undefended = run_resilient_attack(attack, DefenseKind.NONE, None)
+    if not undefended.leaked:
+        failures.append(f"undefended baseline did not leak: {undefended}")
+
+    # Phase 2: every fault kind against SpecASan must stay safe.
+    cells = {(None, DefenseKind.SPECASAN): baseline}
+    for kind in ALL_FAULT_KINDS:
+        cell = run_resilient_attack(attack, DefenseKind.SPECASAN, kind)
+        cells[(kind, DefenseKind.SPECASAN)] = cell
+        if not cell.safe:
+            failures.append(f"unsafe cell: {cell} ({cell.error})")
+        if cell.injected == 0:
+            failures.append(f"{kind.value}: no fault actually fired")
+        if cell.outcome == "invariant-violation" and not cell.structure:
+            failures.append(f"{kind.value}: violation names no structure")
+
+    if verbose:
+        print(render_resilience_matrix(cells))
+        print(f"\nselftest: {len(ALL_FAULT_KINDS)} fault kinds + baseline "
+              f"in {time.time() - started:.1f}s")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if verbose:
+        print("selftest: OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Resilience subsystem smoke test.")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in fault-sweep self-test")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the matrix printout")
+    args = parser.parse_args(argv)
+    if not args.selftest:
+        parser.print_help()
+        return 2
+    return selftest(verbose=not args.quiet)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

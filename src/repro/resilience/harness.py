@@ -1,0 +1,175 @@
+"""Fault × defense resilience evaluation (the Table-1-style matrix).
+
+:func:`run_resilient_attack` executes one attack PoC under one defense with
+the full resilience stack attached — fault injector, invariant checker with
+fence-fallback degradation, livelock watchdog — and reports a
+:class:`ResilienceCell` describing how the run ended and whether the secret
+leaked.  :func:`evaluate_resilience_matrix` sweeps fault kinds against
+defenses; :func:`render_resilience_matrix` prints the grid.
+
+The property under test is the acceptance criterion: every injected fault is
+either *absorbed* (the run completes, possibly degraded to fence semantics,
+with the no-leak property intact) or surfaces as a *typed* error
+(:class:`~repro.errors.InvariantViolation`, DeadlockError, LivelockError)
+whose snapshot names the faulty structure — never a bare Python exception,
+never a silent wrong result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.common import AttackProgram
+from repro.config import CORTEX_A76, DefenseKind, SystemConfig
+from repro.errors import (DeadlockError, InvariantViolation, LivelockError,
+                          ReproError)
+from repro.resilience.faults import (ALL_FAULT_KINDS, FaultInjector,
+                                     FaultKind, FaultSchedule)
+from repro.resilience.invariants import InvariantChecker
+from repro.resilience.watchdog import GracefulDegradation, Watchdog
+from repro.system import build_system
+
+#: Defense columns the matrix sweeps by default (baseline + cheap + paper).
+DEFAULT_DEFENSES = (DefenseKind.NONE, DefenseKind.FENCE, DefenseKind.SPECASAN)
+
+
+@dataclass
+class ResilienceCell:
+    """One (fault kind, defense) cell of the matrix."""
+
+    fault: Optional[FaultKind]
+    defense: DefenseKind
+    #: "completed" | "degraded" | "invariant-violation" | "deadlock"
+    #: | "livelock" | "error"
+    outcome: str
+    leaked: bool
+    recovered: List[int] = field(default_factory=list)
+    cycles: int = 0
+    injected: int = 0
+    #: The typed error's message, when one was raised.
+    error: str = ""
+    #: The structure a raised InvariantViolation blamed.
+    structure: str = ""
+
+    @property
+    def safe(self) -> bool:
+        """The acceptance predicate: absorbed-or-typed, and no leak."""
+        return not self.leaked and self.outcome in (
+            "completed", "degraded", "invariant-violation", "deadlock",
+            "livelock")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        fault = self.fault.value if self.fault else "baseline"
+        verdict = "LEAKED" if self.leaked else "no-leak"
+        return (f"{fault} × {self.defense.value}: {self.outcome} "
+                f"({verdict}, {self.injected} faults, {self.cycles} cycles)")
+
+
+def run_resilient_attack(attack: AttackProgram, defense: DefenseKind,
+                         fault: Optional[FaultKind] = None, *,
+                         seed: int = 0xFA17, fault_count: int = 4,
+                         config: Optional[SystemConfig] = None,
+                         degrade: bool = True,
+                         checker_interval: int = 64,
+                         fault_start_cycle: int = 100,
+                         fault_window: int = 300) -> ResilienceCell:
+    """Run ``attack`` under ``defense`` with the resilience stack attached.
+
+    ``fault=None`` runs the baseline cell: invariant checking and the
+    watchdog are still active (they must stay silent on a benign-faulted
+    machine), but nothing is injected.
+    """
+    system = build_system((config or CORTEX_A76).with_defense(defense))
+    core = system.prepare(attack.builder_program)
+    core.secret_ranges = [(attack.secret_address,
+                           attack.secret_address + attack.secret_size)]
+
+    degradation = GracefulDegradation() if degrade else None
+    checker = InvariantChecker(interval=checker_interval,
+                               degradation=degradation).attach(core)
+    Watchdog().attach(core)
+    injector = None
+    if fault is not None:
+        # The PoCs finish in a few hundred cycles, so the window defaults
+        # tight enough that every scheduled event actually lands mid-run.
+        schedule = FaultSchedule.generate(
+            seed, [fault], count=fault_count,
+            start_cycle=fault_start_cycle, window=fault_window,
+            tag_bits=system.config.mte.tag_bits)
+        injector = FaultInjector(schedule).attach(core)
+
+    outcome, error, structure = "completed", "", ""
+    try:
+        core.run(max_cycles=attack.max_cycles)
+    except InvariantViolation as exc:
+        outcome, error, structure = "invariant-violation", str(exc), exc.structure
+    except LivelockError as exc:
+        outcome, error = "livelock", str(exc)
+    except DeadlockError as exc:
+        outcome, error = "deadlock", str(exc)
+    except ReproError as exc:  # e.g. max_cycles timeout
+        outcome, error = "error", str(exc)
+    if outcome == "completed" and degradation is not None and degradation.degraded:
+        outcome = "degraded"
+
+    # Evaluate leakage exactly like run_attack_program (§4.3): let fills
+    # land, then inspect probe-array presence / contention events.
+    system.hierarchy.drain(core.cycle + 10_000)
+    recovered = [
+        value for value in range(attack.candidates)
+        if value not in attack.benign_values
+        and system.hierarchy.is_cached(
+            attack.probe_base + value * attack.probe_stride)
+    ]
+    if attack.channel == "cache":
+        leaked = attack.secret_value in recovered
+    else:
+        leaked = any(event["kind"] == "contention" for event in core.leak_log)
+
+    return ResilienceCell(
+        fault=fault, defense=defense, outcome=outcome, leaked=leaked,
+        recovered=recovered, cycles=core.cycle,
+        injected=len(injector.injected) if injector else 0,
+        error=error, structure=structure)
+
+
+def evaluate_resilience_matrix(
+        attack: AttackProgram,
+        defenses: Sequence[DefenseKind] = DEFAULT_DEFENSES,
+        faults: Sequence[Optional[FaultKind]] = (None,) + ALL_FAULT_KINDS,
+        *, seed: int = 0xFA17, degrade: bool = True,
+        config: Optional[SystemConfig] = None,
+) -> Dict[Tuple[Optional[FaultKind], DefenseKind], ResilienceCell]:
+    """Sweep ``faults`` × ``defenses`` for one attack program."""
+    cells = {}
+    for fault in faults:
+        for defense in defenses:
+            cells[(fault, defense)] = run_resilient_attack(
+                attack, defense, fault, seed=seed, degrade=degrade,
+                config=config)
+    return cells
+
+
+def render_resilience_matrix(cells: Dict) -> str:
+    """ASCII grid: rows = fault kinds, columns = defenses."""
+    faults = list(dict.fromkeys(f for f, _ in cells))
+    defenses = list(dict.fromkeys(d for _, d in cells))
+    label = lambda f: f.value if f is not None else "baseline"
+
+    def cell_text(cell: ResilienceCell) -> str:
+        verdict = "LEAK" if cell.leaked else "ok"
+        return f"{cell.outcome}/{verdict}"
+
+    width = max([len(label(f)) for f in faults] + [len("fault")]) + 2
+    col = max([len(cell_text(c)) for c in cells.values()]
+              + [len(d.value) for d in defenses]) + 2
+    lines = ["fault".ljust(width)
+             + "".join(d.value.ljust(col) for d in defenses)]
+    lines.append("-" * (width + col * len(defenses)))
+    for fault in faults:
+        row = label(fault).ljust(width)
+        for defense in defenses:
+            row += cell_text(cells[(fault, defense)]).ljust(col)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Structured pipeline-state snapshots for diagnostics.
+
+Every resilience-layer error (:class:`~repro.errors.DeadlockError`,
+:class:`~repro.errors.LivelockError`,
+:class:`~repro.errors.InvariantViolation`) carries a snapshot produced here,
+so a failed run names the faulty structure and its occupancy instead of a
+bare message.  The functions are deliberately read-only and duck-typed over
+:class:`~repro.pipeline.core.Core`: taking a snapshot never perturbs the
+simulation, and this module imports nothing from the pipeline (keeping the
+dependency arrow pointing resilience → pipeline only at call sites).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def _instr_summary(dyn) -> Dict:
+    """A compact dict describing one in-flight instruction.
+
+    Tolerant of partially-formed entries: the snapshot is taken while
+    reporting a failure, and must never raise a second error of its own.
+    """
+    static = getattr(dyn, "static", None)
+    op = getattr(getattr(static, "op", None), "value", "?")
+    summary = {
+        "seq": getattr(dyn, "seq", -1),
+        "pc": getattr(dyn, "pc", 0),
+        "op": op,
+        "state": getattr(getattr(dyn, "state", None), "value", "?"),
+        "tcs": getattr(getattr(dyn, "tcs", None), "name", "?"),
+        "squashed": getattr(dyn, "squashed", False),
+    }
+    if getattr(dyn, "addr", None) is not None:
+        summary["addr"] = dyn.addr
+    response = getattr(dyn, "response", None)
+    if response is not None:
+        summary["response_ready"] = response.ready_cycle
+        summary["data_withheld"] = response.data_withheld
+    return summary
+
+
+def core_snapshot(core) -> Dict:
+    """Capture the diagnostic state of ``core`` as a plain dict.
+
+    Includes the ROB head instruction, LQ/SQ/IQ occupancies, the last
+    committed PC, unresolved-branch count, and (via the shared hierarchy)
+    MSHR/LFB occupancy for this core — everything the acceptance criterion
+    "snapshot names the faulty structure" needs.
+    """
+    config = core.config.core
+    head: Optional[Dict] = _instr_summary(core.rob[0]) if core.rob else None
+    hierarchy = core.hierarchy
+    lfb = hierarchy.lfbs[core.core_id]
+    snapshot = {
+        "cycle": core.cycle,
+        "core_id": core.core_id,
+        "halted": core.halted,
+        "fetch_pc": core.fetch_pc,
+        "last_commit_pc": getattr(core, "last_commit_pc", None),
+        "last_commit_cycle": core._last_commit_cycle,
+        "committed": core.stats.committed,
+        "policy": core.policy.name,
+        "rob": {"occupancy": len(core.rob), "capacity": config.rob_entries,
+                "head": head},
+        "iq_occupancy": len(core.iq),
+        "fetch_queue": len(core.fetch_queue),
+        "lq": {"occupancy": len(core.lsq.lq), "capacity": config.lq_entries},
+        "sq": {"occupancy": len(core.lsq.sq), "capacity": config.sq_entries},
+        "unresolved_branches": len(core._unresolved_branches),
+        "mshr": {"l1": len(hierarchy.l1_mshrs[core.core_id]),
+                 "l2": len(hierarchy.l2_mshrs)},
+        "lfb_inflight": sum(1 for e in lfb.entries if not e.filled),
+        "fault": str(core.fault) if core.fault is not None else None,
+    }
+    return snapshot
+
+
+def summarize(snapshot: Dict) -> str:
+    """One-line rendering of a snapshot for exception messages."""
+    head = snapshot.get("rob", {}).get("head")
+    if head is None:
+        head_text = "rob-head=<empty>"
+    else:
+        head_text = (f"rob-head=#{head['seq']} {head['op']}@{head['pc']:#x} "
+                     f"state={head['state']} tcs={head['tcs']}")
+    last_pc = snapshot.get("last_commit_pc")
+    last_pc_text = f"{last_pc:#x}" if isinstance(last_pc, int) else "<none>"
+    lq = snapshot.get("lq", {})
+    sq = snapshot.get("sq", {})
+    mshr = snapshot.get("mshr", {})
+    return (f"{head_text} lq={lq.get('occupancy')}/{lq.get('capacity')} "
+            f"sq={sq.get('occupancy')}/{sq.get('capacity')} "
+            f"mshr(l1={mshr.get('l1')},l2={mshr.get('l2')}) "
+            f"lfb-inflight={snapshot.get('lfb_inflight')} "
+            f"last-commit-pc={last_pc_text} "
+            f"fetch-pc={snapshot.get('fetch_pc', 0):#x}")

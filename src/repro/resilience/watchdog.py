@@ -1,0 +1,145 @@
+"""Livelock watchdog and the graceful-degradation policy.
+
+Two halves of the "what happens when things go wrong" story:
+
+- :class:`Watchdog` — detects *livelock*, which the deadlock threshold in
+  :meth:`~repro.pipeline.core.Core.run` cannot see: instructions keep
+  committing (so the no-commit counter keeps resetting) but the committed
+  PCs never move forward — a ``B .`` spin, or a squash/replay storm stuck
+  re-retiring the same loop.  Raises :class:`~repro.errors.LivelockError`
+  with a state snapshot.
+
+- :class:`GracefulDegradation` — when the invariant checker detects a
+  *tag-storage fault* (an injected bit flip, or cached locks drifting from
+  DRAM), SpecASan's tag verdicts can no longer be trusted.  Rather than
+  crashing (or worse, silently mis-judging safety), the core falls back to
+  fence semantics: speculation is fully serialized, which needs no tag state
+  at all, so the security property (no speculative leak) is preserved at a
+  performance cost — degrade, never leak.  The in-flight window is squashed
+  and replayed under the new policy so no access judged under corrupted
+  tags survives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.errors import LivelockError
+from repro.resilience.snapshot import core_snapshot
+
+
+class Watchdog:
+    """Commit-stage livelock detector.
+
+    Attach with :meth:`attach`; the core's retire path then feeds it every
+    committed instruction.  A livelock is declared after ``commit_limit``
+    consecutive commits confined to at most ``distinct_pc_limit`` distinct
+    PCs with the core not halting — loose enough that real loop nests (whose
+    bodies span more PCs) reset the window constantly, tight enough to catch
+    single-instruction spins and replay storms long before ``max_cycles``.
+    """
+
+    def __init__(self, commit_limit: int = 20_000,
+                 distinct_pc_limit: int = 2):
+        self.commit_limit = commit_limit
+        self.distinct_pc_limit = distinct_pc_limit
+        self._window_pcs: Set[int] = set()
+        self._commits_in_window = 0
+        #: Total commits observed (diagnostics).
+        self.commits_seen = 0
+
+    def attach(self, core) -> "Watchdog":
+        core.watchdog = self
+        return self
+
+    def on_commit(self, core, dyn) -> None:
+        """Feed one retired instruction; raises LivelockError when stuck."""
+        self.commits_seen += 1
+        pc = dyn.pc
+        if pc not in self._window_pcs:
+            if len(self._window_pcs) >= self.distinct_pc_limit:
+                # Forward progress: a fresh PC appeared — restart the window.
+                self._window_pcs = {pc}
+                self._commits_in_window = 1
+                return
+            self._window_pcs.add(pc)
+        self._commits_in_window += 1
+        if self._commits_in_window > self.commit_limit and not core.halted:
+            raise LivelockError(self._commits_in_window,
+                                sorted(self._window_pcs),
+                                snapshot=core_snapshot(core))
+
+
+class DegradationMode(enum.Enum):
+    """What to do when a tag-storage fault is detected."""
+
+    #: Raise :class:`~repro.errors.InvariantViolation` (fail-stop).
+    RAISE = "raise"
+    #: Swap the core's policy for fence semantics and replay (fail-safe).
+    FENCE_FALLBACK = "fence-fallback"
+
+
+@dataclass
+class DegradationEvent:
+    """One recorded fallback."""
+
+    cycle: int
+    invariant: str
+    detail: str
+    policy_before: str
+    policy_after: str
+
+
+@dataclass
+class GracefulDegradation:
+    """Fence-on-tag-storage-fault fallback policy.
+
+    ``max_events`` bounds how many times a run may degrade (one is the
+    norm: after the fence swap no tag state is consulted, so tag-storage
+    invariants are moot and the checker stops testing them).
+    """
+
+    mode: DegradationMode = DegradationMode.FENCE_FALLBACK
+    max_events: int = 4
+    events: List[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
+
+    def absorb(self, core, invariant: str, structure: str,
+               message: str) -> bool:
+        """Try to absorb a violation; True when the run may continue.
+
+        Only tag-storage faults are absorbable — SpecASan has a sound
+        tag-free fallback (fences) for them.  Pipeline-structure corruption
+        (ROB order, LSQ ages, MSHR/LFB leaks) has no safe continuation and
+        is never absorbed.
+        """
+        if self.mode is not DegradationMode.FENCE_FALLBACK:
+            return False
+        if structure != "tag-storage":
+            return False
+        if len(self.events) >= self.max_events:
+            return False
+        from repro.defenses.fence import FencePolicy  # avoid import cycles
+        before = core.policy.name
+        policy = FencePolicy()
+        # Preserve the restricted-instruction log across the swap so Fig-8
+        # style accounting still covers the pre-degradation phase.
+        policy.restricted_seqs = core.policy.restricted_seqs
+        core.policy = policy
+        policy.attach(core)
+        if core.rob:
+            # Replay the whole in-flight window under the new policy: any
+            # access whose safety was judged with corrupted tag state (e.g.
+            # a withheld load that would otherwise fault at the ROB head)
+            # is re-executed fence-style instead.
+            head = core.rob[0]
+            core.squash_from(head.seq, head.pc, reason="degrade-fence")
+        self.events.append(DegradationEvent(
+            cycle=core.cycle, invariant=invariant, detail=message,
+            policy_before=before, policy_after=policy.name))
+        return True

@@ -1,0 +1,75 @@
+"""Bounded retry-with-reseed for experiment campaigns."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CORTEX_A76, DefenseKind
+from repro.errors import DeadlockError, LivelockError
+from repro.eval.experiments import run_resilient
+from repro.isa import assemble
+from repro.resilience import Watchdog
+
+PROGRAM = assemble("""
+    .data arr 0x5000 zero 1024
+    MOV X1, #0x5000
+    LDR X2, [X1]
+    ADD X0, X2, #7
+    HALT
+""")
+
+
+class TestRunResilient:
+    def test_clean_run_has_no_failures(self):
+        result, failures = run_resilient(PROGRAM, DefenseKind.SPECASAN)
+        assert result.halted
+        assert failures == []
+        assert result.register("X0") == 7
+
+    def test_attach_hook_sees_each_fresh_core(self):
+        cores = []
+        result, _ = run_resilient(PROGRAM, DefenseKind.NONE,
+                                  attach=cores.append)
+        assert result.halted
+        assert len(cores) == 1
+        assert cores[0].halted
+
+    def test_typed_failures_are_retried_then_reraised(self):
+        # A watchdog with an absurd limit makes every attempt fail the same
+        # way; run_resilient must retry max_retries times, record each
+        # failure, and re-raise the last one.
+        spin = assemble("MOV X1, #1\nspin: CBNZ X1, spin\nHALT")
+        seen = []
+
+        def attach(core):
+            seen.append(core)
+            Watchdog(commit_limit=200).attach(core)
+
+        with pytest.raises(LivelockError):
+            run_resilient(spin, DefenseKind.NONE, max_retries=2,
+                          attach=attach)
+        assert len(seen) == 3  # initial attempt + 2 retries
+
+    def test_reseed_perturbs_the_config(self):
+        # Deadlock via a tiny threshold: every attempt fails, and each
+        # attempt after the first runs with a perturbed MTE seed.
+        config = replace(CORTEX_A76,
+                         core=replace(CORTEX_A76.core, deadlock_threshold=5))
+        seeds = []
+        with pytest.raises(DeadlockError) as excinfo:
+            run_resilient(PROGRAM, DefenseKind.NONE, config=config,
+                          max_retries=2,
+                          attach=lambda c: seeds.append(c.config.mte.seed))
+        assert len(set(seeds)) == 3  # every retry reseeded
+        assert excinfo.value.snapshot  # snapshot survives the retry loop
+
+    def test_untyped_errors_propagate_immediately(self):
+        calls = []
+
+        def attach(core):
+            calls.append(core)
+            raise ValueError("a real bug")
+
+        with pytest.raises(ValueError):
+            run_resilient(PROGRAM, DefenseKind.NONE, attach=attach)
+        assert len(calls) == 1  # no retry on non-ReproError

@@ -1,0 +1,150 @@
+"""Fault schedules, the injector, and the structure-level hooks."""
+
+import pytest
+
+from repro import build_system, CORTEX_A76, DefenseKind
+from repro.errors import ConfigError
+from repro.isa import assemble
+from repro.memory.lfb import LineFillBuffer
+from repro.memory.mshr import MSHRFile
+from repro.mte.tagstore import TagStorage
+from repro.resilience import (ALL_FAULT_KINDS, FaultEvent, FaultInjector,
+                              FaultKind, FaultSchedule)
+
+LOOP = """
+    .data arr 0x5000 zero 8192
+    MOV X1, #0x5000
+    MOV X2, #0
+    MOV X3, #64
+loop:
+    LDR X4, [X1, X2]
+    ADD X2, X2, #64
+    SUB X3, X3, #1
+    CBNZ X3, loop
+    HALT
+"""
+
+
+class TestSchedule:
+    def test_generation_is_deterministic(self):
+        a = FaultSchedule.generate(7, ALL_FAULT_KINDS)
+        b = FaultSchedule.generate(7, ALL_FAULT_KINDS)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.generate(7, ALL_FAULT_KINDS)
+        b = FaultSchedule.generate(8, ALL_FAULT_KINDS)
+        assert a.events != b.events
+
+    def test_events_sorted_and_counted(self):
+        schedule = FaultSchedule.generate(1, ALL_FAULT_KINDS, count=3)
+        assert len(schedule.events) == 3 * len(ALL_FAULT_KINDS)
+        cycles = [e.cycle for e in schedule.events]
+        assert cycles == sorted(cycles)
+        assert {e.kind for e in schedule.events} == set(ALL_FAULT_KINDS)
+
+    def test_describe_mentions_the_kind(self):
+        for event in FaultSchedule.generate(2, ALL_FAULT_KINDS,
+                                            count=1).events:
+            assert event.kind.value in event.describe()
+
+
+class TestTagStorageFlip:
+    def test_flip_bit_corrupts_and_counts(self):
+        tags = TagStorage(4096, granule_bytes=16, tag_bits=4)
+        tags.set(0x100, 0x5)
+        assert tags.flip_bit(0x100, 0) == 0x4
+        assert tags.corruptions == 1
+        assert tags.corrupted_granules == {0x100 // 16}
+
+    def test_rewrite_scrubs_the_corruption(self):
+        tags = TagStorage(4096)
+        tags.flip_bit(0x200, 2)
+        assert tags.corrupted_granules
+        tags.set(0x200, 0x7)
+        assert not tags.corrupted_granules
+
+    def test_set_range_scrubs_too(self):
+        tags = TagStorage(4096)
+        tags.flip_bit(0x100, 1)
+        tags.set_range(0x100, 32, 0x3)
+        assert not tags.corrupted_granules
+
+    def test_out_of_width_bit_rejected(self):
+        with pytest.raises(ConfigError):
+            TagStorage(4096, tag_bits=4).flip_bit(0x0, 4)
+
+
+class TestStructureReservation:
+    def test_mshr_reserve_saturates_capacity(self):
+        mshrs = MSHRFile(4)
+        assert mshrs.reserve(100, until_cycle=50) == 4
+        assert mshrs.full
+        assert mshrs.earliest_ready() == 50
+        mshrs.release_reserved()
+        assert not mshrs.full
+
+    def test_mshr_reserve_respects_existing_entries(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x1000, ready_cycle=10)
+        assert mshrs.reserve(100, until_cycle=50) == 3
+
+    def test_lfb_reserve_makes_phantoms(self):
+        lfb = LineFillBuffer(4)
+        assert lfb.reserve(2, until_cycle=99) == 2
+        phantoms = [e for e in lfb.entries if e.phantom]
+        assert len(phantoms) == 2
+        # Phantoms never match lookups and never drain.
+        assert lfb.lookup(-1) is None or not lfb.lookup(-1).phantom
+        assert lfb.drain(1_000_000) == []
+        lfb.release_reserved()
+        assert not any(e.phantom for e in lfb.entries)
+        assert all(e.filled for e in lfb.entries)
+
+
+def _run_with_injector(schedule):
+    system = build_system(CORTEX_A76.with_defense(DefenseKind.SPECASAN))
+    core = system.prepare(assemble(LOOP))
+    injector = FaultInjector(schedule).attach(core)
+    core.run(max_cycles=200_000)
+    return core, injector
+
+
+class TestInjector:
+    def test_attach_wires_core_and_controller(self):
+        system = build_system(CORTEX_A76)
+        core = system.prepare(assemble("HALT"))
+        injector = FaultInjector(FaultSchedule(seed=0)).attach(core)
+        assert core.fault_injector is injector
+        assert system.hierarchy.controller.injector is injector
+
+    def test_scheduled_faults_fire_during_a_run(self):
+        schedule = FaultSchedule.generate(
+            3, ALL_FAULT_KINDS, count=2, start_cycle=20, window=100)
+        core, injector = _run_with_injector(schedule)
+        assert core.halted
+        assert injector.injected_kinds == set(ALL_FAULT_KINDS)
+        assert len(injector.injected) == len(schedule.events)
+        assert injector.report()
+
+    def test_injection_is_reproducible(self):
+        schedule = FaultSchedule.generate(
+            11, [FaultKind.PREDICTOR_CORRUPT, FaultKind.TAG_RESPONSE_DELAY],
+            count=2, start_cycle=20, window=100)
+        first, a = _run_with_injector(schedule)
+        second, b = _run_with_injector(schedule)
+        assert [e for _, e in a.injected] == [e for _, e in b.injected]
+        assert first.cycle == second.cycle
+
+    def test_tag_response_drop_delays_but_completes(self):
+        schedule = FaultSchedule(seed=0, events=[
+            FaultEvent(cycle=5, kind=FaultKind.TAG_RESPONSE_DROP, count=8)])
+        core, injector = _run_with_injector(schedule)
+        assert core.halted
+        assert core.hierarchy.controller.dropped_tag_responses > 0
+
+    def test_perturbation_is_consumed(self):
+        injector = FaultInjector(FaultSchedule(seed=0))
+        injector._drops_armed = 1
+        assert injector.perturb_tag_response() == (True, 0)
+        assert injector.perturb_tag_response() == (False, 0)

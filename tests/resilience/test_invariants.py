@@ -1,0 +1,176 @@
+"""Invariant checking, snapshots, and graceful degradation."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import build_system, CORTEX_A76, DefenseKind
+from repro.errors import InvariantViolation
+from repro.isa import assemble
+from repro.pipeline.dyninstr import InstrState
+from repro.resilience import (core_snapshot, GracefulDegradation, INVARIANTS,
+                              InvariantChecker, summarize)
+
+PROGRAM = """
+    .data arr 0x5000 zero 4096
+    MOV X1, #0x5000
+    MOV X2, #0
+    MOV X3, #16
+loop:
+    LDR X4, [X1, X2]
+    ADD X2, X2, #64
+    SUB X3, X3, #1
+    CBNZ X3, loop
+    HALT
+"""
+
+
+def _prepared_core(defense=DefenseKind.SPECASAN, source=PROGRAM):
+    system = build_system(CORTEX_A76.with_defense(defense))
+    return system, system.prepare(assemble(source))
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("defense", [
+        DefenseKind.NONE, DefenseKind.FENCE, DefenseKind.SPECASAN])
+    def test_benign_program_has_zero_violations(self, defense):
+        system, core = _prepared_core(defense)
+        checker = InvariantChecker(interval=16).attach(core)
+        core.run()
+        assert core.halted
+        assert checker.checks_run > 0
+        assert checker.log == []
+
+    def test_attach_returns_self_and_wires_core(self):
+        _, core = _prepared_core()
+        checker = InvariantChecker().attach(core)
+        assert core.invariant_checker is checker
+
+
+class TestViolationDetection:
+    def test_tag_corruption_raises_typed_violation(self):
+        system, core = _prepared_core()
+        checker = InvariantChecker(interval=16).attach(core)
+        core.hierarchy.memory.tags.flip_bit(0x5000, 1)
+        with pytest.raises(InvariantViolation) as excinfo:
+            core.run()
+        error = excinfo.value
+        assert error.invariant == "tag-storage-integrity"
+        assert error.structure == "tag-storage"
+        assert error.snapshot["cycle"] == core.cycle
+        assert checker.log
+
+    def test_rob_disorder_detected(self):
+        _, core = _prepared_core()
+        checker = InvariantChecker().attach(core)
+        fake = lambda seq: SimpleNamespace(
+            seq=seq, squashed=False, state=InstrState.ISSUED)
+        core.rob.extend([fake(5), fake(3)])
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check(core)
+        assert excinfo.value.invariant == "rob-commit-order"
+        assert excinfo.value.structure == "rob"
+
+    def test_squashed_entry_in_rob_detected(self):
+        _, core = _prepared_core()
+        checker = InvariantChecker().attach(core)
+        core.rob.append(SimpleNamespace(
+            seq=1, squashed=True, state=InstrState.ISSUED))
+        with pytest.raises(InvariantViolation, match="squashed"):
+            checker.check(core)
+
+    def test_lsq_orphan_detected(self):
+        _, core = _prepared_core()
+        checker = InvariantChecker().attach(core)
+        orphan = SimpleNamespace(seq=2, is_load=True, is_store=False,
+                                 static=SimpleNamespace(
+                                     op=SimpleNamespace(value="LDR")))
+        core.lsq.lq.append(orphan)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check(core)
+        assert excinfo.value.invariant == "lq-age-order"
+        assert "leaked entry" in str(excinfo.value)
+
+    def test_leaked_mshr_detected(self):
+        system, core = _prepared_core()
+        checker = InvariantChecker(future_slack=1_000).attach(core)
+        system.hierarchy.l2_mshrs.allocate(0x9000, ready_cycle=10_000_000)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check(core)
+        assert excinfo.value.invariant == "mshr-leak-freedom"
+        assert excinfo.value.structure == "mshr"
+
+    def test_tag_coherence_drift_detected(self):
+        system, core = _prepared_core()
+        checker = InvariantChecker().attach(core)
+        # Warm the cache with the tagged array, then silently change the
+        # DRAM truth without the STG coherence path.
+        core.run()
+        core.halted = False
+        tags = system.hierarchy.memory.tags
+        tags._tags[0x5000 // 16] ^= 0x1
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check(core)
+        assert excinfo.value.invariant == "tag-coherence"
+        assert excinfo.value.structure == "tag-storage"
+
+
+class TestGracefulDegradation:
+    def test_tag_fault_degrades_to_fence_and_completes(self):
+        system, core = _prepared_core()
+        degradation = GracefulDegradation()
+        InvariantChecker(interval=16, degradation=degradation).attach(core)
+        core.hierarchy.memory.tags.flip_bit(0x5000, 1)
+        core.run()
+        assert core.halted
+        assert degradation.degraded
+        event = degradation.events[0]
+        assert event.policy_before == "specasan"
+        assert event.policy_after == "fence"
+        assert core.policy.name == "fence"
+
+    def test_pipeline_faults_are_never_absorbed(self):
+        _, core = _prepared_core()
+        degradation = GracefulDegradation()
+        checker = InvariantChecker(degradation=degradation).attach(core)
+        core.rob.append(SimpleNamespace(
+            seq=1, squashed=True, state=InstrState.ISSUED))
+        with pytest.raises(InvariantViolation):
+            checker.check(core)
+        assert not degradation.degraded
+
+    def test_raise_mode_never_absorbs(self):
+        from repro.resilience import DegradationMode
+        system, core = _prepared_core()
+        degradation = GracefulDegradation(mode=DegradationMode.RAISE)
+        InvariantChecker(interval=16, degradation=degradation).attach(core)
+        core.hierarchy.memory.tags.flip_bit(0x5000, 1)
+        with pytest.raises(InvariantViolation):
+            core.run()
+        assert not degradation.degraded
+
+
+class TestSnapshot:
+    def test_snapshot_structure(self):
+        system, core = _prepared_core()
+        core.run()
+        snapshot = core_snapshot(core)
+        assert snapshot["halted"] is True
+        assert snapshot["cycle"] == core.cycle
+        for key in ("rob", "lq", "sq", "mshr", "policy", "last_commit_pc"):
+            assert key in snapshot
+        assert snapshot["rob"]["occupancy"] == 0
+
+    def test_summarize_is_one_line(self):
+        _, core = _prepared_core()
+        core.run()
+        text = summarize(core_snapshot(core))
+        assert "\n" not in text
+        assert "rob" in text
+
+    def test_invariant_table_is_complete(self):
+        names = {name for name, _ in INVARIANTS}
+        assert names == {
+            "rob-commit-order", "lq-age-order", "sq-age-order",
+            "mshr-leak-freedom", "lfb-leak-freedom",
+            "tag-storage-integrity", "tag-coherence"}

@@ -1,0 +1,82 @@
+"""The livelock watchdog and the deadlock snapshot path."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import build_system, CORTEX_A76, DefenseKind
+from repro.errors import DeadlockError, LivelockError
+from repro.isa import assemble
+from repro.resilience import summarize, Watchdog
+
+SPIN = """
+    MOV X1, #1
+spin:
+    CBNZ X1, spin
+    HALT
+"""
+
+BUSY_LOOP = """
+    MOV X2, #0
+    MOV X3, #2000
+loop:
+    ADD X2, X2, #1
+    SUB X3, X3, #1
+    CBNZ X3, loop
+    HALT
+"""
+
+
+class TestLivelock:
+    def test_infinite_spin_raises_livelock(self):
+        system = build_system(CORTEX_A76)
+        core = system.prepare(assemble(SPIN))
+        watchdog = Watchdog(commit_limit=500).attach(core)
+        assert core.watchdog is watchdog
+        with pytest.raises(LivelockError) as excinfo:
+            core.run(max_cycles=1_000_000)
+        error = excinfo.value
+        assert error.commits > 500
+        assert len(error.distinct_pcs) <= watchdog.distinct_pc_limit
+        assert error.snapshot["cycle"] == core.cycle
+        assert summarize(error.snapshot)
+
+    def test_livelock_beats_the_cycle_timeout(self):
+        # Without the watchdog a spin burns the whole max_cycles budget; the
+        # watchdog converts it into a prompt, typed diagnosis.
+        system = build_system(CORTEX_A76)
+        core = system.prepare(assemble(SPIN))
+        Watchdog(commit_limit=500).attach(core)
+        with pytest.raises(LivelockError):
+            core.run(max_cycles=1_000_000)
+        assert core.cycle < 100_000
+
+    def test_benign_loop_does_not_trip(self):
+        # The loop body spans >2 distinct PCs, so the window keeps
+        # resetting even though it commits far more than commit_limit.
+        system = build_system(CORTEX_A76)
+        core = system.prepare(assemble(BUSY_LOOP))
+        watchdog = Watchdog(commit_limit=500).attach(core)
+        core.run()
+        assert core.halted
+        assert watchdog.commits_seen > 500
+
+
+class TestDeadlockSnapshot:
+    def test_threshold_comes_from_config_and_snapshot_is_attached(self):
+        config = replace(CORTEX_A76,
+                         core=replace(CORTEX_A76.core, deadlock_threshold=8))
+        # A cold LDR takes a DRAM round trip — far more than 8 cycles with
+        # nothing committing, so the tiny threshold trips mid-miss.
+        system = build_system(config)
+        core = system.prepare(assemble(
+            ".data arr 0x5000 zero 64\nMOV X1, #0x5000\nLDR X2, [X1]\nHALT"))
+        with pytest.raises(DeadlockError) as excinfo:
+            core.run()
+        error = excinfo.value
+        assert error.cycles > 8
+        assert error.snapshot["rob"]["occupancy"] > 0
+        head = error.snapshot["rob"]["head"]
+        assert head is not None
+        # The one-line summary names the stuck ROB head.
+        assert "rob-head" in summarize(error.snapshot)

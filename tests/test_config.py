@@ -80,3 +80,14 @@ class TestSystemConfig:
     def test_memory_validation(self):
         with pytest.raises(ConfigError):
             MemoryConfig(dram_latency=0)
+
+
+class TestCoreConfig:
+    def test_deadlock_threshold_default(self):
+        assert CORTEX_A76.core.deadlock_threshold == 50_000
+
+    def test_deadlock_threshold_validated(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(deadlock_threshold=0)
+        with pytest.raises(ConfigError):
+            CoreConfig(deadlock_threshold=-1)

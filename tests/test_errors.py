@@ -6,17 +6,32 @@ from repro.errors import (
     AssemblerError,
     ConfigError,
     DeadlockError,
+    InvariantViolation,
+    LivelockError,
     MemoryFault,
     ReproError,
     SimulationError,
     TagCheckFault,
 )
 
+#: Every concrete error with kwargs that construct it — the full hierarchy.
+ALL_ERRORS = [
+    (ConfigError, ("bad config",), {}),
+    (AssemblerError, ("bad line",), {"line_no": 3}),
+    (SimulationError, ("stuck",), {}),
+    (MemoryFault, (0x1000,), {}),
+    (TagCheckFault, (0x4000,), {"key": 1, "lock": 2, "pc": 0x40}),
+    (DeadlockError, (50_000,), {"detail": "rob stuck"}),
+    (LivelockError, (30_000,), {"distinct_pcs": (0x40, 0x44)}),
+    (InvariantViolation, ("rob-commit-order", "out of order"),
+     {"structure": "rob"}),
+]
+
 
 class TestHierarchy:
     @pytest.mark.parametrize("cls", [
         ConfigError, AssemblerError, SimulationError, MemoryFault,
-        TagCheckFault, DeadlockError])
+        TagCheckFault, DeadlockError, LivelockError, InvariantViolation])
     def test_everything_derives_from_repro_error(self, cls):
         assert issubclass(cls, ReproError)
 
@@ -24,6 +39,23 @@ class TestHierarchy:
         assert issubclass(MemoryFault, SimulationError)
         assert issubclass(TagCheckFault, SimulationError)
         assert issubclass(DeadlockError, SimulationError)
+        assert issubclass(LivelockError, SimulationError)
+
+    @pytest.mark.parametrize("cls,args,kwargs", ALL_ERRORS,
+                             ids=lambda v: getattr(v, "__name__", None))
+    def test_constructible_and_caught_by_repro_error(self, cls, args, kwargs):
+        with pytest.raises(ReproError) as excinfo:
+            raise cls(*args, **kwargs)
+        assert isinstance(excinfo.value, cls)
+        assert str(excinfo.value)  # every error renders a message
+
+    @pytest.mark.parametrize("cls,args,kwargs", ALL_ERRORS,
+                             ids=lambda v: getattr(v, "__name__", None))
+    def test_caught_by_bare_exception_hierarchy(self, cls, args, kwargs):
+        # ReproError is a plain Exception subclass: library users who catch
+        # Exception still see typed errors, never system-exiting ones.
+        assert issubclass(cls, Exception)
+        assert not issubclass(cls, (SystemExit, KeyboardInterrupt))
 
 
 class TestMessages:
@@ -50,3 +82,34 @@ class TestMessages:
         error = DeadlockError(50_000, detail="rob stuck")
         assert error.cycles == 50_000
         assert "rob stuck" in str(error)
+
+    def test_deadlock_error_snapshot(self):
+        snapshot = {"cycle": 12, "rob": {"occupancy": 3}}
+        error = DeadlockError(50_000, snapshot=snapshot)
+        assert error.snapshot == snapshot
+        assert DeadlockError(1).snapshot == {}
+
+    def test_livelock_error_fields(self):
+        error = LivelockError(30_000, distinct_pcs=[0x44, 0x40],
+                              snapshot={"cycle": 9})
+        assert error.commits == 30_000
+        assert error.distinct_pcs == (0x44, 0x40)
+        assert error.snapshot == {"cycle": 9}
+        assert "0x44" in str(error) and "30000" in str(error)
+
+    def test_invariant_violation_fields(self):
+        error = InvariantViolation("tag-coherence", "locks drifted",
+                                   structure="tag-storage",
+                                   snapshot={"cycle": 5})
+        assert error.invariant == "tag-coherence"
+        assert error.structure == "tag-storage"
+        assert error.snapshot == {"cycle": 5}
+        assert "tag-coherence" in str(error)
+        assert "locks drifted" in str(error)
+        assert "tag-storage" in str(error)
+
+    def test_invariant_violation_derives_structure(self):
+        # With no explicit structure, the prefix of the invariant name is
+        # used ("rob-commit-order" → "rob").
+        error = InvariantViolation("rob-commit-order", "out of order")
+        assert error.structure == "rob"
