@@ -1,35 +1,64 @@
 #!/usr/bin/env python3
-"""A miniature Figure 6/8: defense overheads on SPEC-like workloads.
+"""A miniature Figure 6/8 as a crash-safe campaign.
 
 Runs a handful of the synthetic SPEC CPU2017 stand-ins under every defense
 class the paper compares (speculative barriers, STT, GhostMinion, SpecASan)
 and prints normalized execution time and the fraction of restricted
 speculative instructions.
 
+Unlike a bare loop, each (benchmark, defense) cell runs in its own worker
+subprocess with a wall-clock timeout and cycle budget, hung workers are
+reaped by the heartbeat straggler detector and retried with backoff, every
+completed cell is durably checkpointed, and an interrupted sweep resumes:
+
 Run:  python examples/performance_sweep.py                # 4 benchmarks
       python examples/performance_sweep.py --all          # all 15
+      # Ctrl-C (or SIGKILL) partway through, then pick up where it left off:
+      python examples/performance_sweep.py --resume
 """
 
 import sys
 
-from repro.eval import render_rows, run_spec
+from repro.campaign import CampaignConfig, CampaignScheduler, ResultStore
 from repro.workloads import spec_names
 
-QUICK = ["500.perlbench_r", "505.mcf_r", "531.deepsjeng_r", "538.imagick_r"]
+QUICK = ("500.perlbench_r", "505.mcf_r", "531.deepsjeng_r", "538.imagick_r")
+RUN_DIR = "runs/performance_sweep"
 
 
-def main() -> None:
-    benchmarks = spec_names() if "--all" in sys.argv else QUICK
-    print(f"simulating {len(benchmarks)} workloads × 5 configurations "
-          "(this runs a full warm-up + measured pass each)...")
-    rows = run_spec(benchmarks=benchmarks, target_instructions=4000)
+def main() -> int:
+    benchmarks = tuple(spec_names()) if "--all" in sys.argv else QUICK
+    config = CampaignConfig(
+        figure="figure6", benchmarks=benchmarks,
+        target_instructions=4000,
+        timeout_s=300.0,      # wall-clock budget per cell
+        max_cycles=2_000_000,  # cycle budget per simulated run
+        max_retries=2,        # backoff + reseed before a cell gives up
+        max_workers=2)
+    if "--resume" in sys.argv:
+        # Everything needed to finish the sweep lives in the run directory.
+        config = ResultStore(RUN_DIR).resume_config()
+        print(f"resuming {RUN_DIR} ...")
+    else:
+        print(f"campaign: {len(benchmarks)} workloads x "
+              f"{1 + len(config.defenses)} configurations in isolated "
+              f"workers (progress checkpoints in {RUN_DIR}/)...")
+    scheduler = CampaignScheduler(
+        config, RUN_DIR,
+        progress=lambda message: print(f"  {message}", file=sys.stderr))
+    outcome = scheduler.run(resume="--resume" in sys.argv)
     print()
     print("Normalized execution time (Figure 6):")
-    print(render_rows(rows, metric="normalized"))
+    print(outcome.render("normalized"))
     print()
     print("% restricted speculative instructions (Figure 8):")
-    print(render_rows(rows, metric="restricted"))
+    print(outcome.render("restricted"))
+    if not outcome.ok:
+        print("\nsome cells failed permanently; see "
+              f"{RUN_DIR}/report.json", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

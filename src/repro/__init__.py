@@ -28,6 +28,11 @@ scratch:
 - ``repro.hwcost`` -- an analytical area/power/energy model for Table 3.
 - ``repro.eval`` -- the experiment harness that regenerates every table and
   figure of the paper's evaluation.
+- ``repro.resilience`` -- fault injection, cycle-level invariant checking,
+  and watchdog diagnostics for single simulations.
+- ``repro.campaign`` -- crash-safe experiment campaigns: process-isolated
+  workers, a durable resumable result store, and straggler recovery
+  (``python -m repro.campaign``).
 """
 
 from repro.config import (

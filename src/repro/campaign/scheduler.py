@@ -1,0 +1,377 @@
+"""Fault-tolerant campaign scheduler.
+
+Drives a sweep's cells through isolated worker subprocesses with:
+
+- **crash isolation** — a worker dying (segfault, OOM kill, SIGKILL) costs
+  one attempt of one cell;
+- **wall-clock timeouts** — a cell that overruns its ``timeout_s`` is
+  killed and retried;
+- **straggler recovery** — workers heartbeat from inside the simulation
+  loop (simulated-cycle progress); a heartbeat stale past
+  ``stall_timeout_s`` marks the worker hung, and it is reaped and
+  rescheduled — the campaign-level analogue of the per-run
+  :class:`repro.resilience.watchdog.Watchdog`;
+- **retry with exponential backoff + jitter and reseeding** — attempt *k*
+  waits ``backoff_base_s * 2**(k-1)`` (+ seeded jitter) and perturbs the
+  MTE tag seed, generalizing ``run_resilient`` across process boundaries;
+- **durable progress** — every completed cell is appended to the
+  :class:`~repro.campaign.store.ResultStore` before anything else happens,
+  so ``--resume`` skips exactly the work that already landed;
+- **graceful degradation** — a cell that exhausts its retries becomes an
+  explicit missing-cell marker in the rendered figure plus an entry in the
+  structured failure report; it never aborts the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import repro
+from repro.campaign.cells import (CampaignConfig, CellSpec, rows_from_records)
+from repro.campaign.heartbeat import age_s
+from repro.campaign.store import CorruptRecord, ResultStore
+from repro.campaign.worker import EXIT_TYPED_FAILURE
+from repro.config import DefenseKind
+from repro.errors import ManifestMismatch
+from repro.eval.experiments import ExperimentRow, render_rows
+
+
+@dataclass
+class AttemptFailure:
+    """One failed attempt of one cell."""
+
+    attempt: int
+    #: "typed" (retryable ReproError), "crashed" (worker bug/exception),
+    #: "killed" (died to a signal), "wall-timeout", "stalled".
+    kind: str
+    error: str = ""
+    error_type: str = ""
+
+    def to_dict(self) -> dict:
+        return {"attempt": self.attempt, "kind": self.kind,
+                "error": self.error, "error_type": self.error_type}
+
+
+@dataclass
+class _PendingCell:
+    cell: CellSpec
+    attempts: int = 0
+    eligible_at: float = 0.0
+    failures: List[AttemptFailure] = field(default_factory=list)
+
+
+@dataclass
+class _ActiveWorker:
+    cell: CellSpec
+    state: _PendingCell
+    proc: subprocess.Popen
+    out_path: str
+    heartbeat_path: str
+    log_path: str
+    started: float
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a caller needs after a campaign finishes."""
+
+    config: CampaignConfig
+    cells: List[CellSpec]
+    completed: Dict[str, dict]
+    failed: Dict[str, List[AttemptFailure]]
+    corrupt: List[CorruptRecord]
+    #: Cells found already done in the store (the resume fast path).
+    skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and not self.corrupt
+
+    @property
+    def rows(self) -> List[ExperimentRow]:
+        return rows_from_records(self.cells, self.completed)
+
+    def render(self, metric: str = "normalized") -> str:
+        """The figure, with explicit markers for any missing cells."""
+        defenses = [DefenseKind.NONE] + self.config.defenses
+        return render_rows(self.rows, metric,
+                           benchmarks=self.config.suite(),
+                           defenses=defenses)
+
+    def report(self) -> dict:
+        """Structured failure report (persisted as ``report.json``)."""
+        return {
+            "figure": self.config.figure,
+            "config_hash": self.config.config_hash(),
+            "total_cells": len(self.cells),
+            "completed": len(self.completed),
+            "skipped_already_done": self.skipped,
+            "failed": {cell_id: [f.to_dict() for f in failures]
+                       for cell_id, failures in self.failed.items()},
+            "corrupt_records": [
+                {"line_no": c.line_no, "reason": c.reason,
+                 "cell_id": c.cell_id} for c in self.corrupt],
+            "ok": self.ok,
+        }
+
+
+def _worker_env() -> dict:
+    """Child env with the repro source tree importable."""
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src if not existing
+                         else src + os.pathsep + existing)
+    return env
+
+
+class CampaignScheduler:
+    """Runs one campaign's cells to completion (or explicit failure).
+
+    ``worker_argv`` overrides how a worker process is launched — the test
+    hook for simulating hung or crashing workers without patching the real
+    simulator.
+    """
+
+    def __init__(self, config: CampaignConfig, run_dir: str, *,
+                 progress: Optional[Callable[[str], None]] = None,
+                 worker_argv: Optional[Callable[..., List[str]]] = None,
+                 poll_interval_s: float = 0.02):
+        self.config = config
+        self.run_dir = run_dir
+        self.store = ResultStore(run_dir)
+        self.progress = progress or (lambda message: None)
+        self.worker_argv = worker_argv
+        self.poll_interval_s = poll_interval_s
+        # Jitter must be deterministic per campaign seed so two runs of the
+        # same config retry on the same schedule (results never depend on
+        # jitter, only latency does).
+        self._rng = random.Random(config.seed ^ 0x5EED_CA3B)
+
+    # ------------------------------------------------------------------
+    # launch plumbing
+    # ------------------------------------------------------------------
+
+    def _paths(self, cell: CellSpec, attempt: int) -> dict:
+        safe = cell.cell_id.replace(":", "_").replace("+", "")
+        stem = os.path.join(self.store.work_dir, f"{safe}.a{attempt}")
+        return {"spec": stem + ".cell.json", "out": stem + ".out.json",
+                "heartbeat": stem + ".hb", "log": stem + ".log"}
+
+    def _default_argv(self, cell: CellSpec, paths: dict, attempt: int,
+                      reseed: int) -> List[str]:
+        return [sys.executable, "-m", "repro.campaign.worker",
+                "--spec", paths["spec"], "--out", paths["out"],
+                "--heartbeat", paths["heartbeat"],
+                "--attempt", str(attempt), "--reseed", str(reseed),
+                "--heartbeat-cycles", str(self.config.heartbeat_cycles)]
+
+    def _launch(self, state: _PendingCell) -> _ActiveWorker:
+        cell, attempt = state.cell, state.attempts
+        reseed = attempt  # same convention as run_resilient
+        paths = self._paths(cell, attempt)
+        with open(paths["spec"], "w", encoding="utf-8") as handle:
+            json.dump(cell.to_dict(), handle)
+        for stale in ("out", "heartbeat"):
+            try:
+                os.unlink(paths[stale])
+            except OSError:
+                pass
+        argv_factory = self.worker_argv or self._default_argv
+        argv = argv_factory(cell, paths, attempt, reseed)
+        log = open(paths["log"], "w", encoding="utf-8")
+        try:
+            proc = subprocess.Popen(argv, stdout=log, stderr=log,
+                                    env=_worker_env())
+        finally:
+            log.close()
+        self.progress(f"cell {cell.cell_id}: attempt {attempt} started "
+                      f"(pid {proc.pid}, reseed {reseed})")
+        return _ActiveWorker(cell=cell, state=state, proc=proc,
+                             out_path=paths["out"],
+                             heartbeat_path=paths["heartbeat"],
+                             log_path=paths["log"],
+                             started=time.monotonic())
+
+    @staticmethod
+    def _reap(worker: _ActiveWorker) -> None:
+        worker.proc.terminate()
+        try:
+            worker.proc.wait(timeout=2)
+        except subprocess.TimeoutExpired:
+            worker.proc.kill()
+            worker.proc.wait()
+
+    # ------------------------------------------------------------------
+    # outcome handling
+    # ------------------------------------------------------------------
+
+    def _read_outcome(self, worker: _ActiveWorker) -> Optional[dict]:
+        try:
+            with open(worker.out_path, encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _log_tail(self, worker: _ActiveWorker, limit: int = 400) -> str:
+        try:
+            with open(worker.log_path, encoding="utf-8") as handle:
+                return handle.read()[-limit:].strip()
+        except OSError:
+            return ""
+
+    def _record_success(self, worker: _ActiveWorker, outcome: dict) -> None:
+        self.store.append({
+            "cell_id": worker.cell.cell_id,
+            "status": "ok",
+            "attempt": worker.state.attempts,
+            "reseed": outcome.get("reseed", worker.state.attempts),
+            "cell": worker.cell.to_dict(),
+            "row": outcome["row"],
+        })
+        self.progress(f"cell {worker.cell.cell_id}: ok "
+                      f"({outcome['row']['cycles']} cycles, "
+                      f"attempt {worker.state.attempts})")
+
+    def _classify_exit(self, worker: _ActiveWorker,
+                       returncode: int) -> AttemptFailure:
+        outcome = self._read_outcome(worker)
+        attempt = worker.state.attempts
+        if outcome is not None and outcome.get("status") == "failed":
+            return AttemptFailure(attempt, "typed",
+                                  outcome.get("error", ""),
+                                  outcome.get("error_type", ""))
+        if outcome is not None and outcome.get("status") == "crashed":
+            return AttemptFailure(attempt, "crashed",
+                                  outcome.get("error", ""),
+                                  outcome.get("error_type", ""))
+        if returncode < 0:
+            return AttemptFailure(attempt, "killed",
+                                  f"worker died to signal {-returncode}")
+        return AttemptFailure(
+            attempt, "crashed",
+            f"exit code {returncode} with no outcome file; "
+            f"log tail: {self._log_tail(worker)}")
+
+    def _handle_failure(self, worker: _ActiveWorker,
+                        failure: AttemptFailure,
+                        pending: List[_PendingCell],
+                        failed: Dict[str, List[AttemptFailure]]) -> None:
+        state = worker.state
+        state.failures.append(failure)
+        state.attempts += 1
+        cell_id = worker.cell.cell_id
+        if state.attempts > self.config.max_retries:
+            failed[cell_id] = state.failures
+            # Durable trace of the exhausted cell: resume retries it, and
+            # the retry history survives for the failure report.
+            self.store.append({
+                "cell_id": cell_id, "status": "failed",
+                "cell": worker.cell.to_dict(),
+                "failures": [f.to_dict() for f in state.failures],
+            })
+            self.progress(
+                f"cell {cell_id}: FAILED permanently after "
+                f"{state.attempts} attempts ({failure.kind}: "
+                f"{failure.error})")
+            return
+        delay = (self.config.backoff_base_s * (2 ** (state.attempts - 1))
+                 + self._rng.uniform(0, self.config.backoff_jitter_s))
+        state.eligible_at = time.monotonic() + delay
+        pending.append(state)
+        self.progress(f"cell {cell_id}: attempt {failure.attempt} "
+                      f"{failure.kind} ({failure.error}); retrying in "
+                      f"{delay:.2f}s with reseed {state.attempts}")
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+
+    def run(self, resume: bool = False) -> CampaignOutcome:
+        cells = self.config.build_cells()
+        if os.path.exists(self.store.manifest_path):
+            # An existing manifest must belong to this campaign; matching
+            # hash makes a plain re-run naturally resume-shaped.
+            self.store.resume_config(expected=self.config)
+            resume = True
+        elif resume:
+            self.store.load_manifest()  # raises the not-a-run-dir error
+        else:
+            self.store.initialize(self.config, cells)
+        os.makedirs(self.store.work_dir, exist_ok=True)
+
+        completed, corrupt = self.store.completed(
+            [cell.cell_id for cell in cells])
+        for record in corrupt:
+            self.progress(f"store: corrupt record ignored, cell re-queued "
+                          f"({record})")
+        skipped = len(completed)
+        if resume and skipped:
+            self.progress(f"resume: {skipped}/{len(cells)} cells already "
+                          "done, skipping")
+
+        pending = [_PendingCell(cell) for cell in cells
+                   if cell.cell_id not in completed]
+        active: List[_ActiveWorker] = []
+        failed: Dict[str, List[AttemptFailure]] = {}
+
+        while pending or active:
+            now = time.monotonic()
+            # Launch every eligible cell while worker slots are free.
+            launchable = [s for s in pending if s.eligible_at <= now]
+            while launchable and len(active) < self.config.max_workers:
+                state = launchable.pop(0)
+                pending.remove(state)
+                active.append(self._launch(state))
+
+            still_active: List[_ActiveWorker] = []
+            for worker in active:
+                returncode = worker.proc.poll()
+                if returncode is not None:
+                    outcome = self._read_outcome(worker)
+                    if returncode == 0 and outcome is not None \
+                            and outcome.get("status") == "ok":
+                        self._record_success(worker, outcome)
+                        completed[worker.cell.cell_id] = {
+                            "cell_id": worker.cell.cell_id,
+                            "row": outcome["row"]}
+                    else:
+                        self._handle_failure(
+                            worker, self._classify_exit(worker, returncode),
+                            pending, failed)
+                    continue
+                elapsed = now - worker.started
+                heartbeat_age = age_s(worker.heartbeat_path, now=time.time())
+                if elapsed > worker.cell.timeout_s:
+                    self._reap(worker)
+                    self._handle_failure(worker, AttemptFailure(
+                        worker.state.attempts, "wall-timeout",
+                        f"exceeded {worker.cell.timeout_s}s wall budget"),
+                        pending, failed)
+                    continue
+                stale = (heartbeat_age if heartbeat_age is not None
+                         else elapsed)
+                if stale > self.config.stall_timeout_s:
+                    self._reap(worker)
+                    self._handle_failure(worker, AttemptFailure(
+                        worker.state.attempts, "stalled",
+                        f"no heartbeat for {stale:.1f}s "
+                        f"(straggler reaped)"), pending, failed)
+                    continue
+                still_active.append(worker)
+            active = still_active
+            if pending or active:
+                time.sleep(self.poll_interval_s)
+
+        outcome = CampaignOutcome(config=self.config, cells=cells,
+                                  completed=completed, failed=failed,
+                                  corrupt=corrupt, skipped=skipped)
+        self.store.write_report(outcome.report())
+        return outcome

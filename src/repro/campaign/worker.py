@@ -1,0 +1,147 @@
+"""Campaign worker: runs exactly one cell, in its own process.
+
+The scheduler launches ``python -m repro.campaign.worker --spec … --out …
+--heartbeat …`` so that a crash, OOM kill, or runaway loop takes down *one
+cell's attempt*, never the campaign.  The contract with the scheduler:
+
+- heartbeat file updated from inside the simulation loop (simulated-cycle
+  progress, see :mod:`repro.campaign.heartbeat`);
+- outcome written to ``--out`` atomically, then exit code 0 (measured ok),
+  ``3`` (typed :class:`~repro.errors.ReproError` — retryable), or ``1``
+  (unexpected exception — a harness bug, not retried silently).
+
+:func:`run_cell` is the process-agnostic core, also used in-process by
+tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import traceback
+from typing import Optional
+
+from repro.campaign.cells import CellSpec, system_config
+from repro.campaign.heartbeat import Heartbeat
+from repro.campaign.store import atomic_write
+from repro.errors import ReproError
+from repro.multicore import MulticoreSystem
+from repro.system import build_system
+from repro.workloads import PARSEC_BY_NAME, SPEC_BY_NAME
+from repro.workloads.generator import HEAP_BASE, generate
+from repro.workloads.parsec import (SHARED_BASE, SHARED_SIZE,
+                                    THREAD_HEAP_STRIDE)
+
+#: Worker exit code for a typed, retryable simulation failure.
+EXIT_TYPED_FAILURE = 3
+
+
+def _run_spec_cell(cell: CellSpec, reseed: int,
+                   heartbeat: Optional[Heartbeat]) -> dict:
+    profile = SPEC_BY_NAME[cell.benchmark]
+    program = generate(
+        profile, seed=cell.seed,
+        target_instructions=cell.target_instructions,
+        mte_instrumented=cell.defense_kind.uses_specasan).program
+    system = build_system(system_config(cell, reseed))
+
+    def measured_run():
+        core = system.prepare(program)
+        core.heartbeat = heartbeat
+        core.run()
+        return system.result()
+
+    for _ in range(cell.warm_runs):
+        measured_run()
+    result = measured_run()
+    if result.fault is not None:
+        raise ReproError(
+            f"{cell.benchmark} faulted under {cell.defense}: {result.fault}")
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "restricted_fraction": result.stats.restricted_fraction,
+        "ipc": result.ipc,
+        "halted": result.halted,
+    }
+
+
+def _run_parsec_cell(cell: CellSpec, reseed: int,
+                     heartbeat: Optional[Heartbeat]) -> dict:
+    spec = PARSEC_BY_NAME[cell.benchmark]
+    instrumented = cell.defense_kind.uses_specasan
+    programs = [generate(
+        spec.profile, seed=cell.seed + t * 101,
+        target_instructions=cell.target_instructions,
+        heap_base=HEAP_BASE + t * THREAD_HEAP_STRIDE,
+        shared_base=SHARED_BASE, shared_size=SHARED_SIZE,
+        shared_fraction=spec.shared_fraction,
+        shared_store_fraction=spec.shared_store_fraction,
+        mte_instrumented=instrumented).program
+        for t in range(cell.num_threads)]
+    config = system_config(cell, reseed)
+    system = MulticoreSystem(config)
+    system.heartbeat = heartbeat
+    result = system.run(programs, max_cycles=config.core.max_cycles,
+                        warm_runs=cell.warm_runs)
+    if any(result.faults):
+        raise ReproError(f"{cell.benchmark} faulted under {cell.defense}")
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "restricted_fraction": result.restricted_fraction,
+        "ipc": result.ipc,
+        "halted": True,
+    }
+
+
+def run_cell(cell: CellSpec, reseed: int = 0,
+             heartbeat: Optional[Heartbeat] = None) -> dict:
+    """Measure one cell; returns the row payload or raises ReproError."""
+    if cell.kind == "spec":
+        return _run_spec_cell(cell, reseed, heartbeat)
+    return _run_parsec_cell(cell, reseed, heartbeat)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign.worker",
+        description="Run one campaign cell (scheduler-internal).")
+    parser.add_argument("--spec", required=True,
+                        help="path to the CellSpec JSON")
+    parser.add_argument("--out", required=True,
+                        help="where to write the outcome JSON (atomic)")
+    parser.add_argument("--heartbeat", required=True,
+                        help="heartbeat file pulsed from the run loop")
+    parser.add_argument("--attempt", type=int, default=0)
+    parser.add_argument("--reseed", type=int, default=0)
+    parser.add_argument("--heartbeat-cycles", type=int, default=2000)
+    args = parser.parse_args(argv)
+
+    with open(args.spec, encoding="utf-8") as handle:
+        cell = CellSpec.from_dict(json.load(handle))
+    heartbeat = Heartbeat(args.heartbeat, interval=args.heartbeat_cycles)
+    heartbeat.beat(0)  # prove liveness before the (long) first interval
+
+    base = {"cell_id": cell.cell_id, "attempt": args.attempt,
+            "reseed": args.reseed}
+    try:
+        row = run_cell(cell, reseed=args.reseed, heartbeat=heartbeat)
+    except ReproError as exc:
+        atomic_write(args.out, json.dumps({
+            **base, "status": "failed",
+            "error_type": type(exc).__name__, "error": str(exc)}))
+        return EXIT_TYPED_FAILURE
+    except Exception as exc:  # harness bug: report, don't mask as retryable
+        atomic_write(args.out, json.dumps({
+            **base, "status": "crashed",
+            "error_type": type(exc).__name__, "error": str(exc),
+            "traceback": traceback.format_exc()}))
+        return 1
+    atomic_write(args.out, json.dumps({**base, "status": "ok", "row": row}))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

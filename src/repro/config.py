@@ -186,6 +186,11 @@ class CoreConfig:
     # Must comfortably exceed the worst legitimate stall (an MSHR-full chain
     # of DRAM fetches plus tag reads is still well under a thousand cycles).
     deadlock_threshold: int = 50_000
+    # Cycle budget for one run: the core raises SimulationError when a
+    # program has not halted after this many cycles.  Hoisted here (it used
+    # to be a hard-coded ``Core.run`` default) so experiment campaigns can
+    # budget cycles per workload the same way they budget wall-clock time.
+    max_cycles: int = 2_000_000
 
     def __post_init__(self) -> None:
         for name in ("fetch_width", "issue_width", "commit_width", "iq_entries",
@@ -196,6 +201,8 @@ class CoreConfig:
             raise ConfigError("predictor sizes must be positive")
         if self.deadlock_threshold <= 0:
             raise ConfigError("deadlock_threshold must be positive")
+        if self.max_cycles <= 0:
+            raise ConfigError("max_cycles must be positive")
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,19 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    Attributes:
+        failures: when a retrying harness (``run_resilient``, the campaign
+            scheduler) exhausts its attempts, the *full* history of distinct
+            per-attempt failure messages is attached here before the final
+            error is re-raised — earlier failures are diagnostic signal, not
+            noise, and campaign logs must show all of them.  Empty for errors
+            raised outside a retry loop.
+    """
+
+    #: Per-attempt failure messages accumulated by a retry harness.
+    failures: tuple = ()
 
 
 class ConfigError(ReproError):
@@ -132,3 +144,53 @@ class InvariantViolation(ReproError):
         self.snapshot = snapshot or {}
         super().__init__(f"invariant '{invariant}' violated "
                          f"[structure={self.structure}]: {message}")
+
+
+class CampaignError(ReproError):
+    """An experiment campaign could not be orchestrated.
+
+    Cell-level *simulation* failures never raise this — they are retried and,
+    at worst, surface as missing-cell markers in the rendered figures.
+    ``CampaignError`` is reserved for harness-level problems: an unusable run
+    directory, a manifest that does not match, a worker that died in a way
+    the scheduler cannot interpret.
+    """
+
+
+class ManifestMismatch(CampaignError):
+    """A resumed run directory was created by a different campaign config.
+
+    Resuming under a changed configuration would silently mix rows measured
+    under different parameters, so the mismatch is fail-stop.
+
+    Attributes:
+        expected: config hash recorded in the run directory's manifest.
+        actual: config hash of the campaign requesting the resume.
+    """
+
+    def __init__(self, expected: str, actual: str, detail: str = ""):
+        self.expected = expected
+        self.actual = actual
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"run directory was created by a different campaign config: "
+            f"manifest hash {expected} != requested {actual}{suffix}")
+
+
+class ResultCorruption(CampaignError):
+    """A result-store record failed its integrity check.
+
+    Normally corruption is *handled*, not raised: ``ResultStore.load``
+    reports corrupt records and the scheduler re-queues their cells.  The
+    exception exists for callers that demand a fully-intact store
+    (``ResultStore.load(strict=True)``).
+
+    Attributes:
+        line_no: 1-based line in ``results.jsonl``.
+        reason: what failed (truncated JSON, checksum mismatch, ...).
+    """
+
+    def __init__(self, line_no: int, reason: str):
+        self.line_no = line_no
+        self.reason = reason
+        super().__init__(f"results.jsonl line {line_no}: {reason}")

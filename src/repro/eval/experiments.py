@@ -254,7 +254,7 @@ def figure5_trace() -> List[tuple]:
 
 def run_resilient(program, defense: DefenseKind = DefenseKind.SPECASAN, *,
                   config: Optional[SystemConfig] = None,
-                  max_retries: int = 2, max_cycles: int = 2_000_000,
+                  max_retries: int = 2, max_cycles: Optional[int] = None,
                   attach=None):
     """Run ``program`` with bounded retry-with-reseed on typed failures.
 
@@ -264,10 +264,15 @@ def run_resilient(program, defense: DefenseKind = DefenseKind.SPECASAN, *,
     does not just replay the identical failure.  Only :class:`ReproError`
     subclasses (deadlock, livelock, invariant violations, simulation
     timeouts) are retried — a bare Python exception is a bug and propagates
-    immediately.  The last error is re-raised once retries are exhausted.
+    immediately.  Once retries are exhausted the last error is re-raised
+    with the accumulated per-attempt ``failures`` history attached
+    (:attr:`ReproError.failures`), so campaign logs show every distinct
+    failure, not just the final one.
 
-    ``attach`` is called with the fresh core before each attempt — the hook
-    point for resilience objects (checker, watchdog, injector).
+    ``max_cycles`` defaults to the config's
+    :attr:`~repro.config.CoreConfig.max_cycles` budget.  ``attach`` is
+    called with the fresh core before each attempt — the hook point for
+    resilience objects (checker, watchdog, injector).
 
     Returns ``(RunResult, failures)`` where ``failures`` lists the error
     message of each failed attempt (empty on first-try success).
@@ -289,6 +294,7 @@ def run_resilient(program, defense: DefenseKind = DefenseKind.SPECASAN, *,
             last_error = exc
             continue
         return system.result(), failures
+    last_error.failures = tuple(failures)
     raise last_error
 
 
@@ -296,28 +302,50 @@ def run_resilient(program, defense: DefenseKind = DefenseKind.SPECASAN, *,
 # renderers
 # ----------------------------------------------------------------------
 
-def render_rows(rows: List[ExperimentRow], metric: str = "normalized") -> str:
+#: Marker rendered for a (benchmark, defense) cell with no surviving result.
+MISSING_CELL = "MISSING"
+
+
+def render_rows(rows: List[ExperimentRow], metric: str = "normalized", *,
+                benchmarks: Optional[Sequence[str]] = None,
+                defenses: Optional[Sequence[DefenseKind]] = None) -> str:
     """Format experiment rows as the paper's bar-chart data.
 
     ``metric`` is ``"normalized"`` (Figures 6/7/9) or ``"restricted"``
     (Figure 8).
+
+    ``benchmarks``/``defenses`` optionally pin the *expected* grid: combos
+    with no row (a campaign cell that exhausted its retries) render as an
+    explicit :data:`MISSING_CELL` marker instead of raising, and the
+    geomean/average line aggregates only the cells that exist (flagged with
+    ``*`` when incomplete).  By default the grid is inferred from ``rows``
+    themselves, which reproduces the strict historical behaviour for
+    complete sweeps.
     """
-    defenses: List[DefenseKind] = []
-    benchmarks: List[str] = []
+    inferred_defenses: List[DefenseKind] = []
+    inferred_benchmarks: List[str] = []
     for row in rows:
-        if row.defense not in defenses:
-            defenses.append(row.defense)
-        if row.benchmark not in benchmarks:
-            benchmarks.append(row.benchmark)
+        if row.defense not in inferred_defenses:
+            inferred_defenses.append(row.defense)
+        if row.benchmark not in inferred_benchmarks:
+            inferred_benchmarks.append(row.benchmark)
+    defenses = list(defenses) if defenses is not None else inferred_defenses
+    benchmarks = (list(benchmarks) if benchmarks is not None
+                  else inferred_benchmarks)
     header = f"{'benchmark':18s}" + "".join(
         f"{d.value:>14s}" for d in defenses)
     lines = [header, "-" * len(header)]
     by_key = {(r.benchmark, r.defense): r for r in rows}
     columns: Dict[DefenseKind, List[float]] = {d: [] for d in defenses}
+    incomplete = {d: False for d in defenses}
     for bench in benchmarks:
         cells = []
         for defense in defenses:
-            row = by_key[(bench, defense)]
+            row = by_key.get((bench, defense))
+            if row is None:
+                incomplete[defense] = True
+                cells.append(f"{MISSING_CELL:>14s}")
+                continue
             value = (row.normalized_time if metric == "normalized"
                      else row.restricted_pct)
             columns[defense].append(value)
@@ -325,13 +353,22 @@ def render_rows(rows: List[ExperimentRow], metric: str = "normalized") -> str:
         lines.append(f"{bench:18s}" + "".join(cells))
     summary = []
     for defense in defenses:
+        values = columns[defense]
+        if not values:
+            summary.append(f"{MISSING_CELL:>14s}")
+            continue
         if metric == "normalized":
-            summary.append(f"{geomean(columns[defense]):14.3f}")
+            text = f"{geomean(values):.3f}"
         else:
-            mean = sum(columns[defense]) / len(columns[defense])
-            summary.append(f"{mean:14.2f}")
+            text = f"{sum(values) / len(values):.2f}"
+        if incomplete[defense]:
+            text += "*"
+        summary.append(f"{text:>14s}")
     label = "geomean" if metric == "normalized" else "average"
     lines.append(f"{label:18s}" + "".join(summary))
+    if any(incomplete.values()):
+        lines.append("(* aggregate over available cells only; "
+                     f"{MISSING_CELL} = cell exhausted its retries)")
     return "\n".join(lines)
 
 
@@ -360,6 +397,7 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "MISSING_CELL",
     "render_figure1",
     "render_matrix",
     "render_rows",

@@ -62,6 +62,9 @@ class MulticoreSystem:
         self.config = config
         self.hierarchy = MemoryHierarchy(config)
         self.cores: List[Core] = []
+        #: Campaign liveness probe pulsed from the lockstep loop (same
+        #: contract as :attr:`repro.pipeline.core.Core.heartbeat`).
+        self.heartbeat = None
 
     def run(self, programs: List[Program], max_cycles: int = 5_000_000,
             warm_runs: int = 0) -> MulticoreResult:
@@ -99,6 +102,9 @@ class MulticoreSystem:
             for core in self.cores:
                 if not core.halted:
                     core.tick()
+            heartbeat = self.heartbeat
+            if heartbeat is not None and cycle % heartbeat.interval == 0:
+                heartbeat.beat(cycle)
 
         restricted = sum(len(core.policy.restricted_seqs)
                          for core in self.cores)

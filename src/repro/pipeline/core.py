@@ -118,6 +118,11 @@ class Core:
         self.watchdog = None
         #: Microarchitectural fault injector driven once per cycle by run().
         self.fault_injector = None
+        #: Campaign liveness probe pulsed every ``interval`` cycles by run()
+        #: (see :class:`repro.campaign.heartbeat.Heartbeat`).  Beats track
+        #: *simulated* progress, so a wedged simulation loop stops beating
+        #: and the campaign straggler detector can reap the worker.
+        self.heartbeat = None
 
         # Attack-oracle state (§4.3): secret address ranges and the log of
         # secret-dependent speculative activity the detector inspects.
@@ -141,13 +146,20 @@ class Core:
         self._dispatch()
         self._fetch()
 
-    def run(self, max_cycles: int = 2_000_000) -> None:
+    def run(self, max_cycles: Optional[int] = None) -> None:
         """Run until HALT commits, a tag fault halts the core, or timeout.
+
+        ``max_cycles`` defaults to the configured cycle budget
+        (:attr:`~repro.config.CoreConfig.max_cycles`), so campaigns can set
+        per-workload budgets through the config instead of threading an
+        argument through every call site.
 
         When resilience hooks are attached, each cycle additionally drives
         the fault injector, and the invariant checker runs at its configured
         interval; the livelock watchdog is fed from the commit stage.
         """
+        if max_cycles is None:
+            max_cycles = self.config.core.max_cycles
         threshold = self.config.core.deadlock_threshold
         while not self.halted and self.cycle < max_cycles:
             if self.fault_injector is not None:
@@ -156,6 +168,9 @@ class Core:
             checker = self.invariant_checker
             if checker is not None and self.cycle % checker.interval == 0:
                 checker.check(self)
+            heartbeat = self.heartbeat
+            if heartbeat is not None and self.cycle % heartbeat.interval == 0:
+                heartbeat.beat(self.cycle)
             if self.cycle - self._last_commit_cycle > threshold:
                 from repro.resilience.snapshot import core_snapshot, summarize
                 snapshot = core_snapshot(self)

@@ -94,14 +94,16 @@ class SimulatedSystem:
         self.core = Core(self.config, self.hierarchy, program, policy=policy)
         return self.core
 
-    def run(self, program: Program, max_cycles: int = 2_000_000,
+    def run(self, program: Program, max_cycles: Optional[int] = None,
             warm_runs: int = 0) -> RunResult:
         """Load and run ``program`` to completion on a fresh core.
 
-        ``warm_runs`` first executes the program that many times on the
-        *same* memory hierarchy (caches and tag state stay warm) before the
-        measured run — the analogue of the paper's 10-billion-instruction
-        fast-forward before detailed simulation (§5.1).
+        ``max_cycles`` defaults to the configured
+        :attr:`~repro.config.CoreConfig.max_cycles` budget.  ``warm_runs``
+        first executes the program that many times on the *same* memory
+        hierarchy (caches and tag state stay warm) before the measured run —
+        the analogue of the paper's 10-billion-instruction fast-forward
+        before detailed simulation (§5.1).
         """
         for _ in range(warm_runs):
             core = self.prepare(program)

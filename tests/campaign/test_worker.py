@@ -1,0 +1,74 @@
+"""Worker semantics, in-process: measurement, heartbeats, typed failures."""
+
+import json
+
+import pytest
+
+from repro.campaign import CellSpec, Heartbeat, run_cell
+from repro.campaign.heartbeat import age_s
+from repro.campaign.worker import main as worker_main
+from repro.errors import ReproError
+
+
+def spec_cell(**overrides):
+    params = dict(kind="spec", benchmark="505.mcf_r", defense="specasan",
+                  target_instructions=300, warm_runs=0)
+    params.update(overrides)
+    return CellSpec(**params)
+
+
+class TestRunCell:
+    def test_spec_cell_measures(self):
+        row = run_cell(spec_cell())
+        assert row["halted"]
+        assert row["cycles"] > 0 and row["instructions"] > 0
+        assert 0.0 <= row["restricted_fraction"] <= 1.0
+
+    def test_deterministic_across_processes_boundary(self):
+        # Same spec, fresh systems: identical payloads — the property the
+        # resume byte-identity guarantee is built on.
+        assert run_cell(spec_cell()) == run_cell(spec_cell())
+
+    def test_parsec_cell_measures(self):
+        row = run_cell(CellSpec(kind="parsec", benchmark="canneal",
+                                defense="none", target_instructions=200,
+                                warm_runs=0, num_threads=2))
+        assert row["halted"] and row["cycles"] > 0
+
+    def test_cycle_budget_enforced_as_typed_error(self):
+        with pytest.raises(ReproError):
+            run_cell(spec_cell(max_cycles=50))
+
+    def test_heartbeat_pulsed_from_the_run_loop(self, tmp_path):
+        path = str(tmp_path / "hb")
+        heartbeat = Heartbeat(path, interval=100, min_wall_s=0.0)
+        run_cell(spec_cell(), heartbeat=heartbeat)
+        assert heartbeat.beats > 1
+        assert age_s(path) is not None
+        beat = json.loads(open(path, encoding="utf-8").read())
+        assert beat["cycle"] > 0
+
+
+class TestWorkerCLI:
+    def _argv(self, tmp_path, cell):
+        spec = tmp_path / "cell.json"
+        spec.write_text(json.dumps(cell.to_dict()))
+        return (["--spec", str(spec), "--out", str(tmp_path / "out.json"),
+                 "--heartbeat", str(tmp_path / "hb")],
+                tmp_path / "out.json")
+
+    def test_success_writes_ok_outcome(self, tmp_path):
+        argv, out = self._argv(tmp_path, spec_cell())
+        assert worker_main(argv) == 0
+        outcome = json.loads(out.read_text())
+        assert outcome["status"] == "ok"
+        assert outcome["cell_id"] == "spec:505.mcf_r:specasan"
+        assert outcome["row"]["cycles"] > 0
+
+    def test_typed_failure_is_exit_3_with_error_payload(self, tmp_path):
+        argv, out = self._argv(tmp_path, spec_cell(max_cycles=50))
+        assert worker_main(argv) == 3
+        outcome = json.loads(out.read_text())
+        assert outcome["status"] == "failed"
+        assert outcome["error_type"] == "SimulationError"
+        assert "50 cycles" in outcome["error"]

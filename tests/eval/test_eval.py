@@ -7,6 +7,7 @@ from repro.eval import (
     figure1,
     figure5_trace,
     geomean,
+    MISSING_CELL,
     normalized,
     percent,
     render_figure1,
@@ -96,3 +97,25 @@ class TestRunSpec:
         assert "541.leela_r" in text and "geomean" in text
         text = render_rows(rows, metric="restricted")
         assert "average" in text
+
+    def test_render_rows_marks_missing_cells(self, rows):
+        # Pinning the expected grid wider than the measured rows (the shape
+        # of a campaign whose cell exhausted its retries) must degrade to
+        # explicit markers, not raise.
+        text = render_rows(rows, benchmarks=["541.leela_r", "548.exchange2_r"],
+                           defenses=[DefenseKind.NONE, DefenseKind.FENCE,
+                                     DefenseKind.STT])
+        lines = text.splitlines()
+        # The never-measured benchmark renders as a full row of markers.
+        exchange = next(l for l in lines if l.startswith("548."))
+        assert exchange.count(MISSING_CELL) == 3
+        # Partial columns get flagged aggregates; the never-measured STT
+        # column has no aggregate at all.
+        geomean_line = next(l for l in lines if l.startswith("geomean"))
+        assert "*" in geomean_line
+        assert MISSING_CELL in geomean_line
+        assert "available cells only" in lines[-1]
+
+    def test_render_rows_complete_grid_unchanged(self, rows):
+        # With no explicit grid the historical strict rendering survives.
+        assert MISSING_CELL not in render_rows(rows)

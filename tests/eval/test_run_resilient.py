@@ -5,7 +5,7 @@ from dataclasses import replace
 import pytest
 
 from repro.config import CORTEX_A76, DefenseKind
-from repro.errors import DeadlockError, LivelockError
+from repro.errors import DeadlockError, LivelockError, SimulationError
 from repro.eval.experiments import run_resilient
 from repro.isa import assemble
 from repro.resilience import Watchdog
@@ -62,6 +62,30 @@ class TestRunResilient:
                           attach=lambda c: seeds.append(c.config.mte.seed))
         assert len(set(seeds)) == 3  # every retry reseeded
         assert excinfo.value.snapshot  # snapshot survives the retry loop
+
+    def test_exhausted_retries_attach_the_full_failure_history(self):
+        # The re-raised error must carry every attempt's failure, not just
+        # the last one — campaign logs need the whole retry history.
+        spin = assemble("MOV X1, #1\nspin: CBNZ X1, spin\nHALT")
+
+        def attach(core):
+            Watchdog(commit_limit=200).attach(core)
+
+        with pytest.raises(LivelockError) as excinfo:
+            run_resilient(spin, DefenseKind.NONE, max_retries=2,
+                          attach=attach)
+        assert len(excinfo.value.failures) == 3
+        assert [f.split(":")[0] for f in excinfo.value.failures] == [
+            "attempt 0", "attempt 1", "attempt 2"]
+
+    def test_cycle_budget_defaults_to_the_config(self):
+        # max_cycles hoisted into CoreConfig: a tiny configured budget must
+        # bound the run without any explicit max_cycles argument.
+        config = replace(CORTEX_A76,
+                         core=replace(CORTEX_A76.core, max_cycles=10))
+        with pytest.raises(SimulationError, match="10 cycles"):
+            run_resilient(PROGRAM, DefenseKind.NONE, config=config,
+                          max_retries=0)
 
     def test_untyped_errors_propagate_immediately(self):
         calls = []

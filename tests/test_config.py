@@ -91,3 +91,12 @@ class TestCoreConfig:
             CoreConfig(deadlock_threshold=0)
         with pytest.raises(ConfigError):
             CoreConfig(deadlock_threshold=-1)
+
+    def test_max_cycles_default_matches_old_hardcoded_budget(self):
+        assert CORTEX_A76.core.max_cycles == 2_000_000
+
+    def test_max_cycles_validated(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(max_cycles=0)
+        with pytest.raises(ConfigError):
+            CoreConfig(max_cycles=-5)
