@@ -64,6 +64,7 @@ def _run_spec_cell(cell: CellSpec, reseed: int,
         "restricted_fraction": result.stats.restricted_fraction,
         "ipc": result.ipc,
         "halted": result.halted,
+        "stats": system.stats_registry().dump(),
     }
 
 
@@ -93,6 +94,7 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
         "restricted_fraction": result.restricted_fraction,
         "ipc": result.ipc,
         "halted": True,
+        "stats": system.stats_registry().dump(),
     }
 
 

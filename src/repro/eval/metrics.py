@@ -7,10 +7,19 @@ from typing import Sequence
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean (the aggregation the paper's figures report)."""
-    values = [v for v in values if v > 0]
+    """Geometric mean (the aggregation the paper's figures report).
+
+    The geometric mean is undefined for non-positive values; silently
+    dropping them would skew every figure that aggregates over benchmarks,
+    so they raise instead.
+    """
+    values = list(values)
     if not values:
         return 0.0
+    bad = [v for v in values if v <= 0]
+    if bad:
+        raise ValueError(
+            f"geomean is undefined for non-positive values: {bad!r}")
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 

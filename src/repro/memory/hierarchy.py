@@ -56,6 +56,12 @@ class HierarchyStats:
     cross_tag_prefetches: int = 0
     prefetches_suppressed: int = 0
 
+    def registry(self, scope: str = "mem"):
+        """A :class:`~repro.telemetry.registry.StatsRegistry` view of these
+        counters plus the shared hit-rate formulas, scoped under ``scope``."""
+        from repro.telemetry.registry import hierarchy_registry
+        return hierarchy_registry(self, scope_name=scope)
+
 
 class MemoryHierarchy:
     """Caches + LFB + controller + DRAM for ``config.num_cores`` cores."""

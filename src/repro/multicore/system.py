@@ -43,14 +43,15 @@ class MulticoreResult:
 
     @property
     def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
+        from repro.telemetry.registry import ratio
+        return ratio(self.instructions, self.cycles)
 
     @property
     def restricted_fraction(self) -> float:
         """Aggregate Figure-8 restriction fraction across threads."""
-        committed = self.instructions
+        from repro.telemetry.registry import ratio
         restricted = sum(stats.restricted_committed for stats in self.per_core)
-        return restricted / committed if committed else 0.0
+        return ratio(restricted, self.instructions)
 
 
 class MulticoreSystem:
@@ -65,6 +66,12 @@ class MulticoreSystem:
         #: Campaign liveness probe pulsed from the lockstep loop (same
         #: contract as :attr:`repro.pipeline.core.Core.heartbeat`).
         self.heartbeat = None
+        #: Telemetry (:mod:`repro.telemetry`): ``tracer_factory(core_id)``
+        #: builds one :class:`~repro.telemetry.trace.TraceSink` per core;
+        #: ``occupancy_factory(core_id)`` one occupancy profiler per core.
+        self.tracer_factory = None
+        self.occupancy_factory = None
+        self.tracers: List = []
 
     def run(self, programs: List[Program], max_cycles: int = 5_000_000,
             warm_runs: int = 0) -> MulticoreResult:
@@ -91,6 +98,11 @@ class MulticoreSystem:
             core = Core(self.config, self.hierarchy, program,
                         policy=make_policy(self.config.defense),
                         core_id=core_id)
+            if self.tracer_factory is not None:
+                core.trace = self.tracer_factory(core_id)
+                self.tracers.append(core.trace)
+            if self.occupancy_factory is not None:
+                self.occupancy_factory(core_id).attach(core)
             self.cores.append(core)
 
         cycle = 0
@@ -106,6 +118,8 @@ class MulticoreSystem:
             if heartbeat is not None and cycle % heartbeat.interval == 0:
                 heartbeat.beat(cycle)
 
+        for tracer in self.tracers:
+            tracer.close()
         restricted = sum(len(core.policy.restricted_seqs)
                          for core in self.cores)
         return MulticoreResult(
@@ -114,3 +128,11 @@ class MulticoreSystem:
             faults=[core.fault for core in self.cores],
             restricted=restricted,
             invalidations=self.hierarchy.directory.invalidations)
+
+    def stats_registry(self):
+        """One :class:`~repro.telemetry.registry.StatsRegistry` over every
+        core (``core0`` / ``core1`` / …) plus the shared hierarchy."""
+        from repro.telemetry.registry import system_registry
+        return system_registry(
+            hierarchy_stats=self.hierarchy.stats,
+            per_core=[core.stats for core in self.cores])

@@ -124,6 +124,15 @@ class Core:
         #: and the campaign straggler detector can reap the worker.
         self.heartbeat = None
 
+        # Telemetry hooks (opt-in; see repro.telemetry).  Both default to
+        # None and every call site is guarded on that, so an untraced run
+        # pays one attribute test per event site.
+        #: Pipeline event trace sink (:class:`repro.telemetry.trace.TraceSink`).
+        self.trace = None
+        #: Occupancy profiler sampled from tick()
+        #: (:class:`repro.telemetry.occupancy.OccupancyProfiler`).
+        self.occupancy = None
+
         # Attack-oracle state (§4.3): secret address ranges and the log of
         # secret-dependent speculative activity the detector inspects.
         self.secret_ranges: List[Tuple[int, int]] = []
@@ -137,6 +146,9 @@ class Core:
         """Advance the core one cycle."""
         self.cycle += 1
         self.stats.cycles = self.cycle
+        occupancy = self.occupancy
+        if occupancy is not None and self.cycle % occupancy.interval == 0:
+            occupancy.sample(self)
         self.ports.new_cycle()
         self._commit()
         self._writeback()
@@ -236,6 +248,34 @@ class Core:
         return False
 
     # ==================================================================
+    # defense restriction accounting (Fig. 8 + telemetry)
+    # ==================================================================
+
+    def mark_restricted(self, dyn: DynInstr) -> None:
+        """Route every defense delay through one place: the policy's
+        restricted set, the Figure-8 flag, the restriction timestamp, and
+        (when tracing) the ``restrict`` event."""
+        self.policy.restrict(dyn)
+        if not dyn.was_restricted:
+            dyn.was_restricted = True
+            dyn.restricted_cycle = self.cycle
+            self.stats.restricted_events += 1
+            if self.trace is not None:
+                self.trace.on_defense_event(dyn, self.cycle, "restrict",
+                                            policy=self.policy.name)
+
+    def _note_restriction_lift(self, dyn: DynInstr) -> None:
+        """A restricted instruction finally proceeded: record the delay."""
+        if dyn.restriction_lifted_cycle >= 0:
+            return
+        dyn.restriction_lifted_cycle = self.cycle
+        delay = self.cycle - dyn.restricted_cycle
+        if self.occupancy is not None:
+            self.occupancy.note_restriction_delay(delay)
+        if self.trace is not None:
+            self.trace.on_defense_event(dyn, self.cycle, "lift", delay=delay)
+
+    # ==================================================================
     # fetch
     # ==================================================================
 
@@ -249,9 +289,12 @@ class Core:
             static = self.program.fetch(self.fetch_pc)
             if static is None:
                 return  # ran past the text segment; wait for a redirect
-            dyn = DynInstr(seq=self.seq, static=static, pc=self.fetch_pc)
+            dyn = DynInstr(seq=self.seq, static=static, pc=self.fetch_pc,
+                           fetch_cycle=self.cycle)
             self.seq += 1
             self.stats.fetched += 1
+            if self.trace is not None:
+                self.trace.on_fetch(dyn, self.cycle)
             redirected = self._predict_and_advance(dyn)
             self.fetch_queue.append(dyn)
             budget -= 1
@@ -311,8 +354,7 @@ class Core:
         if not self.policy.fetch_may_follow_indirect(dyn, predicted):
             # SpecCFI: the predicted target is not a valid landing pad —
             # speculation down it is refused; fetch stalls until resolution.
-            self.policy.restrict(dyn)
-            dyn.was_restricted = True
+            self.mark_restricted(dyn)
             self.stats.cfi_fetch_stalls += 1
             self.fetch_blocked_on = dyn
             return False
@@ -354,6 +396,7 @@ class Core:
             if not self.lsq.can_dispatch(dyn):
                 return
             self.fetch_queue.pop(0)
+            dyn.dispatch_cycle = self.cycle
             self._rename(dyn)
             self.rob.append(dyn)
             self.lsq.dispatch(dyn)
@@ -419,14 +462,18 @@ class Core:
             if self._blocked_by_sb(dyn):
                 continue
             if not self.policy.may_issue(dyn):
-                self.policy.restrict(dyn)
-                dyn.was_restricted = True
+                self.mark_restricted(dyn)
                 continue
             if not self.ports.try_claim(dyn.static.klass):
                 continue
             self.iq.remove(dyn)
             dyn.state = InstrState.ISSUED
             dyn.issue_cycle = self.cycle
+            if dyn.restricted_cycle >= 0 and not dyn.is_load:
+                # Issue-side restrictions (STT, DoM-style holds) lift the
+                # moment the instruction issues; load restrictions lift when
+                # the data is finally released in complete_load.
+                self._note_restriction_lift(dyn)
             self._execute(dyn)
             budget -= 1
 
@@ -595,6 +642,8 @@ class Core:
         dyn.resolved = True
         self._unresolved_branches.pop(dyn.seq, None)
         self.stats.branches += 1
+        if self.occupancy is not None and dyn.fetch_cycle >= 0:
+            self.occupancy.note_shadow(self.cycle - dyn.fetch_cycle)
         static = dyn.static
         history = dyn.bhb_snapshot
         if static.op in (Opcode.B_COND, Opcode.CBZ, Opcode.CBNZ):
@@ -629,13 +678,20 @@ class Core:
 
     def squash_from(self, seq: int, redirect_pc: int, reason: str = "") -> None:
         """Squash every instruction with sequence >= ``seq`` and refetch."""
+        trace = self.trace
         for dyn in self.rob:
             if dyn.seq >= seq:
                 dyn.squashed = True
+                dyn.squash_cycle = self.cycle
                 self.stats.squashed += 1
+                if trace is not None:
+                    trace.on_squash(dyn, self.cycle, reason)
         for dyn in self.fetch_queue:
             dyn.squashed = True
+            dyn.squash_cycle = self.cycle
             self.stats.squashed += 1
+            if trace is not None:
+                trace.on_squash(dyn, self.cycle, reason)
         self.rob = [d for d in self.rob if d.seq < seq]
         self.iq = [d for d in self.iq if d.seq < seq]
         self.fetch_queue = [d for d in self.fetch_queue if d.seq < seq]
@@ -680,6 +736,8 @@ class Core:
                 "speculative": self.is_speculative(load)})
         if forwarded_store is not None and forwarded_store.secret_tainted:
             load.secret_tainted = True
+        if load.restricted_cycle >= 0:
+            self._note_restriction_lift(load)
         self._schedule_completion(load, max(ready_cycle, self.cycle + 1))
 
     def _in_secret_range(self, address: int) -> bool:
@@ -789,6 +847,9 @@ class Core:
     def _retire(self, head: DynInstr) -> None:
         self.rob.pop(0)
         head.state = InstrState.COMMITTED
+        head.commit_cycle = self.cycle
+        if self.trace is not None:
+            self.trace.on_retire(head, self.cycle)
         for reg in head.static.dst_regs:
             if head.result is not None:
                 self.arf[reg] = head.result

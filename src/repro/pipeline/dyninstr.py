@@ -57,6 +57,17 @@ class DynInstr:
     issue_cycle: int = -1
     complete_cycle: int = -1
 
+    # Pipeline timestamps (repro.telemetry): -1 until the stage is reached.
+    fetch_cycle: int = -1
+    dispatch_cycle: int = -1
+    commit_cycle: int = -1
+    squash_cycle: int = -1
+    #: Cycle the active defense first restricted this instruction, and the
+    #: cycle that restriction lifted (load data released / issue finally
+    #: allowed) — their difference is the Figure-8 restriction delay.
+    restricted_cycle: int = -1
+    restriction_lifted_cycle: int = -1
+
     # Branch state.
     pred_taken: bool = False
     pred_target: int = 0

@@ -174,6 +174,9 @@ class LoadStoreQueues:
         store.response = response
         store.tcs = TagCheckStatus.WAIT
         self.core.stats.tag_checks += 1
+        if self.core.trace is not None:
+            self.core.trace.on_defense_event(store, cycle, "tagcheck",
+                                             ok=response.tag_ok)
         if response.tag_ok is False:
             self.core.stats.tag_mismatches += 1
             self.core.policy.on_tag_outcome(store, False)
@@ -202,6 +205,9 @@ class LoadStoreQueues:
         if (load.tcs is TagCheckStatus.WAIT
                 and cycle >= response.tag_known_cycle
                 and response.tag_ok is not None):
+            if self.core.trace is not None:
+                self.core.trace.on_defense_event(load, cycle, "tag-outcome",
+                                                 ok=response.tag_ok)
             self.core.policy.on_tag_outcome(load, response.tag_ok)
         # MDS window: the LFB forwards the pending entry's *stale* bytes to
         # any load that hits it before the fill arrives; the value is
@@ -232,9 +238,12 @@ class LoadStoreQueues:
             # speculation to resolve (§3.4); the commit stage faults if it
             # turns out to be on the committed path.
             if not load.was_restricted:
-                load.was_restricted = True
-                self.core.policy.restrict(load)
                 self.core.stats.unsafe_delays += 1
+                if self.core.trace is not None:
+                    self.core.trace.on_defense_event(
+                        load, cycle, "withheld",
+                        served_from=response.served_from.value)
+            self.core.mark_restricted(load)
             return
         if load.used_stale_data:
             return  # verification path handles it
@@ -244,9 +253,7 @@ class LoadStoreQueues:
             # SpecASan's Spectre-STL rule: the access was issued (tag check +
             # cache warm) but its value is withheld until the SQ resolves the
             # memory-dependence speculation (§4.1).
-            if not load.was_restricted:
-                load.was_restricted = True
-                self.core.policy.restrict(load)
+            self.core.mark_restricted(load)
             return
         if not self.core.policy.on_load_data_ready(load, response):
             return
@@ -262,8 +269,7 @@ class LoadStoreQueues:
     def _try_start_load(self, load: DynInstr, cycle: int) -> None:
         """Attempt forwarding, dependence speculation, or a memory access."""
         if not self.core.policy.may_issue_load(load):
-            self.core.policy.restrict(load)
-            load.was_restricted = True
+            self.core.mark_restricted(load)
             return
 
         load_lo = strip_tag(load.addr)
@@ -349,8 +355,7 @@ class LoadStoreQueues:
                 continue
             if not self.core.policy.may_forward_store(store, load):
                 self.core.stats.forward_blocked += 1
-                self.core.policy.restrict(load)
-                load.was_restricted = True
+                self.core.mark_restricted(load)
                 # No forward; the load proceeds to memory as usual.
                 return False
             self.core.stats.store_forwards += 1
@@ -385,8 +390,7 @@ class LoadStoreQueues:
             # SpecASan: address keys differ — forwarding prevented (§3.4),
             # the load is an unsafe speculative access.
             self.core.stats.forward_blocked += 1
-            self.core.policy.restrict(load)
-            load.was_restricted = True
+            self.core.mark_restricted(load)
             return
         offset = load_lo - store_lo
         width = store.static.memory_bytes
@@ -426,6 +430,8 @@ class LoadStoreQueues:
         if flags.check_tag:
             load.tcs = TagCheckStatus.WAIT
             self.core.stats.tag_checks += 1
+            if self.core.trace is not None:
+                self.core.trace.on_defense_event(load, cycle, "tagcheck")
             if response.tag_ok is False:
                 self.core.stats.tag_mismatches += 1
         self.core.note_memory_issue(load, speculative)

@@ -1,8 +1,18 @@
-"""Per-core statistics the evaluation harness consumes."""
+"""Per-core statistics the evaluation harness consumes.
+
+``CoreStats`` stays a flat dataclass so the hot pipeline loops pay a single
+integer add per counter bump; the hierarchical structure, dump format, and
+derived formulas live in :mod:`repro.telemetry.registry`, which binds these
+attributes as views.  The ratio properties below delegate to the formula
+definitions shared with the experiment harness and campaign render paths —
+they are defined once, in :data:`repro.telemetry.registry.CORE_FORMULAS`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.telemetry.registry import ratio
 
 
 @dataclass
@@ -38,14 +48,19 @@ class CoreStats:
     @property
     def ipc(self) -> float:
         """Committed instructions per cycle."""
-        return self.committed / self.cycles if self.cycles else 0.0
+        return ratio(self.committed, self.cycles)
 
     @property
     def mispredict_rate(self) -> float:
-        return self.branch_mispredicts / self.branches if self.branches else 0.0
+        return ratio(self.branch_mispredicts, self.branches)
 
     @property
     def restricted_fraction(self) -> float:
         """Fraction of committed instructions the defense restricted (Fig. 8)."""
-        return (self.restricted_committed / self.committed
-                if self.committed else 0.0)
+        return ratio(self.restricted_committed, self.committed)
+
+    def registry(self, scope: str = "core"):
+        """A :class:`~repro.telemetry.registry.StatsRegistry` view of these
+        counters plus the standard derived formulas, scoped under ``scope``."""
+        from repro.telemetry.registry import core_registry
+        return core_registry(self, scope_name=scope)

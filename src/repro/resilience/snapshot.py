@@ -73,6 +73,15 @@ def core_snapshot(core) -> Dict:
         "lfb_inflight": sum(1 for e in lfb.entries if not e.filled),
         "fault": str(core.fault) if core.fault is not None else None,
     }
+    trace = getattr(core, "trace", None)
+    tail = getattr(trace, "tail", None)
+    if callable(tail):
+        # Tracing active: attach the last pipeline events so a wedged run
+        # shows what it was doing when it stopped (duck-typed, read-only).
+        try:
+            snapshot["trace_tail"] = tail()
+        except Exception:  # never let diagnostics raise a second error
+            pass
     return snapshot
 
 

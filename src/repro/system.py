@@ -50,7 +50,8 @@ class RunResult:
     @property
     def ipc(self) -> float:
         """Committed instructions per cycle."""
-        return self.instructions / self.cycles if self.cycles else 0.0
+        from repro.telemetry.registry import ratio
+        return ratio(self.instructions, self.cycles)
 
     @property
     def faulted(self) -> bool:
@@ -84,6 +85,12 @@ class SimulatedSystem:
         self.policy_factory = policy_factory
         self.hierarchy = MemoryHierarchy(config)
         self.core: Optional[Core] = None
+        #: Telemetry hooks (:mod:`repro.telemetry`): assign a
+        #: :class:`~repro.telemetry.trace.TraceSink` and/or an
+        #: :class:`~repro.telemetry.occupancy.OccupancyProfiler` before
+        #: :meth:`prepare`/:meth:`run`; each fresh core is wired to them.
+        self.tracer = None
+        self.occupancy = None
 
     def prepare(self, program: Program) -> Core:
         """Load ``program`` and build a fresh core for it (not yet run)."""
@@ -92,6 +99,10 @@ class SimulatedSystem:
         policy = (self.policy_factory() if self.policy_factory is not None
                   else make_policy(self.config.defense))
         self.core = Core(self.config, self.hierarchy, program, policy=policy)
+        if self.tracer is not None:
+            self.core.trace = self.tracer
+        if self.occupancy is not None:
+            self.occupancy.attach(self.core)
         return self.core
 
     def run(self, program: Program, max_cycles: Optional[int] = None,
@@ -127,6 +138,17 @@ class SimulatedSystem:
             restricted=len(core.policy.restricted_seqs),
             leak_log=list(core.leak_log),
         )
+
+    def stats_registry(self):
+        """One :class:`~repro.telemetry.registry.StatsRegistry` over the last
+        run's core counters, the hierarchy counters, and (when an
+        :class:`~repro.telemetry.occupancy.OccupancyProfiler` is attached)
+        the occupancy histograms."""
+        from repro.telemetry.registry import system_registry
+        return system_registry(
+            core_stats=self.core.stats if self.core is not None else None,
+            hierarchy_stats=self.hierarchy.stats,
+            occupancy=self.occupancy)
 
 
 def build_system(config: Optional[SystemConfig] = None,

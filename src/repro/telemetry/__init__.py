@@ -1,0 +1,72 @@
+"""Observability for the simulator: stats registry, tracing, occupancy.
+
+Three layers, all optional and zero-overhead when unused:
+
+- :mod:`repro.telemetry.registry` — a gem5-style hierarchical statistics
+  registry (scalars, bound views over the flat stats dataclasses,
+  distributions, derived formulas) with ``dump()`` / ``reset()`` / ``render()``;
+- :mod:`repro.telemetry.trace` — cycle-accurate pipeline event tracing to
+  gem5 O3PipeView (Konata-compatible) and JSONL;
+- :mod:`repro.telemetry.occupancy` — ROB/IQ/LQ/SQ/MSHR/LFB occupancy
+  histograms plus the speculation-shadow-length and restriction-delay
+  distributions behind the paper's Figure 8.
+
+``python -m repro.telemetry`` renders traces and runs traced simulations;
+see :mod:`repro.telemetry.__main__`.
+"""
+
+from repro.telemetry.occupancy import OccupancyProfiler
+from repro.telemetry.registry import (
+    CORE_FORMULAS,
+    HIERARCHY_FORMULAS,
+    BoundScalar,
+    Distribution,
+    Formula,
+    Scalar,
+    StatsRegistry,
+    core_registry,
+    hierarchy_registry,
+    ratio,
+    system_registry,
+)
+from repro.telemetry.render import (
+    render_stats_dump,
+    render_timeline,
+    render_trace_summary,
+)
+from repro.telemetry.trace import (
+    DEFENSE_EVENTS,
+    TICKS_PER_CYCLE,
+    TRACE_SCHEMA_VERSION,
+    PipelineTracer,
+    TraceSink,
+    load_trace,
+    parse_jsonl,
+    parse_o3pipeview,
+)
+
+__all__ = [
+    "BoundScalar",
+    "CORE_FORMULAS",
+    "core_registry",
+    "DEFENSE_EVENTS",
+    "Distribution",
+    "Formula",
+    "HIERARCHY_FORMULAS",
+    "hierarchy_registry",
+    "load_trace",
+    "OccupancyProfiler",
+    "parse_jsonl",
+    "parse_o3pipeview",
+    "PipelineTracer",
+    "ratio",
+    "render_stats_dump",
+    "render_timeline",
+    "render_trace_summary",
+    "Scalar",
+    "StatsRegistry",
+    "system_registry",
+    "TICKS_PER_CYCLE",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSink",
+]

@@ -1,0 +1,213 @@
+"""CLI: render pipeline traces and run traced simulations.
+
+Render an existing trace (either format)::
+
+    python -m repro.telemetry trace.jsonl
+    python -m repro.telemetry trace.o3pipeview --limit 40
+
+Run one attack PoC traced end to end (writes ``<out>.o3pipeview``,
+``<out>.jsonl``, and ``<out>.stats.json``, then renders the timeline)::
+
+    python -m repro.telemetry --run spectre-v1 --defense specasan --out /tmp/sv1
+    python -m repro.telemetry --run spectre-v1 --profile   # cProfile the run
+
+Determinism guard (used by the CI ``telemetry-smoke`` job): run one traced
+simulation twice with the same seed, assert byte-identical trace output and
+that the trace's commit/squash counts reconcile exactly with CoreStats::
+
+    python -m repro.telemetry --selftest
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+
+from repro.telemetry.occupancy import OccupancyProfiler
+from repro.telemetry.render import (render_stats_dump, render_timeline,
+                                    render_trace_summary)
+from repro.telemetry.trace import PipelineTracer, load_trace, parse_jsonl
+
+
+def _parse_defense(name: str):
+    from repro.config import DefenseKind
+    for kind in DefenseKind:
+        if kind.value == name:
+            return kind
+    raise SystemExit(f"unknown defense {name!r}; one of: "
+                     + ", ".join(k.value for k in DefenseKind))
+
+
+def _traced_system(defense, tracer, occupancy):
+    from repro.config import CORTEX_A76
+    from repro.system import build_system
+    system = build_system(CORTEX_A76.with_defense(defense))
+    system.tracer = tracer
+    system.occupancy = occupancy
+    return system
+
+
+def _run_traced_attack(attack_name: str, defense, tracer,
+                       occupancy, max_cycles=None, profile: bool = False):
+    """Run one attack PoC (first variant) on a traced system."""
+    from repro.attacks import REGISTRY
+    from repro.errors import DeadlockError, SimulationError
+    if attack_name not in REGISTRY:
+        raise SystemExit(f"unknown attack {attack_name!r}; one of: "
+                         + ", ".join(sorted(REGISTRY)))
+    attack = REGISTRY[attack_name][0][1]()
+    system = _traced_system(defense, tracer, occupancy)
+    core = system.prepare(attack.builder_program)
+    core.secret_ranges = [(attack.secret_address,
+                           attack.secret_address + attack.secret_size)]
+
+    def measured():
+        try:
+            core.run(max_cycles=max_cycles or attack.max_cycles)
+        except (DeadlockError, SimulationError) as exc:
+            print(f"note: run ended early: {exc}", file=sys.stderr)
+
+    if profile:
+        import cProfile
+        import pstats
+        profiler = cProfile.Profile()
+        profiler.runcall(measured)
+        pstats.Stats(profiler, stream=sys.stderr).sort_stats(
+            "cumulative").print_stats(25)
+    else:
+        measured()
+    tracer.close()
+    return system, core
+
+
+def _render_records(records, summary, args) -> None:
+    print(render_timeline(records, width=args.width, limit=args.limit))
+    print()
+    print(render_trace_summary(records, summary))
+
+
+def _selftest(args) -> int:
+    """Run the same traced simulation twice; any divergence is a bug."""
+    from repro.workloads import SPEC_BY_NAME
+    from repro.workloads.generator import generate
+
+    defense = _parse_defense(args.defense)
+    profile = SPEC_BY_NAME["502.gcc_r"]
+
+    def one_run():
+        o3, jsonl = io.StringIO(), io.StringIO()
+        tracer = PipelineTracer(o3, jsonl)
+        occupancy = OccupancyProfiler()
+        program = generate(profile, seed=args.seed,
+                           target_instructions=1500,
+                           mte_instrumented=True).program
+        system = _traced_system(defense, tracer, occupancy)
+        core = system.prepare(program)
+        core.run()
+        tracer.close()
+        return o3.getvalue(), jsonl.getvalue(), tracer, core, system
+
+    o3_a, jsonl_a, tracer_a, core_a, system_a = one_run()
+    o3_b, jsonl_b, tracer_b, _, _ = one_run()
+
+    failures = []
+    if o3_a != o3_b:
+        failures.append("O3PipeView outputs differ between identical runs")
+    if jsonl_a != jsonl_b:
+        failures.append("JSONL outputs differ between identical runs")
+    if not o3_a.startswith("O3PipeView:fetch:"):
+        failures.append("O3PipeView output missing fetch header line")
+    if tracer_a.committed != core_a.stats.committed:
+        failures.append(f"trace committed={tracer_a.committed} != "
+                        f"CoreStats.committed={core_a.stats.committed}")
+    if tracer_a.squashed != core_a.stats.squashed:
+        failures.append(f"trace squashed={tracer_a.squashed} != "
+                        f"CoreStats.squashed={core_a.stats.squashed}")
+    records, summary = parse_jsonl(jsonl_a.splitlines())
+    if len(records) != tracer_a.records:
+        failures.append(f"parsed {len(records)} records, "
+                        f"tracer wrote {tracer_a.records}")
+    if summary is None or summary["committed"] != tracer_a.committed:
+        failures.append("JSONL summary record missing or inconsistent")
+
+    _render_records(records[:40], summary, args)
+    print()
+    print(render_stats_dump(system_a.stats_registry().dump()))
+    print()
+    if failures:
+        for failure in failures:
+            print(f"SELFTEST FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"selftest ok: {tracer_a.records} records byte-identical across "
+          f"two seed={args.seed} runs; commit/squash counts reconcile "
+          f"({tracer_a.committed}/{tracer_a.squashed})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Render pipeline traces / run traced simulations.")
+    parser.add_argument("trace", nargs="?",
+                        help="trace file to render (O3PipeView or JSONL)")
+    parser.add_argument("--run", metavar="ATTACK",
+                        help="run this attack PoC traced (e.g. spectre-v1)")
+    parser.add_argument("--defense", default="specasan",
+                        help="defense for --run/--selftest (default specasan)")
+    parser.add_argument("--out", default=None,
+                        help="output prefix for --run trace/stats files")
+    parser.add_argument("--max-cycles", type=int, default=None)
+    parser.add_argument("--profile", action="store_true",
+                        help="run --run under cProfile (report on stderr)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="determinism + reconciliation guard (CI)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--width", type=int, default=72,
+                        help="timeline width in columns")
+    parser.add_argument("--limit", type=int, default=64,
+                        help="max instructions to draw (default 64)")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return _selftest(args)
+
+    if args.run:
+        defense = _parse_defense(args.defense)
+        if args.out:
+            o3_path = f"{args.out}.o3pipeview"
+            jsonl_path = f"{args.out}.jsonl"
+        else:
+            o3_path, jsonl_path = None, io.StringIO()
+        tracer = PipelineTracer(o3_path, jsonl_path)
+        occupancy = OccupancyProfiler()
+        system, core = _run_traced_attack(
+            args.run, defense, tracer, occupancy,
+            max_cycles=args.max_cycles, profile=args.profile)
+        if args.out:
+            with open(jsonl_path, encoding="utf-8") as handle:
+                records, summary = parse_jsonl(handle)
+            stats_path = f"{args.out}.stats.json"
+            with open(stats_path, "w", encoding="utf-8") as handle:
+                json.dump(system.stats_registry().dump(), handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {o3_path}, {jsonl_path}, {stats_path}\n")
+        else:
+            records, summary = parse_jsonl(
+                jsonl_path.getvalue().splitlines())
+        _render_records(records, summary, args)
+        print()
+        print(render_stats_dump(system.stats_registry().dump()))
+        return 0
+
+    if not args.trace:
+        parser.print_usage()
+        return 2
+    records, summary = load_trace(args.trace)
+    _render_records(records, summary, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

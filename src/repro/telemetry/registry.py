@@ -1,0 +1,385 @@
+"""A gem5-style hierarchical statistics registry.
+
+The simulator's end-of-run counters (:class:`~repro.pipeline.stats.CoreStats`,
+:class:`~repro.memory.hierarchy.HierarchyStats`) are plain dataclasses so the
+hot simulation loops pay nothing for bookkeeping beyond an integer add.  This
+module layers structure *on top* of those objects:
+
+- :class:`Scalar` — a registry-owned counter;
+- :class:`BoundScalar` — a view over an attribute of an existing stats
+  object, so ``core.stats.committed += 1`` call sites keep their flat, fast
+  attribute API while the registry still dumps and resets the value;
+- :class:`Distribution` — a sampled histogram with mean/stdev, the shape
+  occupancy profiles and latency distributions need;
+- :class:`Formula` — a derived metric evaluated lazily at dump time.
+
+Names are dot-scoped (``core0.commit.committed``) like gem5's statistics
+tree; :meth:`StatsRegistry.dump` returns the matching nested dict and
+:meth:`StatsRegistry.render` the flat ``stats.txt``-style table.
+
+The ratio formulas every harness derives (IPC, mispredict rate, Figure 8's
+restricted fraction) are defined exactly once here — ``CORE_FORMULAS`` /
+``HIERARCHY_FORMULAS`` — and reused by the dataclass properties, the
+experiment harness, and the campaign render paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields as dataclass_fields
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """The zero-guarded ratio every derived rate in the repo uses."""
+    return numerator / denominator if denominator else 0.0
+
+
+#: Derived core metrics: name -> (numerator field, denominator field, desc).
+#: :class:`~repro.pipeline.stats.CoreStats` properties and the experiment /
+#: campaign render paths all evaluate these same definitions.
+CORE_FORMULAS: Dict[str, Tuple[str, str, str]] = {
+    "ipc": ("committed", "cycles", "committed instructions per cycle"),
+    "mispredict_rate": ("branch_mispredicts", "branches",
+                        "mispredicted fraction of resolved branches"),
+    "restricted_fraction": ("restricted_committed", "committed",
+                            "fraction of committed instructions the defense "
+                            "restricted (Fig. 8)"),
+}
+
+#: Derived hierarchy metrics, same shape as :data:`CORE_FORMULAS`.
+HIERARCHY_FORMULAS: Dict[str, Tuple[str, str, str]] = {
+    "l1_hit_rate": ("l1_hits", "loads", "loads served by the L1"),
+    "lfb_hit_rate": ("lfb_hits", "loads", "loads served by the LFB"),
+    "tag_mismatch_rate": ("tag_mismatches", "tag_checks",
+                          "tag checks that found a key/lock mismatch"),
+}
+
+
+class Stat:
+    """Base class: a named, documented, resettable value."""
+
+    def __init__(self, name: str, desc: str = ""):
+        self.name = name
+        self.desc = desc
+
+    @property
+    def value(self):
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def dump(self):
+        """The JSON-serializable representation of this stat."""
+        return self.value
+
+
+class Scalar(Stat):
+    """A registry-owned counter."""
+
+    def __init__(self, name: str, desc: str = "", initial: float = 0):
+        super().__init__(name, desc)
+        self._value = initial
+
+    @property
+    def value(self):
+        return self._value
+
+    @value.setter
+    def value(self, new) -> None:
+        self._value = new
+
+    def inc(self, delta: float = 1) -> None:
+        self._value += delta
+
+    def reset(self) -> None:
+        self._value = 0
+
+
+class BoundScalar(Stat):
+    """A view over a counter that lives on another object.
+
+    The owning object keeps its plain attribute (so hot-path increments stay
+    a single integer add); the registry reads it through ``getter`` at dump
+    time and zeroes it through ``setter`` on reset.
+    """
+
+    def __init__(self, name: str, getter: Callable[[], float],
+                 setter: Optional[Callable[[float], None]] = None,
+                 desc: str = ""):
+        super().__init__(name, desc)
+        self._getter = getter
+        self._setter = setter
+
+    @property
+    def value(self):
+        return self._getter()
+
+    def reset(self) -> None:
+        if self._setter is not None:
+            self._setter(0)
+
+
+class Formula(Stat):
+    """A derived metric computed from other stats at dump time."""
+
+    def __init__(self, name: str, fn: Callable[[], float], desc: str = ""):
+        super().__init__(name, desc)
+        self._fn = fn
+
+    @property
+    def value(self):
+        return self._fn()
+
+
+class Distribution(Stat):
+    """A sampled value with count/min/max/mean/stdev and a bucket histogram.
+
+    ``bucket_width`` fixes linear buckets (right choice for occupancies,
+    where the range is a known capacity); ``log2_buckets=True`` switches to
+    power-of-two buckets (right choice for latencies, whose tail is long).
+    """
+
+    def __init__(self, name: str, desc: str = "", bucket_width: int = 1,
+                 log2_buckets: bool = False):
+        super().__init__(name, desc)
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.bucket_width = bucket_width
+        self.log2_buckets = log2_buckets
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def _bucket_of(self, value: float) -> int:
+        if self.log2_buckets:
+            return 0 if value < 1 else int(value).bit_length() - 1
+        return int(value) // self.bucket_width
+
+    def bucket_bounds(self, bucket: int) -> Tuple[int, int]:
+        """Inclusive-lo/exclusive-hi value range of ``bucket``."""
+        if self.log2_buckets:
+            lo = 0 if bucket == 0 else 1 << bucket
+            return lo, 1 << (bucket + 1)
+        return bucket * self.bucket_width, (bucket + 1) * self.bucket_width
+
+    def sample(self, value: float, count: int = 1) -> None:
+        self.count += count
+        self.total += value * count
+        self.sum_sq += value * value * count
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        bucket = self._bucket_of(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+
+    @property
+    def mean(self) -> float:
+        return ratio(self.total, self.count)
+
+    @property
+    def stdev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        variance = self.sum_sq / self.count - self.mean ** 2
+        return math.sqrt(max(variance, 0.0))
+
+    @property
+    def value(self):
+        return self.mean
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.min = None
+        self.max = None
+        self.buckets = {}
+
+    def dump(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+            "bucket_width": self.bucket_width,
+            "log2_buckets": self.log2_buckets,
+        }
+
+
+class Scope:
+    """A dotted-prefix view of a registry: ``scope.scalar("x")`` registers
+    ``prefix.x``.  Scopes nest (``scope.scope("commit")``)."""
+
+    def __init__(self, registry: "StatsRegistry", prefix: str):
+        self.registry = registry
+        self.prefix = prefix
+
+    def _full(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def scope(self, name: str) -> "Scope":
+        return Scope(self.registry, self._full(name))
+
+    def add(self, name: str, stat: Stat) -> Stat:
+        return self.registry.add(self._full(name), stat)
+
+    def scalar(self, name: str, desc: str = "") -> Scalar:
+        return self.add(name, Scalar(name, desc))
+
+    def bind(self, name: str, getter, setter=None, desc: str = "") -> BoundScalar:
+        return self.add(name, BoundScalar(name, getter, setter, desc))
+
+    def distribution(self, name: str, desc: str = "", **kwargs) -> Distribution:
+        return self.add(name, Distribution(name, desc, **kwargs))
+
+    def formula(self, name: str, fn, desc: str = "") -> Formula:
+        return self.add(name, Formula(name, fn, desc))
+
+
+class StatsRegistry:
+    """A flat, insertion-ordered map of dotted names to stats."""
+
+    def __init__(self):
+        self._stats: Dict[str, Stat] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def add(self, full_name: str, stat: Stat) -> Stat:
+        if full_name in self._stats:
+            raise ValueError(f"stat {full_name!r} already registered")
+        self._stats[full_name] = stat
+        return stat
+
+    def scope(self, prefix: str) -> Scope:
+        return Scope(self, prefix)
+
+    def merge(self, other: "StatsRegistry", prefix: str = "") -> None:
+        """Graft every stat of ``other`` under ``prefix``."""
+        for name, stat in other.items():
+            self.add(f"{prefix}.{name}" if prefix else name, stat)
+
+    # -- lookup --------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def get(self, name: str) -> Stat:
+        return self._stats[name]
+
+    def items(self) -> Iterable[Tuple[str, Stat]]:
+        return self._stats.items()
+
+    # -- dump / reset --------------------------------------------------------
+
+    def dump(self) -> dict:
+        """Nested dict keyed by the dotted-name segments."""
+        tree: dict = {}
+        for name, stat in self._stats.items():
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+            node[parts[-1]] = stat.dump()
+        return tree
+
+    def reset(self) -> None:
+        for stat in self._stats.values():
+            stat.reset()
+
+    def render(self, title: str = "") -> str:
+        """A flat gem5 ``stats.txt``-style table."""
+        lines: List[str] = []
+        if title:
+            lines.append(f"---------- {title} ----------")
+        width = max((len(name) for name in self._stats), default=0)
+        for name, stat in self._stats.items():
+            value = stat.value
+            if isinstance(value, float):
+                text = f"{value:14.6f}"
+            elif value is None:
+                text = f"{'n/a':>14s}"
+            else:
+                text = f"{value:14d}"
+            comment = f"  # {stat.desc}" if stat.desc else ""
+            lines.append(f"{name:<{width}s} {text}{comment}")
+            if isinstance(stat, Distribution) and stat.count:
+                lines.append(
+                    f"{name + '::count':<{width}s} {stat.count:14d}")
+                lines.append(
+                    f"{name + '::minmax':<{width}s} "
+                    f"{f'[{stat.min:g}, {stat.max:g}]':>14s}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# bindings over the existing flat stats dataclasses
+# ----------------------------------------------------------------------
+
+def bind_dataclass(scope: Scope, obj) -> None:
+    """Register every field of a stats dataclass as a :class:`BoundScalar`.
+
+    Uses default-argument binding so each closure captures its own field
+    name; reset writes zero back through the same attribute.
+    """
+    for field in dataclass_fields(obj):
+        scope.bind(
+            field.name,
+            getter=lambda o=obj, n=field.name: getattr(o, n),
+            setter=lambda v, o=obj, n=field.name: setattr(o, n, v))
+
+
+def _add_ratio_formulas(scope: Scope, obj,
+                        formulas: Dict[str, Tuple[str, str, str]]) -> None:
+    for name, (num, den, desc) in formulas.items():
+        scope.formula(
+            name,
+            lambda o=obj, n=num, d=den: ratio(getattr(o, n), getattr(o, d)),
+            desc)
+
+
+def core_registry(stats, scope_name: str = "core") -> StatsRegistry:
+    """Registry view over one :class:`~repro.pipeline.stats.CoreStats`."""
+    registry = StatsRegistry()
+    scope = registry.scope(scope_name)
+    bind_dataclass(scope, stats)
+    _add_ratio_formulas(scope, stats, CORE_FORMULAS)
+    return registry
+
+
+def hierarchy_registry(stats, scope_name: str = "mem") -> StatsRegistry:
+    """Registry view over one :class:`~repro.memory.hierarchy.HierarchyStats`."""
+    registry = StatsRegistry()
+    scope = registry.scope(scope_name)
+    bind_dataclass(scope, stats)
+    _add_ratio_formulas(scope, stats, HIERARCHY_FORMULAS)
+    return registry
+
+
+def system_registry(core_stats=None, hierarchy_stats=None, occupancy=None,
+                    per_core=()) -> StatsRegistry:
+    """One registry over a whole simulated system.
+
+    ``core_stats`` registers under ``core``; ``per_core`` (a sequence of
+    CoreStats) registers under ``core0`` / ``core1`` / …; the hierarchy under
+    ``mem``; an :class:`~repro.telemetry.occupancy.OccupancyProfiler` under
+    ``occupancy``.
+    """
+    registry = StatsRegistry()
+    if core_stats is not None:
+        registry.merge(core_registry(core_stats))
+    for core_id, stats in enumerate(per_core):
+        registry.merge(core_registry(stats, scope_name=f"core{core_id}"))
+    if hierarchy_stats is not None:
+        registry.merge(hierarchy_registry(hierarchy_stats))
+    if occupancy is not None:
+        registry.merge(occupancy.registry())
+    return registry

@@ -1,0 +1,146 @@
+"""ASCII rendering of pipeline traces and stats dumps.
+
+``python -m repro.telemetry <trace>`` feeds a parsed trace (either format,
+see :mod:`repro.telemetry.trace`) through :func:`render_timeline` — a
+Konata-style lane per instruction — and :func:`render_trace_summary`, a
+latency/fate roll-up computed from the records themselves.
+
+Timeline glyphs::
+
+    F fetch   D dispatch   I issue   E complete   R retire   X squash
+    t tag check issued     ! response withheld    r restricted   L lifted
+    . in flight between stages
+
+When the traced window is wider than the terminal, cycles are scaled; the
+header names the scale (``1 col = N cycles``) so distances stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry.registry import ratio
+
+#: Stage -> (record key, glyph), in pipeline order.
+_STAGES = (("fetch", "F"), ("dispatch", "D"), ("issue", "I"),
+           ("complete", "E"), ("retire", "R"), ("squash", "X"))
+#: Defense event kind -> overlay glyph.
+_EVENT_GLYPHS = {"tagcheck": "t", "withheld": "!", "restrict": "r",
+                 "lift": "L"}
+
+
+def _record_span(record: dict) -> tuple:
+    cycles = [record.get(key) for key, _ in _STAGES]
+    cycles = [c for c in cycles if isinstance(c, int) and c >= 0]
+    return (min(cycles), max(cycles)) if cycles else (None, None)
+
+
+def render_timeline(records: Sequence[dict], width: int = 72,
+                    start: Optional[int] = None,
+                    end: Optional[int] = None,
+                    limit: Optional[int] = None) -> str:
+    """Render one lane per instruction across a (possibly scaled) window."""
+    records = [r for r in records if _record_span(r)[0] is not None]
+    if limit is not None:
+        records = records[:limit]
+    if not records:
+        return "(empty trace)"
+    lo = min(_record_span(r)[0] for r in records) if start is None else start
+    hi = max(_record_span(r)[1] for r in records) if end is None else end
+    span = max(hi - lo + 1, 1)
+    scale = max(1, -(-span // width))  # ceil
+    cols = -(-span // scale)
+
+    def col(cycle: int) -> Optional[int]:
+        if cycle is None or cycle < lo or cycle > hi:
+            return None
+        return (cycle - lo) // scale
+
+    lines = [
+        f"cycles {lo}..{hi}  (1 col = {scale} cycle{'s' if scale > 1 else ''})",
+        f"{'seq':>6s} {'pc':>8s} {'disasm':24s} {'fate':7s} |{'cycle':-<{cols}s}|",
+    ]
+    for record in records:
+        lane = [" "] * cols
+        span_lo, span_hi = _record_span(record)
+        for cycle in range(max(span_lo, lo), min(span_hi, hi) + 1):
+            lane[col(cycle)] = "."
+        for key, glyph in _STAGES:
+            position = col(record.get(key)
+                           if isinstance(record.get(key), int) else None)
+            if position is not None:
+                lane[position] = glyph
+        for event in record.get("events", ()):
+            cycle, kind = event[0], event[1]
+            glyph = _EVENT_GLYPHS.get(kind)
+            position = col(cycle)
+            if glyph is not None and position is not None:
+                lane[position] = glyph
+        disasm = (record.get("disasm") or "")[:24]
+        fate = record.get("fate", "?")
+        lines.append(f"{record.get('seq', -1):>6d} {record.get('pc', 0):>#8x} "
+                     f"{disasm:24s} {fate:7s} |{''.join(lane)}|")
+    return "\n".join(lines)
+
+
+def render_trace_summary(records: Sequence[dict],
+                         summary: Optional[dict] = None) -> str:
+    """Fate counts and stage-latency averages computed from the records."""
+    committed = [r for r in records if r.get("fate") == "commit"]
+    squashed = [r for r in records if r.get("fate") == "squash"]
+
+    def mean_latency(from_key: str, to_key: str,
+                     rows: Sequence[dict]) -> Optional[float]:
+        deltas = [r[to_key] - r[from_key] for r in rows
+                  if isinstance(r.get(from_key), int) and r.get(from_key, -1) >= 0
+                  and isinstance(r.get(to_key), int) and r.get(to_key, -1) >= 0]
+        return ratio(sum(deltas), len(deltas)) if deltas else None
+
+    lines = ["trace summary",
+             "-------------",
+             f"instructions traced : {len(records)}",
+             f"  committed         : {len(committed)}",
+             f"  squashed          : {len(squashed)}"]
+    if summary is not None:
+        lines.append(f"  (writer counters  : committed={summary.get('committed')} "
+                     f"squashed={summary.get('squashed')})")
+    for label, pair in (("fetch -> dispatch", ("fetch", "dispatch")),
+                        ("dispatch -> issue", ("dispatch", "issue")),
+                        ("issue -> complete", ("issue", "complete")),
+                        ("fetch -> retire", ("fetch", "retire"))):
+        mean = mean_latency(pair[0], pair[1], committed)
+        if mean is not None:
+            lines.append(f"mean {label:18s}: {mean:8.2f} cycles")
+    events: Dict[str, int] = {}
+    for record in records:
+        for event in record.get("events", ()):
+            events[event[1]] = events.get(event[1], 0) + 1
+    if events:
+        lines.append("defense events      : " + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(events.items())))
+    return "\n".join(lines)
+
+
+def render_stats_dump(dump: dict, indent: int = 0) -> str:
+    """Render a nested registry dump (stats.json) as an indented table."""
+    lines: List[str] = []
+    pad = "  " * indent
+    for key, value in dump.items():
+        if isinstance(value, dict) and "buckets" in value and "count" in value:
+            lines.append(f"{pad}{key:24s} count={value['count']:<8d} "
+                         f"mean={value['mean']:<10.3f} "
+                         f"min={value['min']} max={value['max']}")
+            buckets = value.get("buckets") or {}
+            if buckets:
+                total = sum(buckets.values()) or 1
+                for bucket, count in buckets.items():
+                    bar = "#" * max(1, round(40 * count / total))
+                    lines.append(f"{pad}  [{bucket:>4s}] {count:>8d} {bar}")
+        elif isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.append(render_stats_dump(value, indent + 1))
+        elif isinstance(value, float):
+            lines.append(f"{pad}{key:24s} {value:14.6f}")
+        else:
+            lines.append(f"{pad}{key:24s} {value!r:>14s}")
+    return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Cycle-accurate pipeline event tracing (gem5 O3PipeView + JSONL).
+
+The core and LSQ call into an attached :class:`TraceSink` at each lifecycle
+point of a :class:`~repro.pipeline.dyninstr.DynInstr` — fetch, retirement,
+squash — and at each defense event (tag check issued, tag outcome, withheld
+response, restriction, restriction lift).  Every call site is guarded by
+``if self.trace is not None``, so a core with no sink attached pays one
+attribute test per event site and nothing else.
+
+:class:`PipelineTracer` is the standard sink.  It buffers per-instruction
+defense events and, once an instruction's fate is known (commit or squash),
+emits one record to each configured writer:
+
+- **O3PipeView** (``trace.o3pipeview``): the gem5 line format Konata and
+  gem5's own pipeline viewer parse.  Our model has no separate decode/rename
+  stages, so those lines carry the dispatch cycle; ticks are cycles scaled
+  by :data:`TICKS_PER_CYCLE` (gem5's convention of 500 ps per cycle).
+- **JSONL** (``trace.jsonl``): one self-describing object per instruction
+  with all timestamps plus the defense-event list — the machine-readable
+  form the ``python -m repro.telemetry`` renderer and tests consume.
+
+The tracer also keeps a bounded ring buffer of recent events
+(:meth:`PipelineTracer.tail`) that resilience snapshots attach to
+Deadlock/Livelock/InvariantViolation reports, so a wedged run shows what the
+pipeline was doing when it stopped.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.dyninstr import DynInstr
+
+#: O3PipeView ticks per simulated cycle (gem5 uses picosecond ticks with a
+#: 2 GHz clock; Konata infers the cycle time from the tick GCD).
+TICKS_PER_CYCLE = 500
+
+#: Trace schema version stamped on every JSONL record.
+TRACE_SCHEMA_VERSION = 1
+
+#: Defense event kinds a sink may receive.
+DEFENSE_EVENTS = ("tagcheck", "tag-outcome", "withheld", "restrict", "lift")
+
+
+class TraceSink:
+    """Interface for pipeline trace consumers (all hooks are optional)."""
+
+    def on_fetch(self, dyn: "DynInstr", cycle: int) -> None:
+        """``dyn`` was fetched at ``cycle``."""
+
+    def on_defense_event(self, dyn: "DynInstr", cycle: int, kind: str,
+                         **details) -> None:
+        """A defense intervention touched ``dyn`` (see DEFENSE_EVENTS)."""
+
+    def on_retire(self, dyn: "DynInstr", cycle: int) -> None:
+        """``dyn`` committed at ``cycle``; its timestamps are final."""
+
+    def on_squash(self, dyn: "DynInstr", cycle: int, reason: str = "") -> None:
+        """``dyn`` was squashed at ``cycle``."""
+
+    def close(self) -> None:
+        """Flush and release any output resources."""
+
+
+def _stage_ticks(dyn) -> Dict[str, int]:
+    """The per-stage cycle numbers of one finished instruction.
+
+    Stages the instruction never reached report ``-1``.  Instructions that
+    complete at dispatch (branches resolved at fetch, NOPs) report their
+    dispatch cycle as issue/complete so the record stays monotone.
+    """
+    issue = dyn.issue_cycle
+    complete = dyn.complete_cycle
+    if issue < 0 and complete >= 0:
+        issue = max(dyn.dispatch_cycle, 0) or complete
+    return {
+        "fetch": dyn.fetch_cycle,
+        "dispatch": dyn.dispatch_cycle,
+        "issue": issue,
+        "complete": complete,
+    }
+
+
+class PipelineTracer(TraceSink):
+    """Buffers per-instruction events and writes O3PipeView + JSONL records.
+
+    Either output may be ``None``; paths or open text handles are accepted.
+    ``tail_limit`` bounds the diagnostic ring buffer.
+    """
+
+    def __init__(self, o3_path=None, jsonl_path=None, core_id: int = 0,
+                 tail_limit: int = 64):
+        self.core_id = core_id
+        self._o3 = self._open(o3_path)
+        self._jsonl = self._open(jsonl_path)
+        self._events: Dict[int, List[list]] = {}
+        self._tail: deque = deque(maxlen=tail_limit)
+        #: Reconciliation counters — must match CoreStats at end of run.
+        self.committed = 0
+        self.squashed = 0
+        self.records = 0
+
+    @staticmethod
+    def _open(target):
+        if target is None:
+            return None
+        if isinstance(target, (str, bytes)) or hasattr(target, "__fspath__"):
+            return open(target, "w", encoding="utf-8", newline="\n")
+        return target  # an already-open text handle (e.g. StringIO)
+
+    # -- sink hooks ----------------------------------------------------------
+
+    def on_fetch(self, dyn, cycle: int) -> None:
+        self._tail.append((cycle, "fetch", dyn.seq, dyn.pc))
+
+    def on_defense_event(self, dyn, cycle: int, kind: str, **details) -> None:
+        event = [cycle, kind, details]
+        self._events.setdefault(dyn.seq, []).append(event)
+        self._tail.append((cycle, kind, dyn.seq, dyn.pc))
+
+    def on_retire(self, dyn, cycle: int) -> None:
+        self.committed += 1
+        self._tail.append((cycle, "retire", dyn.seq, dyn.pc))
+        self._emit(dyn, fate="commit", end_cycle=cycle)
+
+    def on_squash(self, dyn, cycle: int, reason: str = "") -> None:
+        self.squashed += 1
+        self._tail.append((cycle, "squash", dyn.seq, dyn.pc))
+        self._emit(dyn, fate="squash", end_cycle=cycle, reason=reason)
+
+    # -- record emission -----------------------------------------------------
+
+    def _emit(self, dyn, fate: str, end_cycle: int, reason: str = "") -> None:
+        self.records += 1
+        events = self._events.pop(dyn.seq, [])
+        stages = _stage_ticks(dyn)
+        if self._jsonl is not None:
+            record = {
+                "v": TRACE_SCHEMA_VERSION,
+                "kind": "instr",
+                "core": self.core_id,
+                "seq": dyn.seq,
+                "pc": dyn.pc,
+                "disasm": dyn.static.render(),
+                "fate": fate,
+                **stages,
+            }
+            if fate == "commit":
+                record["retire"] = end_cycle
+            else:
+                record["squash"] = end_cycle
+                record["reason"] = reason
+            if events:
+                record["events"] = events
+            self._jsonl.write(json.dumps(record, separators=(",", ":")))
+            self._jsonl.write("\n")
+        if self._o3 is not None:
+            self._write_o3(dyn, stages, fate, end_cycle)
+
+    def _write_o3(self, dyn, stages: Dict[str, int], fate: str,
+                  end_cycle: int) -> None:
+        def tick(cycle: int) -> int:
+            return cycle * TICKS_PER_CYCLE if cycle >= 0 else 0
+
+        out = self._o3
+        out.write(f"O3PipeView:fetch:{tick(stages['fetch'])}:"
+                  f"0x{dyn.pc:08x}:0:{dyn.seq}:{dyn.static.render()}\n")
+        out.write(f"O3PipeView:decode:{tick(stages['dispatch'])}\n")
+        out.write(f"O3PipeView:rename:{tick(stages['dispatch'])}\n")
+        out.write(f"O3PipeView:dispatch:{tick(stages['dispatch'])}\n")
+        out.write(f"O3PipeView:issue:{tick(stages['issue'])}\n")
+        out.write(f"O3PipeView:complete:{tick(stages['complete'])}\n")
+        if fate == "commit":
+            store_tick = tick(end_cycle) if dyn.is_store else 0
+            out.write(f"O3PipeView:retire:{tick(end_cycle)}:"
+                      f"store:{store_tick}\n")
+        else:
+            # Tick 0 is the O3PipeView convention for a squashed entry.
+            out.write("O3PipeView:retire:0:store:0\n")
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def tail(self, limit: Optional[int] = None) -> List[tuple]:
+        """The most recent trace events, oldest first — attached to
+        resilience snapshots when tracing is active."""
+        events = list(self._tail)
+        if limit is not None:
+            events = events[-limit:]
+        return events
+
+    def close(self) -> None:
+        summary = {
+            "v": TRACE_SCHEMA_VERSION, "kind": "summary",
+            "core": self.core_id, "committed": self.committed,
+            "squashed": self.squashed, "records": self.records,
+        }
+        if self._jsonl is not None:
+            self._jsonl.write(json.dumps(summary, separators=(",", ":")))
+            self._jsonl.write("\n")
+            if not isinstance(self._jsonl, io.StringIO):
+                self._jsonl.close()
+            self._jsonl = None
+        if self._o3 is not None:
+            if not isinstance(self._o3, io.StringIO):
+                self._o3.close()
+            self._o3 = None
+
+
+# ----------------------------------------------------------------------
+# trace parsing (the renderer's input side)
+# ----------------------------------------------------------------------
+
+def parse_jsonl(lines) -> tuple:
+    """Parse a JSONL trace into ``(instr_records, summary_or_None)``."""
+    records, summary = [], None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("kind") == "summary":
+            summary = obj
+        elif obj.get("kind") == "instr":
+            records.append(obj)
+    return records, summary
+
+
+def parse_o3pipeview(lines) -> tuple:
+    """Parse O3PipeView lines back into JSONL-shaped instr records."""
+    records: List[dict] = []
+    current: Optional[dict] = None
+
+    def cycle(tick_text: str) -> int:
+        tick = int(tick_text)
+        return tick // TICKS_PER_CYCLE if tick else -1
+
+    for line in lines:
+        line = line.strip()
+        if not line.startswith("O3PipeView:"):
+            continue
+        parts = line.split(":")
+        stage = parts[1]
+        if stage == "fetch":
+            current = {
+                "kind": "instr",
+                "fetch": cycle(parts[2]),
+                "pc": int(parts[3], 16),
+                "seq": int(parts[5]),
+                "disasm": ":".join(parts[6:]),
+            }
+        elif current is None:
+            continue
+        elif stage in ("decode", "rename"):
+            pass  # synthesized from dispatch in our model
+        elif stage in ("dispatch", "issue", "complete"):
+            current[stage] = cycle(parts[2])
+        elif stage == "retire":
+            tick = int(parts[2])
+            if tick:
+                current["fate"] = "commit"
+                current["retire"] = tick // TICKS_PER_CYCLE
+            else:
+                current["fate"] = "squash"
+                current["squash"] = None
+            records.append(current)
+            current = None
+    return records, None
+
+
+def load_trace(path: str) -> tuple:
+    """Parse a trace file of either format; returns (records, summary)."""
+    with open(path, encoding="utf-8") as handle:
+        first = handle.readline()
+        handle.seek(0)
+        if first.startswith("O3PipeView:"):
+            return parse_o3pipeview(handle)
+        return parse_jsonl(handle)

@@ -21,6 +21,14 @@ class TestMetrics:
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
         assert geomean([]) == 0.0
 
+    def test_geomean_rejects_nonpositive_values(self):
+        # Regression: zero-cycle cells used to be dropped silently, which
+        # inflated the aggregate instead of flagging the broken cell.
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([1.0, 0.0, 4.0])
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([-2.0])
+
     def test_normalized(self):
         assert normalized(110, 100) == pytest.approx(1.1)
         assert normalized(5, 0) == 0.0

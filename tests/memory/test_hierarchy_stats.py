@@ -1,0 +1,111 @@
+"""Exact-count checks on HierarchyStats via scripted request sequences."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.request import AccessKind, MemRequest, ServedFrom
+from repro.mte.tags import with_key
+
+
+@pytest.fixture
+def hierarchy():
+    h = MemoryHierarchy(SystemConfig())
+    h.memory.write_word(0x2000, 0xABCD)
+    h.memory.tag_range(0x2000, 64, 0x3)
+    return h
+
+
+def load(hierarchy, address, cycle, **kwargs):
+    return hierarchy.access(MemRequest(
+        address=address, size=8, kind=AccessKind.LOAD, cycle=cycle, **kwargs))
+
+
+class TestHitCounters:
+    def test_l1_hits_count_exactly(self, hierarchy):
+        cold = load(hierarchy, 0x2000, 0)
+        assert hierarchy.stats.l1_hits == 0
+        assert hierarchy.stats.dram_fetches == 1
+        hierarchy.drain(cold.ready_cycle + 1)
+        for n in range(3):
+            warm = load(hierarchy, 0x2000, cold.ready_cycle + 10 + n)
+            assert warm.served_from is ServedFrom.L1
+        assert hierarchy.stats.l1_hits == 3
+        assert hierarchy.stats.loads == 4
+
+    def test_lfb_hits_count_merges_on_inflight_line(self, hierarchy):
+        load(hierarchy, 0x2000, 0)
+        for n in range(2):  # both merges hit the in-flight LFB entry
+            merged = load(hierarchy, 0x2008, 2 + n)
+            assert merged.served_from is ServedFrom.LFB
+        assert hierarchy.stats.lfb_hits == 2
+        assert hierarchy.stats.dram_fetches == 1
+
+
+class TestWithheldResponses:
+    def test_each_blocked_mismatch_counts_once(self, hierarchy):
+        warm = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(warm.ready_cycle + 1)
+        for n in range(2):
+            bad = load(hierarchy, with_key(0x2000, 0x5),
+                       warm.ready_cycle + 10 + n,
+                       check_tag=True, block_fill_on_mismatch=True)
+            assert bad.data_withheld and bad.data == b""
+        assert hierarchy.stats.withheld_responses == 2
+
+    def test_unblocked_mismatch_does_not_count(self, hierarchy):
+        warm = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(warm.ready_cycle + 1)
+        bad = load(hierarchy, with_key(0x2000, 0x5), warm.ready_cycle + 10,
+                   check_tag=True)  # baseline MTE: fill proceeds
+        assert bad.tag_ok is False and not bad.data_withheld
+        assert hierarchy.stats.withheld_responses == 0
+
+    def test_matching_key_does_not_count(self, hierarchy):
+        warm = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(warm.ready_cycle + 1)
+        ok = load(hierarchy, with_key(0x2000, 0x3), warm.ready_cycle + 10,
+                  check_tag=True, block_fill_on_mismatch=True)
+        assert ok.tag_ok is True
+        assert hierarchy.stats.withheld_responses == 0
+
+
+class TestStaleForwardWindows:
+    def test_recycled_lfb_entry_opens_exactly_one_window(self, hierarchy):
+        capacity = hierarchy.config.memory.lfb_entries
+        for index in range(capacity + 1):
+            hierarchy.memory.write_word(0x10000 + index * 0x1000, index)
+            hierarchy.memory.tag_range(0x10000 + index * 0x1000, 64, 0x3)
+        cycle = 0
+        # Fill every LFB slot with a completed fill.
+        for index in range(capacity):
+            response = load(hierarchy, 0x10000 + index * 0x1000, cycle)
+            hierarchy.drain(response.ready_cycle + 1)
+            cycle = response.ready_cycle + 2
+        # The next allocation recycles slot 0; an assisted load that merges
+        # before the fill arrives samples the previous occupant's bytes —
+        # the RIDL/ZombieLoad window.
+        victim = 0x10000 + capacity * 0x1000
+        load(hierarchy, victim, cycle)
+        probe = load(hierarchy, victim + 8, cycle + 1,
+                     assist=True, speculative=True)
+        assert probe.served_from is ServedFrom.LFB
+        assert probe.stale_data is not None
+        assert hierarchy.stats.stale_forward_windows == 1
+
+    def test_unassisted_merge_opens_no_window(self, hierarchy):
+        load(hierarchy, 0x2000, 0)
+        merged = load(hierarchy, 0x2008, 2)  # ordinary merge, no assist
+        assert merged.served_from is ServedFrom.LFB
+        assert merged.stale_data is None
+        assert hierarchy.stats.stale_forward_windows == 0
+
+
+class TestRegistryView:
+    def test_formulas_derive_from_the_same_counters(self, hierarchy):
+        cold = load(hierarchy, 0x2000, 0)
+        hierarchy.drain(cold.ready_cycle + 1)
+        load(hierarchy, 0x2000, cold.ready_cycle + 10)
+        registry = hierarchy.stats.registry()
+        assert registry.get("mem.loads").value == 2
+        assert registry.get("mem.l1_hit_rate").value == pytest.approx(0.5)

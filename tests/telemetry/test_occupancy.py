@@ -1,0 +1,85 @@
+"""Occupancy sampling and the Figure-8 latency distributions."""
+
+from repro import CORTEX_A76, DefenseKind, build_system
+from repro.isa import assemble
+from repro.telemetry.occupancy import OccupancyProfiler
+
+BRANCHY = """
+    MOV X0, #0
+    MOV X1, #20
+loop:
+    ADD X0, X0, X1
+    SUB X1, X1, #1
+    CBNZ X1, loop
+    HALT
+"""
+
+
+def profiled_run(interval=1, defense=DefenseKind.NONE, source=BRANCHY):
+    system = build_system(CORTEX_A76.with_defense(defense))
+    profiler = OccupancyProfiler(interval=interval)
+    system.occupancy = profiler
+    core = system.prepare(assemble(source))
+    core.run()
+    return profiler, core, system
+
+
+class TestSampling:
+    def test_samples_once_per_cycle_by_default(self):
+        profiler, core, _ = profiled_run()
+        assert profiler.samples_taken == core.cycle
+        assert profiler.rob.count == core.cycle
+
+    def test_interval_thins_samples(self):
+        profiler, core, _ = profiled_run(interval=4)
+        assert profiler.samples_taken == core.cycle // 4
+
+    def test_occupancies_respect_capacities(self):
+        profiler, core, _ = profiled_run()
+        config = core.config.core
+        assert profiler.rob.max <= config.rob_entries
+        assert profiler.iq.max <= config.iq_entries
+        assert profiler.lq.max <= config.lq_entries
+        assert profiler.sq.max <= config.sq_entries
+
+    def test_shadow_lengths_recorded_per_branch(self):
+        profiler, core, _ = profiled_run()
+        assert profiler.shadow_length.count == core.stats.branches
+        assert profiler.shadow_length.min >= 1
+
+    def test_interval_must_be_positive(self):
+        import pytest
+        with pytest.raises(ValueError):
+            OccupancyProfiler(interval=0)
+
+
+class TestRestrictionDelay:
+    def test_stt_restrictions_record_lift_delays(self):
+        # spectre-v1's tainted transmit load is exactly what STT delays;
+        # the training-path copies complete after the branch resolves, so
+        # their restrictions lift and the delay distribution fills in.
+        from repro.attacks import REGISTRY
+        attack = REGISTRY["spectre-v1"][0][1]()
+        system = build_system(CORTEX_A76.with_defense(DefenseKind.STT))
+        profiler = OccupancyProfiler()
+        system.occupancy = profiler
+        core = system.prepare(attack.builder_program)
+        core.run(max_cycles=attack.max_cycles)
+        assert core.stats.restricted_events > 0
+        assert profiler.restriction_delay.count > 0
+        assert profiler.restriction_delay.min >= 1
+
+
+class TestOutput:
+    def test_registry_dump_has_every_structure(self):
+        profiler, _, _ = profiled_run()
+        dump = profiler.dump()["occupancy"]
+        for name in OccupancyProfiler.STRUCTURES:
+            assert dump[name]["count"] == profiler.samples_taken
+        assert dump["samples"] == profiler.samples_taken
+        assert "shadow_length" in dump and "restriction_delay" in dump
+
+    def test_system_stats_registry_includes_occupancy(self):
+        _, _, system = profiled_run()
+        dump = system.stats_registry().dump()
+        assert "occupancy" in dump and "core" in dump and "mem" in dump

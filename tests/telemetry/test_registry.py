@@ -1,0 +1,159 @@
+"""The hierarchical stats registry: stats, scopes, dumps, formulas."""
+
+import pytest
+
+from repro.pipeline.stats import CoreStats
+from repro.telemetry.registry import (
+    CORE_FORMULAS,
+    BoundScalar,
+    Distribution,
+    Scalar,
+    StatsRegistry,
+    bind_dataclass,
+    core_registry,
+    hierarchy_registry,
+    ratio,
+    system_registry,
+)
+
+
+class TestScalars:
+    def test_scalar_inc_and_reset(self):
+        s = Scalar("x")
+        s.inc()
+        s.inc(4)
+        assert s.value == 5
+        s.reset()
+        assert s.value == 0
+
+    def test_bound_scalar_views_live_attribute(self):
+        stats = CoreStats()
+        bound = BoundScalar("committed", lambda: stats.committed,
+                            lambda v: setattr(stats, "committed", v))
+        stats.committed += 7
+        assert bound.value == 7
+        bound.reset()
+        assert stats.committed == 0
+
+    def test_bound_scalar_without_setter_is_reset_noop(self):
+        bound = BoundScalar("n", lambda: 3)
+        bound.reset()
+        assert bound.value == 3
+
+
+class TestDistribution:
+    def test_moments(self):
+        d = Distribution("lat")
+        for value in (2, 4, 6):
+            d.sample(value)
+        assert d.count == 3
+        assert d.mean == pytest.approx(4.0)
+        assert d.min == 2 and d.max == 6
+        assert d.stdev == pytest.approx(1.63299, abs=1e-4)
+
+    def test_linear_buckets(self):
+        d = Distribution("occ", bucket_width=4)
+        for value in (0, 3, 4, 11):
+            d.sample(value)
+        assert d.buckets == {0: 2, 1: 1, 2: 1}
+        assert d.bucket_bounds(1) == (4, 8)
+
+    def test_log2_buckets(self):
+        d = Distribution("lat", log2_buckets=True)
+        for value in (0, 1, 2, 3, 8, 200):
+            d.sample(value)
+        assert d.buckets == {0: 2, 1: 2, 3: 1, 7: 1}
+        assert d.bucket_bounds(3) == (8, 16)
+
+    def test_dump_and_reset(self):
+        d = Distribution("x", bucket_width=2)
+        d.sample(5)
+        dump = d.dump()
+        assert dump["count"] == 1 and dump["buckets"] == {"2": 1}
+        d.reset()
+        assert d.count == 0 and d.buckets == {} and d.min is None
+
+
+class TestRegistry:
+    def test_dotted_scopes_nest_in_dump(self):
+        registry = StatsRegistry()
+        commit = registry.scope("core0").scope("commit")
+        commit.scalar("count").inc(3)
+        assert registry.dump() == {"core0": {"commit": {"count": 3}}}
+
+    def test_duplicate_name_rejected(self):
+        registry = StatsRegistry()
+        registry.scope("a").scalar("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.scope("a").scalar("x")
+
+    def test_merge_prefixes(self):
+        inner = StatsRegistry()
+        inner.scope("core").scalar("cycles").inc(9)
+        outer = StatsRegistry()
+        outer.merge(inner, prefix="sys")
+        assert outer.dump() == {"sys": {"core": {"cycles": 9}}}
+
+    def test_formula_evaluates_lazily(self):
+        registry = StatsRegistry()
+        n = registry.scope("s").scalar("n")
+        registry.scope("s").formula("double", lambda: 2 * n.value)
+        n.inc(5)
+        assert registry.get("s.double").value == 10
+
+    def test_render_is_stats_txt_style(self):
+        registry = StatsRegistry()
+        registry.scope("core").scalar("committed", desc="instrs").inc(42)
+        text = registry.render(title="run")
+        assert "---------- run ----------" in text
+        assert "core.committed" in text and "42" in text and "# instrs" in text
+
+    def test_reset_all(self):
+        registry = StatsRegistry()
+        s = registry.scope("a").scalar("x")
+        d = registry.scope("a").distribution("d")
+        s.inc(2)
+        d.sample(1)
+        registry.reset()
+        assert s.value == 0 and d.count == 0
+
+
+class TestDataclassBindings:
+    def test_bind_dataclass_covers_every_field(self):
+        stats = CoreStats()
+        registry = StatsRegistry()
+        bind_dataclass(registry.scope("core"), stats)
+        stats.committed = 11
+        stats.tag_checks = 4
+        dump = registry.dump()["core"]
+        assert dump["committed"] == 11 and dump["tag_checks"] == 4
+        registry.reset()
+        assert stats.committed == 0 and stats.tag_checks == 0
+
+    def test_core_registry_formulas_match_properties(self):
+        stats = CoreStats(cycles=200, committed=100, branches=50,
+                          branch_mispredicts=5, restricted_committed=20)
+        registry = core_registry(stats)
+        for name in CORE_FORMULAS:
+            assert registry.get(f"core.{name}").value == pytest.approx(
+                getattr(stats, name))
+
+    def test_ratio_zero_denominator(self):
+        assert ratio(5, 0) == 0.0
+        assert ratio(5, 2) == 2.5
+
+    def test_hierarchy_registry_hit_rate(self):
+        from repro.memory.hierarchy import HierarchyStats
+        stats = HierarchyStats(loads=10, l1_hits=6)
+        registry = hierarchy_registry(stats)
+        assert registry.get("mem.l1_hit_rate").value == pytest.approx(0.6)
+        # the dataclass method returns the same view
+        assert stats.registry().get("mem.l1_hit_rate").value == \
+            pytest.approx(0.6)
+
+    def test_system_registry_scopes_per_core(self):
+        a, b = CoreStats(committed=1), CoreStats(committed=2)
+        registry = system_registry(per_core=[a, b])
+        dump = registry.dump()
+        assert dump["core0"]["committed"] == 1
+        assert dump["core1"]["committed"] == 2

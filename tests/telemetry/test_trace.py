@@ -1,0 +1,147 @@
+"""Pipeline tracing: emission, formats, parsing, reconciliation."""
+
+import io
+
+from repro import CORTEX_A76, DefenseKind, build_system
+from repro.isa import assemble
+from repro.telemetry.trace import (
+    TICKS_PER_CYCLE,
+    PipelineTracer,
+    parse_jsonl,
+    parse_o3pipeview,
+)
+
+BRANCHY = """
+    MOV X0, #0
+    MOV X1, #5
+loop:
+    ADD X0, X0, X1
+    SUB X1, X1, #1
+    CBNZ X1, loop
+    HALT
+"""
+
+
+def traced_run(source=BRANCHY, defense=DefenseKind.NONE):
+    o3, jsonl = io.StringIO(), io.StringIO()
+    tracer = PipelineTracer(o3, jsonl)
+    system = build_system(CORTEX_A76.with_defense(defense))
+    system.tracer = tracer
+    core = system.prepare(assemble(source))
+    core.run()
+    tracer.close()
+    return o3.getvalue(), jsonl.getvalue(), tracer, core
+
+
+class TestEmission:
+    def test_counts_reconcile_with_core_stats(self):
+        _, _, tracer, core = traced_run()
+        assert tracer.committed == core.stats.committed
+        assert tracer.squashed == core.stats.squashed
+        assert tracer.records == tracer.committed + tracer.squashed
+
+    def test_jsonl_records_and_summary(self):
+        _, jsonl, tracer, core = traced_run()
+        records, summary = parse_jsonl(jsonl.splitlines())
+        assert len(records) == tracer.records
+        assert summary["committed"] == core.stats.committed
+        assert summary["squashed"] == core.stats.squashed
+        committed = [r for r in records if r["fate"] == "commit"]
+        assert len(committed) == core.stats.committed
+
+    def test_stage_cycles_are_monotone_for_committed(self):
+        _, jsonl, _, _ = traced_run()
+        records, _ = parse_jsonl(jsonl.splitlines())
+        for record in records:
+            if record["fate"] != "commit":
+                continue
+            stages = [record[k] for k in
+                      ("fetch", "dispatch", "issue", "complete", "retire")
+                      if record.get(k, -1) >= 0]
+            assert stages == sorted(stages), record
+
+    def test_no_tracer_attached_costs_nothing_and_still_runs(self):
+        system = build_system(CORTEX_A76)
+        result = system.run(assemble(BRANCHY))
+        assert system.core.trace is None
+        assert result.halted
+
+    def test_tail_ring_buffer_is_bounded(self):
+        o3, jsonl = io.StringIO(), io.StringIO()
+        tracer = PipelineTracer(o3, jsonl, tail_limit=8)
+        system = build_system(CORTEX_A76)
+        system.tracer = tracer
+        system.prepare(assemble(BRANCHY)).run()
+        tail = tracer.tail()
+        assert 0 < len(tail) <= 8
+        assert tracer.tail(limit=2) == tail[-2:]
+
+
+class TestO3PipeView:
+    def test_line_format_parses_back(self):
+        o3, _, tracer, _ = traced_run()
+        assert o3.startswith("O3PipeView:fetch:")
+        records, _ = parse_o3pipeview(o3.splitlines())
+        assert len(records) == tracer.records
+        fates = {r["fate"] for r in records}
+        assert fates == {"commit", "squash"}
+
+    def test_ticks_are_cycle_multiples(self):
+        o3, jsonl, _, _ = traced_run()
+        json_records, _ = parse_jsonl(jsonl.splitlines())
+        o3_records, _ = parse_o3pipeview(o3.splitlines())
+        by_seq = {r["seq"]: r for r in json_records}
+        for record in o3_records:
+            twin = by_seq[record["seq"]]
+            assert record["fetch"] == twin["fetch"]
+            assert record["pc"] == twin["pc"]
+            if record["fate"] == "commit":
+                assert record["retire"] == twin["retire"]
+
+    def test_squashed_entries_retire_at_tick_zero(self):
+        o3, _, tracer, core = traced_run()
+        assert core.stats.squashed > 0  # the loop mispredicts at least once
+        assert o3.count("O3PipeView:retire:0:store:0\n") == tracer.squashed
+
+    def test_tick_scale(self):
+        o3, _, _, _ = traced_run()
+        first_fetch = int(o3.splitlines()[0].split(":")[2])
+        assert first_fetch % TICKS_PER_CYCLE == 0
+
+
+class TestDefenseEvents:
+    def test_specasan_attack_run_traces_defense_events(self):
+        from repro.attacks import REGISTRY
+        attack = REGISTRY["spectre-v1"][0][1]()
+        o3, jsonl = io.StringIO(), io.StringIO()
+        tracer = PipelineTracer(o3, jsonl)
+        system = build_system(
+            CORTEX_A76.with_defense(DefenseKind.SPECASAN))
+        system.tracer = tracer
+        core = system.prepare(attack.builder_program)
+        core.run(max_cycles=attack.max_cycles)
+        tracer.close()
+        records, _ = parse_jsonl(jsonl.getvalue().splitlines())
+        kinds = {event[1] for record in records
+                 for event in record.get("events", ())}
+        assert "tagcheck" in kinds
+        assert "withheld" in kinds or "restrict" in kinds
+
+    def test_events_attach_to_the_right_instruction(self):
+        from repro.attacks import REGISTRY
+        attack = REGISTRY["spectre-v1"][0][1]()
+        _, jsonl = io.StringIO(), io.StringIO()
+        tracer = PipelineTracer(None, jsonl)
+        system = build_system(
+            CORTEX_A76.with_defense(DefenseKind.SPECASAN))
+        system.tracer = tracer
+        core = system.prepare(attack.builder_program)
+        core.run(max_cycles=attack.max_cycles)
+        tracer.close()
+        records, _ = parse_jsonl(jsonl.getvalue().splitlines())
+        for record in records:
+            for cycle, kind, _details in record.get("events", ()):
+                assert record["fetch"] <= cycle
+                if kind == "tagcheck":
+                    assert "LD" in record["disasm"] or \
+                        "ST" in record["disasm"]
