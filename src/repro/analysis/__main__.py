@@ -1,0 +1,106 @@
+"""Command-line spec-lint: report, differential check, CI selftest.
+
+- ``python -m repro.analysis`` (or ``--report``) — static gadget report for
+  every Table-1 PoC plus the predicted matrix; no simulation.
+- ``python -m repro.analysis --differential`` — additionally run the live
+  simulator matrix and diff cell by cell; exits nonzero on any mismatch not
+  covered by :data:`repro.analysis.differential.ALLOWLIST`.
+- ``python -m repro.analysis --selftest`` — the CI gate: CFG well-formedness
+  over generated workloads, static-vs-EXPECTED agreement, and the full live
+  differential.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.differential import (
+    compare_matrices,
+    compare_to_expected,
+    render_differential,
+    render_report,
+    render_static,
+    static_matrix,
+    unexpected,
+)
+from repro.attacks import TABLE1_ROWS
+
+
+def _report(attacks: Optional[List[str]]) -> int:
+    print(render_report(attacks))
+    print()
+    print(render_static(static_matrix(attacks)))
+    return 0
+
+
+def _differential(attacks: Optional[List[str]]) -> int:
+    from repro.attacks.matrix import evaluate_matrix
+
+    static = static_matrix(attacks)
+    dynamic = evaluate_matrix(attacks)
+    mismatches = compare_matrices(static, dynamic)
+    print(render_differential(static, dynamic, mismatches))
+    return 1 if unexpected(mismatches) else 0
+
+
+def _selftest(attacks: Optional[List[str]]) -> int:
+    failures = 0
+
+    # 1. Every generated workload yields a well-formed CFG.
+    from repro.workloads.generator import generate
+    from repro.workloads.spec import SPEC_PROFILES
+    for profile in SPEC_PROFILES[:4]:
+        for seed in (0, 1):
+            workload = generate(profile, seed=seed, target_instructions=1500)
+            problems = build_cfg(workload.program).check_well_formed()
+            status = "ok" if not problems else "FAIL"
+            print(f"cfg {profile.name}/seed{seed}: {status}")
+            for problem in problems:
+                print(f"  {problem}")
+            failures += len(problems)
+
+    # 2. Static verdicts reproduce the paper's Table 1 (incl. the implicit
+    #    all-leak NONE baseline) without running the simulator.
+    static = static_matrix(attacks)
+    for mismatch in compare_to_expected(static):
+        print(f"expected-table: {mismatch}")
+        failures += 1
+    print(f"static vs paper Table 1: "
+          f"{'ok' if not compare_to_expected(static) else 'FAIL'}")
+
+    # 3. Full live differential.
+    code = _differential(attacks)
+    failures += code
+    print(f"selftest: {'PASS' if not failures else 'FAIL'}")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static speculative-leakage analysis (spec-lint).")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--report", action="store_true",
+                      help="print the gadget report and static matrix "
+                           "(default)")
+    mode.add_argument("--differential", action="store_true",
+                      help="also run the simulator and diff the matrices")
+    mode.add_argument("--selftest", action="store_true",
+                      help="CI gate: CFG property + expected-table + "
+                           "differential")
+    parser.add_argument("--attack", action="append", choices=TABLE1_ROWS,
+                        help="restrict to one attack (repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return _selftest(args.attack)
+    if args.differential:
+        return _differential(args.attack)
+    return _report(args.attack)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

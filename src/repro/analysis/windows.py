@@ -1,0 +1,144 @@
+"""Transient-execution windows: where wrong-path execution can roam.
+
+A *window* is the set of instructions a core may execute speculatively from
+one mispredicted (or bypassed) entry point, bounded by the ROB capacity from
+:class:`~repro.config.CoreConfig` and cut at ``SB`` speculation barriers.
+One :class:`Window` is emitted per (source instruction, speculative entry):
+
+- ``PHT`` — a conditional branch whose condition is *delayed* (depends on a
+  load, per :class:`~repro.analysis.taint.BranchFact`); both the taken and
+  the fall-through side are speculative entries, since either direction can
+  be the mispredicted one.
+- ``BTB`` — an indirect ``BR``/``BLR``; entries are the taint-resolved
+  constant targets when known, otherwise the program's address-taken set
+  (any of which the attacker may have trained into the BTB).  Each entry
+  records whether it starts with a ``BTI`` landing pad (SpecCFI's check).
+- ``RSB`` — a ``RET``; entries are every return site in the program (the
+  instruction after each call), since a wrapped/poisoned RSB can predict
+  any stale slot.
+- ``STL`` — a store whose *address* is delayed; the window starts right
+  after it (the younger load that bypasses it).
+
+Window bodies follow fall/taken/call edges only.  Nested ``BR``/``BLR``/
+``RET`` stop the walk — their speculative continuations are modelled by
+their own windows — and ``SB`` cuts it (``barrier_cut``).
+
+``SBB``/``LFB`` (the MDS entry kinds) carry no window: the leaking load is
+bound to commit.  :mod:`repro.analysis.gadgets` detects those by pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.cfg import successors
+from repro.analysis.taint import TaintResult
+from repro.config import CoreConfig
+from repro.isa.instructions import INSTR_BYTES, Opcode
+from repro.isa.program import Program
+from repro.mte.tags import strip_tag
+
+
+class EntryKind(enum.Enum):
+    """How speculative (or in-flight) execution reaches a gadget."""
+
+    PHT = "pht"    # mistrained conditional branch (Spectre v1)
+    BTB = "btb"    # injected indirect-branch target (v2 / BHB)
+    RSB = "rsb"    # poisoned/wrapped return prediction (v5)
+    STL = "stl"    # store-to-load bypass (v4)
+    SBB = "sbb"    # store-buffer sampling (Fallout)
+    LFB = "lfb"    # line-fill-buffer sampling (RIDL / ZombieLoad)
+
+
+@dataclass(frozen=True)
+class Window:
+    """One speculative entry and the instructions reachable inside it."""
+
+    kind: EntryKind
+    #: Address of the branch/store that opens the window.
+    source: int
+    #: Address speculative execution enters at.
+    entry: int
+    #: Addresses of the instructions inside the window (BFS order).
+    body: Tuple[int, ...]
+    #: The entry instruction is a BTI landing pad (SpecCFI admits it).
+    entry_is_bti: bool = False
+    #: An ``SB`` barrier bounded the window before the ROB limit did.
+    barrier_cut: bool = False
+
+
+def _window_body(program: Program, entry: int,
+                 limit: int) -> Tuple[Tuple[int, ...], bool]:
+    """BFS from ``entry`` over fall/taken/call edges, up to ``limit``."""
+    body: List[int] = []
+    visited: Set[int] = set()
+    frontier = [entry]
+    cut = False
+    while frontier and len(body) < limit:
+        address = frontier.pop(0)
+        if address in visited:
+            continue
+        instr = program.fetch(address)
+        if instr is None:
+            continue
+        visited.add(address)
+        body.append(instr.address)
+        if instr.is_barrier:
+            cut = True
+            continue
+        if instr.op in (Opcode.BR, Opcode.BLR) or instr.is_return:
+            continue  # covered by that instruction's own windows
+        for succ, kind in successors(program, instr):
+            if kind != "indirect":
+                frontier.append(succ)
+    return tuple(body), cut
+
+
+def compute_windows(taint: TaintResult,
+                    core: Optional[CoreConfig] = None) -> List[Window]:
+    """Every speculation window the taint facts imply for this program."""
+    core = core or CoreConfig()
+    program = taint.program
+    limit = core.rob_entries
+    windows: List[Window] = []
+
+    return_sites = [instr.address + INSTR_BYTES
+                    for instr in program.instructions
+                    if instr.is_call
+                    and program.fetch(instr.address + INSTR_BYTES) is not None]
+
+    def emit(kind: EntryKind, source: int, entry: int) -> None:
+        target = program.fetch(entry)
+        if target is None:
+            return
+        body, cut = _window_body(program, entry, limit)
+        windows.append(Window(kind=kind, source=source, entry=entry,
+                              body=body,
+                              entry_is_bti=target.op is Opcode.BTI,
+                              barrier_cut=cut))
+
+    for address, fact in sorted(taint.branches.items()):
+        instr = fact.instr
+        if instr.is_conditional_branch and fact.delayed:
+            for succ, _ in successors(program, instr):
+                emit(EntryKind.PHT, address, succ)
+        elif instr.op in (Opcode.BR, Opcode.BLR):
+            targets: List[int] = []
+            if fact.target is not None and fact.target.consts is not None:
+                targets = [strip_tag(t) for t in fact.target.consts
+                           if program.fetch(strip_tag(t)) is not None]
+            if not targets:
+                targets = sorted(taint.cfg.indirect_targets)
+            for target in targets:
+                emit(EntryKind.BTB, address, target)
+        elif instr.is_return:
+            for site in return_sites:
+                emit(EntryKind.RSB, address, site)
+
+    for address, store in sorted(taint.stores.items()):
+        if store.address.loaded:
+            emit(EntryKind.STL, address, address + INSTR_BYTES)
+
+    return windows

@@ -15,7 +15,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.attacks import build_variants, REGISTRY, TABLE1_ROWS
+from repro.attacks import build_variants, TABLE1_ROWS
 from repro.attacks.common import AttackOutcome, run_attack_program
 from repro.config import DefenseKind
 

@@ -37,9 +37,7 @@ import repro
 from repro.campaign.cells import (CampaignConfig, CellSpec, rows_from_records)
 from repro.campaign.heartbeat import age_s
 from repro.campaign.store import CorruptRecord, ResultStore
-from repro.campaign.worker import EXIT_TYPED_FAILURE
 from repro.config import DefenseKind
-from repro.errors import ManifestMismatch
 from repro.eval.experiments import ExperimentRow, render_rows
 
 

@@ -14,6 +14,12 @@ correspond to the points where Figure 1's defense classes intervene:
 
 The base class implements the *unsafe baseline*: every hook permits
 everything and no MTE checks are requested.
+
+The static analyzer (:mod:`repro.analysis`) models these same intervention
+points without running the pipeline — its per-defense verdict table in
+:func:`repro.analysis.gadgets.leaks_under` mirrors the hooks above, and the
+differential harness (``python -m repro.analysis --differential``) checks
+that both stories agree on every Table-1 cell.
 """
 
 from __future__ import annotations

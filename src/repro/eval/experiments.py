@@ -22,7 +22,7 @@ preserving the paper's qualitative shape (who wins, by roughly what factor).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.attacks import run_attack_program, spectre_v1
@@ -192,6 +192,21 @@ def figure9(**kwargs) -> List[ExperimentRow]:
 def table1(attacks: Optional[List[str]] = None) -> Dict[str, Dict[DefenseKind, MatrixCell]]:
     """The security matrix (Table 1)."""
     return evaluate_matrix(attacks=attacks)
+
+
+def table1_differential(attacks: Optional[List[str]] = None):
+    """Table 1 twice — statically (spec-lint) and dynamically — plus the diff.
+
+    Returns ``(static, dynamic, mismatches)``; an empty mismatch list means
+    the analyzer reproduces every simulated cell.  See
+    :mod:`repro.analysis.differential` and ``python -m repro.analysis
+    --differential`` for the lint-style report.
+    """
+    from repro.analysis.differential import compare_matrices, static_matrix
+
+    static = static_matrix(attacks)
+    dynamic = evaluate_matrix(attacks=attacks)
+    return static, dynamic, compare_matrices(static, dynamic)
 
 
 @dataclass
@@ -405,4 +420,5 @@ __all__ = [
     "run_resilient",
     "run_spec",
     "table1",
+    "table1_differential",
 ]

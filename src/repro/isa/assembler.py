@@ -54,6 +54,7 @@ def assemble(source: str, base_address: int = TEXT_BASE) -> Program:
             offending 1-based line number attached.
     """
     program = Program(base_address=base_address)
+    instr_lines: List[int] = []  # instruction index -> 1-based source line
     for line_no, raw in enumerate(source.splitlines(), start=1):
         line = _strip_comment(raw).strip()
         if not line:
@@ -72,10 +73,20 @@ def assemble(source: str, base_address: int = TEXT_BASE) -> Program:
             _directive(program, line, line_no)
             continue
         program.add(_parse_instruction(line, line_no))
+        instr_lines.append(line_no)
+    for index, instr in enumerate(program.instructions):
+        if instr.target is not None and instr.target not in program.labels:
+            raise AssemblerError(f"undefined label {instr.target!r}",
+                                 instr_lines[index])
+    if (program.entry_label is not None
+            and program.entry_label not in program.labels):
+        raise AssemblerError(
+            f"undefined .entry label {program.entry_label!r}")
     try:
         program.link()
     except AssemblerError as exc:
-        raise AssemblerError(f"link failed: {exc}") from None
+        raise AssemblerError(f"link failed: {exc}",
+                             getattr(exc, "line_no", None)) from None
     return program
 
 

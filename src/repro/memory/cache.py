@@ -14,7 +14,7 @@ the cache only needs to answer *timing* and *tag-check* questions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import CacheConfig

@@ -21,7 +21,7 @@ above the check point and withholds the data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.config import SystemConfig

@@ -14,8 +14,8 @@ operations (e.g. STG) update LFB copies too, keeping tag state coherent
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 
 @dataclass

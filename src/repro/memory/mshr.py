@@ -8,7 +8,7 @@ memory access response to indicate the tag check outcome" (§3.3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 

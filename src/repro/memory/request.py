@@ -9,7 +9,7 @@ optional *stale* value observable from a not-yet-filled LFB entry (§3.3.3).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

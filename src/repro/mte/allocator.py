@@ -24,7 +24,7 @@ Two tag policies (§6):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import MTEConfig, TagPolicy

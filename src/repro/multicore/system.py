@@ -14,7 +14,7 @@ is how the paper's Figure 7 normalizes multi-threaded runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import SystemConfig

@@ -9,7 +9,6 @@ instruction's issue consumes a port that co-runners would observe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict
 
 from repro.isa.instructions import InstrClass

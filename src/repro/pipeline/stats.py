@@ -10,7 +10,7 @@ they are defined once, in :data:`repro.telemetry.registry.CORE_FORMULAS`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.telemetry.registry import ratio
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.config import DefenseKind, SystemConfig
+from repro.config import SystemConfig
 from repro.defenses import make_policy
 from repro.errors import TagCheckFault
 from repro.isa.program import Program

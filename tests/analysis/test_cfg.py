@@ -1,0 +1,151 @@
+"""CFG construction: blocks, edges, address-taken targets, well-formedness."""
+
+import pytest
+
+from repro.analysis.cfg import address_taken, build_cfg, successors
+from repro.isa import assemble
+
+
+def test_straight_line_is_one_block():
+    program = assemble("MOV X0, #1\nADD X0, X0, #1\nHALT")
+    cfg = build_cfg(program)
+    assert len(cfg.blocks) == 1
+    assert [i.op.value for i in cfg.blocks[0].instructions] == [
+        "MOV", "ADD", "HALT"]
+
+
+def test_conditional_branch_splits_blocks_and_edges():
+    program = assemble("""
+        CMP X0, #4
+        B.LO low
+        MOV X1, #1
+    low:
+        HALT
+    """)
+    cfg = build_cfg(program)
+    assert len(cfg.blocks) == 3
+    entry = cfg.entry_block
+    kinds = sorted(kind for _, kind in entry.successors)
+    assert kinds == ["fall", "taken"]
+    low = cfg.block_at(program.address_of("low"))
+    assert len(low.predecessors) == 2
+
+
+def test_loop_back_edge():
+    program = assemble("""
+    loop:
+        SUB X0, X0, #1
+        CBNZ X0, loop
+        HALT
+    """)
+    cfg = build_cfg(program)
+    head = cfg.block_at(program.address_of("loop"))
+    assert (head.index, "taken") in head.successors
+
+
+def test_call_edge_and_fall_through_return_site():
+    program = assemble("""
+        BL fn
+        HALT
+    fn:
+        RET
+    """)
+    cfg = build_cfg(program)
+    entry = cfg.entry_block
+    kinds = {kind for _, kind in entry.successors}
+    assert kinds == {"call", "fall"}
+    ret_block = cfg.block_at(program.address_of("fn"))
+    assert ret_block.successors == []  # RET: no static successors
+
+
+def test_address_taken_from_immediate_and_data_words():
+    program = assemble("""
+        .data tbl 0x4000 words 0x1008
+        MOV X9, #0x100c
+        BR X9
+        NOP
+        HALT
+    """)
+    taken = address_taken(program)
+    assert 0x1008 in taken          # via the data word
+    assert 0x100C in taken          # via the MOV immediate
+    assert 0x4000 not in taken      # data addresses are not text
+
+
+def test_address_taken_strips_mte_key():
+    tagged = (0x3 << 56) | 0x1004
+    program = assemble(f"""
+        .data tbl 0x4000 words {tagged:#x}
+        NOP
+        NOP
+        HALT
+    """)
+    assert 0x1004 in address_taken(program)
+
+
+def test_indirect_edges_follow_address_taken():
+    program = assemble("""
+        MOV X9, #0x100c
+        BR X9
+        HALT
+    target:
+        HALT
+    """)
+    cfg = build_cfg(program)
+    br_block = cfg.block_at(0x1004)
+    assert (cfg.block_of_addr[0x100C], "indirect") in br_block.successors
+
+
+def test_unreachable_block_reported():
+    program = assemble("""
+        B out
+        MOV X1, #1
+        HALT
+    out:
+        HALT
+    """)
+    problems = build_cfg(program).check_well_formed()
+    assert any(p.kind == "unreachable-block" for p in problems)
+
+
+def test_address_taken_block_counts_as_reachable():
+    # fn is never called, but its address escapes into a table.
+    program = assemble("""
+        .data fns 0x4000 words 0x1008
+        HALT
+        NOP
+    fn:
+        RET
+    """)
+    problems = build_cfg(program).check_well_formed()
+    reported = {p.address for p in problems
+                if p.kind == "unreachable-block"}
+    assert program.address_of("fn") not in reported
+
+
+def test_fall_off_end_reported():
+    program = assemble("MOV X0, #1\nADD X0, X0, #1")
+    problems = build_cfg(program).check_well_formed()
+    assert any(p.kind == "fall-off-end" for p in problems)
+
+
+def test_well_formed_program_has_no_problems():
+    program = assemble("""
+        CMP X0, #1
+        B.LO done
+        MOV X1, #2
+    done:
+        HALT
+    """)
+    assert build_cfg(program).check_well_formed() == []
+
+
+def test_successors_of_halt_and_ret_are_empty():
+    program = assemble("HALT")
+    assert successors(program, program.instructions[0]) == []
+
+
+def test_empty_program_rejected():
+    from repro.isa.program import Program
+    with pytest.raises(ValueError):
+        build_cfg(Program())

@@ -1,0 +1,96 @@
+"""Differential harness: static matrix vs EXPECTED and vs the simulator."""
+
+import pytest
+
+from repro.analysis.differential import (
+    ALLOWLIST,
+    Mismatch,
+    StaticCell,
+    compare_matrices,
+    compare_to_expected,
+    render_differential,
+    render_report,
+    render_static,
+    static_matrix,
+    unexpected,
+)
+from repro.attacks import TABLE1_ROWS
+from repro.attacks.matrix import Mitigation, evaluate_matrix
+from repro.config import DefenseKind
+
+
+@pytest.fixture(scope="module")
+def full_static():
+    return static_matrix()
+
+
+def test_static_matrix_reproduces_expected_table(full_static):
+    assert compare_to_expected(full_static) == []
+
+
+def test_none_baseline_all_leak(full_static):
+    for attack in TABLE1_ROWS:
+        cell = full_static[attack][DefenseKind.NONE]
+        assert cell.mitigation is Mitigation.NONE, attack
+
+
+def test_allowlist_is_empty():
+    # Every cell currently agrees; if a future change needs an exception it
+    # must come with a documented reason here.
+    assert ALLOWLIST == {}
+
+
+def test_compare_matrices_flags_disagreement(full_static):
+    dynamic = evaluate_matrix(["spectre-v1"])
+    mismatches = compare_matrices(
+        {"spectre-v1": full_static["spectre-v1"]}, dynamic)
+    assert unexpected(mismatches) == []
+
+
+def test_compare_matrices_detects_injected_mismatch(full_static):
+    dynamic = evaluate_matrix(["spectre-v1"])
+    forged = {"spectre-v1": dict(full_static["spectre-v1"])}
+    forged["spectre-v1"][DefenseKind.SPECASAN] = StaticCell(
+        "spectre-v1", DefenseKind.SPECASAN, Mitigation.NONE, [True])
+    mismatches = compare_matrices(forged, dynamic)
+    assert len(unexpected(mismatches)) == 1
+    assert mismatches[0].attack == "spectre-v1"
+
+
+def test_allowlisted_mismatch_is_not_unexpected():
+    mismatch = Mismatch("a", DefenseKind.STT, Mitigation.FULL,
+                        Mitigation.NONE, allowlisted="known precision loss")
+    assert unexpected([mismatch]) == []
+    assert "allowlisted" in str(mismatch)
+
+
+def test_render_report_names_addresses():
+    text = render_report(["spectre-v1"])
+    assert "spectre-v1/classic" in text
+    assert "0x" in text and "[pht]" in text
+
+
+def test_render_static_has_table_shape(full_static):
+    text = render_static(full_static)
+    assert "specasan" in text
+    for attack in TABLE1_ROWS:
+        assert attack in text
+
+
+def test_render_differential_reports_agreement(full_static):
+    dynamic = evaluate_matrix(["spectre-v1"])
+    static = {"spectre-v1": full_static["spectre-v1"]}
+    mismatches = compare_matrices(static, dynamic)
+    text = render_differential(static, dynamic, mismatches)
+    assert "agree" in text
+
+
+def test_cli_selftest_components(full_static):
+    # The __main__ plumbing, without the slow live matrix.
+    from repro.analysis.__main__ import main
+    assert main(["--report", "--attack", "spectre-v1"]) == 0
+
+
+def test_cli_differential_single_attack():
+    from repro.analysis.__main__ import main
+    assert main(["--differential", "--attack", "fallout"]) == 0

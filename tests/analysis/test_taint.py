@@ -1,0 +1,214 @@
+"""Taint/constant dataflow: values, loads, secrets, delayed branches."""
+
+from repro.analysis.taint import Value, analyze, const_value
+from repro.isa import assemble
+
+SECRET = [(0x4100, 0x4110)]
+
+
+def test_value_join_bounds_constants():
+    a = const_value(*range(10))
+    b = const_value(*range(8, 20))
+    assert a.join(b).consts is None  # 20 members > CONST_CAP
+    assert a.join(const_value(3)).consts == a.consts
+
+
+def test_constants_fold_through_alu():
+    program = assemble("""
+        MOV X0, #6
+        ADD X1, X0, #4
+        LSL X2, X1, #2
+        HALT
+    """)
+    result = analyze(program)
+    # No loads/branches, but the state is observable via a store fact.
+    program2 = assemble("""
+        MOV X0, #6
+        ADD X1, X0, #4
+        LSL X2, X1, #2
+        STR X2, [X1]
+        HALT
+    """)
+    result = analyze(program2)
+    store = result.stores[0x100C]
+    assert store.data.consts == (40,)
+    assert store.pointers == (10,)
+
+
+def test_load_resolves_initial_data_exactly():
+    program = assemble("""
+        .data tbl 0x4000 words 7 9
+        MOV X1, #0x4000
+        LDR X0, [X1, #8]
+        STR X0, [X1]
+        HALT
+    """)
+    result = analyze(program)
+    load = result.loads[0x1004]
+    assert load.resolved and load.result.consts == (9,)
+    assert load.result.attacker and load.result.loaded
+
+
+def test_unknown_offset_load_summarizes_segment():
+    program = assemble("""
+        .data tbl 0x4000 words 1 2 3
+        MOV X1, #0x4000
+        LDR X9, [X2]
+        LDR X0, [X1, X9]
+        HALT
+    """)
+    result = analyze(program)
+    load = result.loads[0x1008]
+    assert not load.resolved
+    assert load.result.consts == (1, 2, 3)
+
+
+def test_transient_out_of_segment_offset_still_summarizes():
+    # A loop counter sweeps past the table end mid-fixpoint; the final
+    # result must still be the segment summary, not bottomed-out unknown.
+    program = assemble("""
+        .data tbl 0x4000 words 5 6 7 8
+        MOV X1, #0x4000
+        MOV X2, #0
+    loop:
+        LSL X3, X2, #3
+        LDR X0, [X1, X3]
+        ADD X2, X2, #1
+        CMP X2, #4
+        B.LO loop
+        STR X0, [X1]
+        HALT
+    """)
+    result = analyze(program)
+    store = result.stores[0x101C]
+    assert store.data.consts == (5, 6, 7, 8)
+
+
+def test_secret_range_load_sets_secret_and_access():
+    tagged = (0x2 << 56) | 0x4100
+    program = assemble(f"""
+        .data arr 0x4100 tag=5 bytes 11 0 0 0 0 0 0 0
+        MOV X1, #{tagged:#x}
+        LDRB X0, [X1]
+        HALT
+    """)
+    result = analyze(program, SECRET)
+    load = result.loads[0x1004]
+    assert load.result.secret
+    assert load.secret_accesses == ((tagged, 0x2, 5),)
+
+
+def test_secret_taint_propagates_to_dependent_address():
+    program = assemble("""
+        .data sec 0x4100 tag=5 bytes 11
+        MOV X1, #0x4100
+        LDRB X0, [X1]
+        LSL X6, X0, #12
+        ADD X7, X1, X6
+        LDRB X8, [X7]
+        HALT
+    """)
+    result = analyze(program, SECRET)
+    assert result.loads[0x1010].address.secret
+
+
+def test_absorbing_zero_drops_taint():
+    program = assemble("""
+        .data sec 0x4100 tag=5 bytes 11
+        MOV X1, #0x4100
+        LDRB X0, [X1]
+        AND X2, X0, XZR
+        STR X2, [X1]
+        HALT
+    """)
+    result = analyze(program, SECRET)
+    store = result.stores[0x100C]
+    assert store.data.consts == (0,)
+    assert not store.data.secret and not store.data.loaded
+
+
+def test_delayed_branch_detection():
+    program = assemble("""
+        .data cell 0x4000 words 1
+        MOV X1, #0x4000
+        LDR X0, [X1]
+        CMP X0, #4
+        B.LO somewhere
+    somewhere:
+        CMP X1, #4
+        B.LO done
+    done:
+        HALT
+    """)
+    result = analyze(program)
+    assert result.branches[0x100C].delayed       # compares a loaded value
+    assert not result.branches[0x1014].delayed   # compares a constant
+
+
+def test_cbnz_on_loaded_register_is_delayed():
+    program = assemble("""
+        .data cell 0x4000 words 1
+        MOV X1, #0x4000
+        LDR X0, [X1]
+        CBNZ X0, done
+    done:
+        HALT
+    """)
+    assert analyze(program).branches[0x1008].delayed
+
+
+def test_contention_facts_record_mul_operands():
+    program = assemble("""
+        .data sec 0x4100 tag=5 bytes 11
+        MOV X1, #0x4100
+        LDRB X0, [X1]
+        MUL X2, X0, X0
+        HALT
+    """)
+    result = analyze(program, SECRET)
+    assert result.contention[0x1008].secret
+
+
+def test_store_with_loaded_address_flagged():
+    program = assemble("""
+        .data ptr 0x4000 words 0x5000
+        MOV X1, #0x4000
+        LDR X2, [X1]
+        STR X0, [X2]
+        HALT
+    """)
+    result = analyze(program)
+    assert result.stores[0x1008].address.loaded
+
+
+def test_interprocedural_flow_through_call_and_return():
+    program = assemble("""
+        MOV X0, #3
+        BL fn
+        STR X1, [X0]
+        HALT
+    fn:
+        ADD X1, X0, #2
+        RET
+    """)
+    result = analyze(program)
+    assert result.stores[0x1008].data.consts == (5,)
+
+
+def test_stale_loads_mark_results():
+    program = assemble("""
+        .data t 0x4000 words 1
+        MOV X1, #0x4000
+        LDR X0, [X1]
+        LSL X2, X0, #2
+        STR X2, [X1]
+        HALT
+    """)
+    result = analyze(program, stale_loads={0x1004})
+    assert result.loads[0x1004].result.stale
+    assert result.stores[0x100C].data.stale
+
+
+def test_repr_is_compact():
+    assert repr(Value()) == "Value(?)"
+    assert "0x4" in repr(const_value(4))

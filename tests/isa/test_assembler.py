@@ -150,6 +150,50 @@ class TestErrors:
             pytest.fail("expected AssemblerError")
 
 
+class TestDiagnostics:
+    """Every user-facing assembler error names the offending source line."""
+
+    def test_unknown_opcode_carries_line(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("NOP\nFROB X0\nHALT")
+        assert exc.value.line_no == 2
+        assert "line 2" in str(exc.value)
+
+    def test_duplicate_label_carries_line(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("a:\nNOP\nNOP\na:\nHALT")
+        assert exc.value.line_no == 4
+        assert "duplicate label" in str(exc.value)
+
+    def test_unresolved_branch_target_carries_line(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("NOP\nNOP\nB nowhere\nHALT")
+        assert exc.value.line_no == 3
+        assert "nowhere" in str(exc.value)
+
+    def test_unresolved_conditional_target_carries_line(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("CBZ X0, missing\nHALT")
+        assert exc.value.line_no == 1
+
+    def test_first_unresolved_reference_wins(self):
+        # Two bad references: the diagnostic points at the earliest one.
+        with pytest.raises(AssemblerError) as exc:
+            assemble("B gone\nNOP\nB also_gone\nHALT")
+        assert exc.value.line_no == 1
+        assert "gone" in str(exc.value)
+
+    def test_undefined_entry_label_is_reported(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble(".entry main\nNOP\nHALT")
+        assert "main" in str(exc.value)
+
+    def test_bad_data_directive_carries_line(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("NOP\n.data t 0x4000 frob 1\nHALT")
+        assert exc.value.line_no == 2
+
+
 class TestRoundTrip:
     def test_render_then_reassemble(self):
         source = """

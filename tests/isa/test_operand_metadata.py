@@ -1,0 +1,127 @@
+"""Exhaustive operand-metadata table: every Opcode's srcs, dsts, and class.
+
+The static analyzer (repro.analysis) and the rename/issue machinery both
+key off ``src_regs``/``dst_regs``/``klass``; a silent metadata slip breaks
+dependency tracking in ways far-removed from the cause.  This table pins a
+canonical encoding of EVERY opcode to its exact register reads, writes, and
+scheduling class — and fails if an opcode is added without a row here.
+"""
+
+import pytest
+
+from repro.isa.instructions import (
+    FLAGS_REG,
+    Cond,
+    InstrClass,
+    Instruction,
+    Opcode,
+)
+from repro.isa.registers import XZR
+
+LR = 30
+
+# op -> (instruction, expected srcs, expected dsts, expected class)
+CASES = {
+    Opcode.ADD: (Instruction(Opcode.ADD, rd=0, rn=1, rm=2),
+                 (1, 2), (0,), InstrClass.ALU),
+    Opcode.SUB: (Instruction(Opcode.SUB, rd=3, rn=4, imm=7),
+                 (4,), (3,), InstrClass.ALU),
+    Opcode.AND: (Instruction(Opcode.AND, rd=0, rn=1, rm=2),
+                 (1, 2), (0,), InstrClass.ALU),
+    Opcode.ORR: (Instruction(Opcode.ORR, rd=0, rn=1, rm=2),
+                 (1, 2), (0,), InstrClass.ALU),
+    Opcode.EOR: (Instruction(Opcode.EOR, rd=0, rn=1, rm=2),
+                 (1, 2), (0,), InstrClass.ALU),
+    Opcode.LSL: (Instruction(Opcode.LSL, rd=0, rn=1, imm=12),
+                 (1,), (0,), InstrClass.ALU),
+    Opcode.LSR: (Instruction(Opcode.LSR, rd=0, rn=1, imm=3),
+                 (1,), (0,), InstrClass.ALU),
+    Opcode.ASR: (Instruction(Opcode.ASR, rd=0, rn=1, imm=3),
+                 (1,), (0,), InstrClass.ALU),
+    Opcode.MUL: (Instruction(Opcode.MUL, rd=0, rn=1, rm=2),
+                 (1, 2), (0,), InstrClass.MUL),
+    Opcode.UDIV: (Instruction(Opcode.UDIV, rd=0, rn=1, rm=2),
+                  (1, 2), (0,), InstrClass.DIV),
+    Opcode.MOV: (Instruction(Opcode.MOV, rd=0, imm=5),
+                 (), (0,), InstrClass.ALU),
+    Opcode.CMP: (Instruction(Opcode.CMP, rn=1, rm=2),
+                 (1, 2), (FLAGS_REG,), InstrClass.ALU),
+    Opcode.B: (Instruction(Opcode.B, target="t"),
+               (), (), InstrClass.BRANCH),
+    Opcode.B_COND: (Instruction(Opcode.B_COND, cond=Cond.LO, target="t"),
+                    (FLAGS_REG,), (), InstrClass.BRANCH),
+    Opcode.CBZ: (Instruction(Opcode.CBZ, rn=5, target="t"),
+                 (5,), (), InstrClass.BRANCH),
+    Opcode.CBNZ: (Instruction(Opcode.CBNZ, rn=5, target="t"),
+                  (5,), (), InstrClass.BRANCH),
+    Opcode.BR: (Instruction(Opcode.BR, rn=9),
+                (9,), (), InstrClass.BRANCH),
+    Opcode.BL: (Instruction(Opcode.BL, target="t"),
+                (), (LR,), InstrClass.BRANCH),
+    Opcode.BLR: (Instruction(Opcode.BLR, rn=9),
+                 (9,), (LR,), InstrClass.BRANCH),
+    Opcode.RET: (Instruction(Opcode.RET),
+                 (LR,), (), InstrClass.BRANCH),
+    Opcode.LDR: (Instruction(Opcode.LDR, rd=0, rn=1, rm=2),
+                 (1, 2), (0,), InstrClass.LOAD),
+    Opcode.LDRB: (Instruction(Opcode.LDRB, rd=0, rn=1, imm=4),
+                  (1,), (0,), InstrClass.LOAD),
+    Opcode.STR: (Instruction(Opcode.STR, rd=0, rn=1, rm=2),
+                 (0, 1, 2), (), InstrClass.STORE),
+    Opcode.STRB: (Instruction(Opcode.STRB, rd=0, rn=1, imm=4),
+                  (0, 1), (), InstrClass.STORE),
+    Opcode.IRG: (Instruction(Opcode.IRG, rd=0, rn=1),
+                 (1,), (0,), InstrClass.MTE),
+    Opcode.ADDG: (Instruction(Opcode.ADDG, rd=0, rn=1, imm=16, tag_imm=1),
+                  (1,), (0,), InstrClass.MTE),
+    Opcode.SUBG: (Instruction(Opcode.SUBG, rd=0, rn=1, imm=16, tag_imm=1),
+                  (1,), (0,), InstrClass.MTE),
+    Opcode.STG: (Instruction(Opcode.STG, rd=0, rn=1),
+                 (0, 1), (), InstrClass.STORE),
+    Opcode.LDG: (Instruction(Opcode.LDG, rd=0, rn=1),
+                 (1,), (0,), InstrClass.MTE),
+    Opcode.BTI: (Instruction(Opcode.BTI),
+                 (), (), InstrClass.NOP),
+    Opcode.SB: (Instruction(Opcode.SB),
+                (), (), InstrClass.BARRIER),
+    Opcode.NOP: (Instruction(Opcode.NOP),
+                 (), (), InstrClass.NOP),
+    Opcode.HALT: (Instruction(Opcode.HALT),
+                  (), (), InstrClass.HALT),
+}
+
+
+def test_table_covers_every_opcode():
+    missing = set(Opcode) - set(CASES)
+    assert not missing, f"add metadata rows for {sorted(o.value for o in missing)}"
+
+
+@pytest.mark.parametrize("op", list(Opcode), ids=lambda o: o.value)
+def test_operand_metadata(op):
+    instr, srcs, dsts, klass = CASES[op]
+    assert instr.src_regs == srcs
+    assert instr.dst_regs == dsts
+    assert instr.klass is klass
+
+
+@pytest.mark.parametrize("op", list(Opcode), ids=lambda o: o.value)
+def test_metadata_is_cached_and_stable(op):
+    instr = CASES[op][0]
+    assert instr.src_regs == instr.src_regs
+    assert instr.dst_regs == instr.dst_regs
+
+
+def test_xzr_never_appears_as_dependency():
+    load = Instruction(Opcode.LDR, rd=XZR, rn=XZR, rm=XZR)
+    assert load.src_regs == () and load.dst_regs == ()
+    alu = Instruction(Opcode.ADD, rd=XZR, rn=XZR, rm=XZR)
+    assert alu.src_regs == () and alu.dst_regs == ()
+
+
+def test_memory_widths():
+    assert Instruction(Opcode.LDRB, rd=0, rn=1).memory_bytes == 1
+    assert Instruction(Opcode.STRB, rd=0, rn=1).memory_bytes == 1
+    assert Instruction(Opcode.LDR, rd=0, rn=1).memory_bytes == 8
+    assert Instruction(Opcode.STR, rd=0, rn=1).memory_bytes == 8
+    assert Instruction(Opcode.STG, rd=0, rn=1).memory_bytes == 16
+    assert Instruction(Opcode.LDG, rd=0, rn=1).memory_bytes == 16

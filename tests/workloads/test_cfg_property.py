@@ -1,0 +1,46 @@
+"""Property: every generated workload yields a well-formed CFG.
+
+The generator emits loops, helper functions, indirect calls through a
+function-pointer table, and MTE churn; this sweep checks the static CFG of
+every profile family over several seeds: no block unreachable (counting
+address-taken helpers as roots) and no fall-through off the text segment.
+"""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.workloads.generator import generate
+from repro.workloads.parsec import PARSEC_SPECS
+from repro.workloads.spec import SPEC_PROFILES
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.mark.parametrize("profile", SPEC_PROFILES, ids=lambda p: p.name)
+def test_spec_workload_cfg_well_formed(profile):
+    for seed in SEEDS:
+        workload = generate(profile, seed=seed, target_instructions=1500)
+        problems = build_cfg(workload.program).check_well_formed()
+        assert problems == [], (
+            f"{profile.name}/seed{seed}: "
+            + "; ".join(str(p) for p in problems))
+
+
+@pytest.mark.parametrize("spec", PARSEC_SPECS,
+                         ids=lambda s: s.profile.name)
+def test_parsec_workload_cfg_well_formed(spec):
+    workload = generate(spec.profile, seed=0, target_instructions=1500)
+    assert build_cfg(workload.program).check_well_formed() == []
+
+
+def test_mte_instrumented_workload_cfg_well_formed():
+    workload = generate(SPEC_PROFILES[0], seed=0, target_instructions=1500,
+                        mte_instrumented=True)
+    assert build_cfg(workload.program).check_well_formed() == []
+
+
+def test_cfg_covers_every_instruction():
+    workload = generate(SPEC_PROFILES[0], seed=0, target_instructions=1500)
+    cfg = build_cfg(workload.program)
+    covered = {i.address for b in cfg.blocks for i in b.instructions}
+    assert covered == {i.address for i in workload.program.instructions}
