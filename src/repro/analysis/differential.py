@@ -166,6 +166,39 @@ def compare_to_expected(static: Dict[str, Dict[DefenseKind, StaticCell]],
     return mismatches
 
 
+def confirm_mismatches(mismatches: Sequence[Mismatch],
+                       core: Optional[CoreConfig] = None,
+                       ) -> List["WitnessDisagreement"]:
+    """Dynamically execute every disagreeing cell, variant by variant.
+
+    The matrix diff compares *classifications* (full/partial/none); this
+    re-runs each variant of each mismatched cell individually on the
+    simulator and diffs it against its own static verdict, so a table-level
+    disagreement decomposes into structured per-variant
+    :class:`~repro.analysis.witness.WitnessDisagreement` records — the same
+    shape the witness confirmation loop emits, never a silent pass.
+    """
+    from repro.analysis.witness import WitnessDisagreement
+    from repro.attacks.common import run_attack_program
+
+    records: List[WitnessDisagreement] = []
+    for mismatch in mismatches:
+        for analysis in analyze_attack(mismatch.attack, core):
+            static = analysis.leaks(mismatch.defense)
+            outcome = run_attack_program(analysis.program, mismatch.defense)
+            if static == outcome.leaked:
+                continue
+            records.append(WitnessDisagreement(
+                subject=f"{analysis.attack}/{analysis.variant}",
+                kind=analysis.gadgets[0].kind.value
+                if analysis.gadgets else "?",
+                defense=mismatch.defense, static_leaks=static,
+                dynamic_leaked=outcome.leaked,
+                detail=f"recovered={list(outcome.recovered)}"
+                       f"{', faulted' if outcome.faulted else ''}"))
+    return records
+
+
 def render_static(matrix: Dict[str, Dict[DefenseKind, StaticCell]]) -> str:
     """Format the static matrix like the paper's Table 1."""
     defenses = [d for d in next(iter(matrix.values()))

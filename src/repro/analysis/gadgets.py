@@ -275,4 +275,9 @@ def find_gadgets(program: Program,
     patterns = _find_loosenet(taint, core.rob_entries) + _find_lfb(taint)
     if patterns:
         gadgets.extend(_pattern_gadgets(program, taint, patterns))
+    # Deterministic report order: window source, gadget class, entry block,
+    # transmitter addresses.  Two runs over the same program (and re-runs in
+    # CI) produce byte-identical reports.
+    gadgets.sort(key=lambda g: (g.source, g.kind.value, g.entry,
+                                g.transmitters))
     return gadgets

@@ -1,0 +1,458 @@
+"""Counterexample-guided gadget witnesses.
+
+For every gadget class spec-lint can report (:class:`~repro.analysis
+.windows.EntryKind`: PHT/BTB/RSB/STL window gadgets, SBB loosenet, LFB
+line-crossing), :func:`synthesize` builds a concrete, self-contained
+``repro.isa`` program — training loop, secret placement via the MTE
+allocator (:class:`~repro.mte.allocator.TaggedHeap`), transmitter, and a
+cache-probe receiver — from the same building blocks the hand-written PoC
+suite uses (:mod:`repro.attacks.blocks`).
+
+Each witness is *round-tripped through text* before anything else touches
+it: the program is disassembled to a ``.s`` source
+(:func:`repro.isa.disasm.disassemble`), re-assembled, and the re-assembled
+program is what both the static analyzer and the simulator see — so a
+dumped witness file IS the witness, byte for byte.
+
+:func:`confirm` closes the loop of the differential methodology: for each
+:class:`~repro.config.DefenseKind` it compares the static verdict
+(:func:`~repro.analysis.gadgets.program_leaks`) against a live simulator
+run (:func:`~repro.attacks.common.run_attack_program`).  A leaked bit must
+be recovered exactly when the static analysis says the gadget survives;
+any divergence becomes a structured :class:`WitnessDisagreement` record —
+never a silent pass.
+
+Every kind has two variants (§4.3's full-vs-partial distinction):
+
+- the **sanitized** variant, where SpecASan's tag machinery stops the leak
+  (cross-allocation keys; for STL a tagged bypassing load);
+- the **residual** variant — the TikTag-style same-key gadget (for STL: an
+  untagged, outside-the-protection-boundary load) that even SpecASan
+  misses, which is what the repair pass must fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.gadgets import Gadget, find_gadgets, program_leaks
+from repro.analysis.windows import EntryKind
+from repro.attacks import spectre_v2, spectre_v5
+from repro.attacks.blocks import (
+    emit_bounds_check_gadget,
+    emit_training_loop,
+    emit_victim_warmup,
+    heap_array,
+    heap_secret,
+    TrainingTable,
+)
+from repro.attacks.common import (
+    ARRAY1_BASE,
+    AttackProgram,
+    emit_transmit,
+    make_probe_array,
+    PROBE_BASE,
+    run_attack_program,
+    SECRET_BASE,
+    SIZE_CELL_A,
+    SIZE_CELL_B,
+    slow_cell_segment,
+    SLOW_CELLS,
+    TABLES_BASE,
+    TAG_SECRET,
+)
+from repro.attacks.matrix import TABLE1_DEFENSES
+from repro.config import CORTEX_A76, CoreConfig, DefenseKind
+from repro.errors import AnalysisError
+from repro.isa.assembler import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.disasm import disassemble, signature
+from repro.mte.allocator import TaggedHeap
+from repro.mte.tags import with_key
+
+#: Defenses a witness is confirmed under (Table 1 plus the unsafe baseline).
+#: Mirrors ``differential.STATIC_DEFENSES``; redefined here so
+#: ``differential`` can import :class:`WitnessDisagreement` without a cycle.
+CONFIRM_DEFENSES: List[DefenseKind] = [DefenseKind.NONE] + list(TABLE1_DEFENSES)
+
+#: Every gadget class spec-lint can emit, in report order.
+WITNESS_KINDS: Tuple[EntryKind, ...] = (
+    EntryKind.PHT, EntryKind.BTB, EntryKind.RSB,
+    EntryKind.STL, EntryKind.SBB, EntryKind.LFB,
+)
+
+SECRET_VALUE = 11
+TRAIN_VALUE = 1
+TRAIN_ITERS = 7
+ARRAY1_SIZE = 16
+#: Fallout witness layout (same page-offset geometry as the PoC).
+VICTIM_SLOT = 0x08040
+ALIASED_ADDR = 0x09040
+#: LFB witness layout.
+SAMPLE_LINE = 0x0C0000
+DUMMY_BASE = 0x0E0000
+SECRET_LINE_OFFSET = 60
+
+
+def variant_name(kind: EntryKind, residual: bool) -> str:
+    """The witness variant label for a gadget class."""
+    if kind is EntryKind.STL:
+        return "untagged" if residual else "tagged"
+    return "same-key" if residual else "cross-key"
+
+
+@dataclass
+class Witness:
+    """One synthesized, text-round-tripped, statically-analyzed witness."""
+
+    kind: EntryKind
+    variant: str
+    #: The runnable program (re-assembled from ``source_text``) plus secret
+    #: placement metadata for the leak detector.
+    attack: AttackProgram
+    #: The ``.s`` dump — disassembling and re-assembling this text is how
+    #: ``attack.builder_program`` was produced.
+    source_text: str
+    #: Static findings over the re-assembled program.
+    gadgets: List[Gadget] = field(default_factory=list)
+
+    @property
+    def subject(self) -> str:
+        return f"{self.kind.value}/{self.variant}"
+
+    def static_leaks(self, defense: DefenseKind) -> bool:
+        return program_leaks(self.gadgets, defense)
+
+
+@dataclass(frozen=True)
+class WitnessCheck:
+    """One (witness, defense) static-vs-dynamic agreement datum."""
+
+    subject: str
+    kind: str
+    defense: DefenseKind
+    static_leaks: bool
+    dynamic_leaked: bool
+    faulted: bool
+    recovered: Tuple[int, ...] = ()
+
+    @property
+    def agree(self) -> bool:
+        return self.static_leaks == self.dynamic_leaked
+
+
+@dataclass(frozen=True)
+class WitnessDisagreement:
+    """A structured static-vs-dynamic divergence — never a silent pass."""
+
+    subject: str
+    kind: str
+    defense: DefenseKind
+    static_leaks: bool
+    dynamic_leaked: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        static = "leaks" if self.static_leaks else "blocked"
+        dynamic = "LEAKED" if self.dynamic_leaked else "blocked"
+        note = f" ({self.detail})" if self.detail else ""
+        return (f"{self.subject} under {self.defense.value}: static says "
+                f"{static}, simulator says {dynamic}{note}")
+
+
+# -- per-kind builders --------------------------------------------------------
+
+
+def _build_pht(residual: bool) -> AttackProgram:
+    """Bounds-check-bypass witness with allocator-placed secret.
+
+    The victim array and the secret are consecutive :class:`TaggedHeap`
+    allocations, so the out-of-bounds index 16 walks off the array into the
+    secret granule.  The deterministic tag policy gives them different tags
+    (cross-key, sanitized); the residual variant forces the secret onto the
+    array's tag — the TikTag same-key case SpecASan cannot distinguish.
+    """
+    b = ProgramBuilder()
+    heap = TaggedHeap(ARRAY1_BASE, 0x1000, CORTEX_A76.mte)
+    array = heap_array(b, heap, "array1", bytes([TRAIN_VALUE] * ARRAY1_SIZE))
+    secret = heap_secret(b, heap, SECRET_VALUE,
+                         tag=array.tag if residual else None)
+    make_probe_array(b)
+    b.words_segment("size_a", SIZE_CELL_A, [ARRAY1_SIZE])
+    b.words_segment("size_b", SIZE_CELL_B, [ARRAY1_SIZE])
+    oob_index = secret.address - array.address
+    tables = [
+        TrainingTable(
+            "idx_table", TABLES_BASE, ptr_reg="X22", dest_reg="X0",
+            values=[1 + (i % 3) for i in range(TRAIN_ITERS)] + [oob_index],
+            note="index for this run"),
+        TrainingTable(
+            "ptr_table", TABLES_BASE + 0x200, ptr_reg="X23", dest_reg="X10",
+            values=[SIZE_CELL_A] * TRAIN_ITERS + [SIZE_CELL_B],
+            note="which ARRAY1_SIZE cell to read"),
+    ]
+    for table in tables:
+        table.emit_segment(b)
+    emit_victim_warmup(b, secret.pointer)
+    b.li("X2", array.pointer, note="ARRAY1 (malloc-tagged)")
+    b.li("X3", PROBE_BASE, note="ARRAY2 / probe")
+    emit_training_loop(b, "gadget", tables, TRAIN_ITERS + 1)
+    emit_bounds_check_gadget(b)
+    return AttackProgram(
+        name="witness-pht", variant=variant_name(EntryKind.PHT, residual),
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=secret.address,
+        benign_values=[TRAIN_VALUE],
+        description="synthesized bounds-check-bypass witness")
+
+
+def _build_btb(residual: bool) -> AttackProgram:
+    attack = spectre_v2.build("matched-tag" if residual else "mismatched-tag")
+    attack.name = "witness-btb"
+    attack.variant = variant_name(EntryKind.BTB, residual)
+    return attack
+
+
+def _build_rsb(residual: bool) -> AttackProgram:
+    attack = spectre_v5.build("matched-tag" if residual else "mismatched-tag")
+    attack.name = "witness-rsb"
+    attack.variant = variant_name(EntryKind.RSB, residual)
+    return attack
+
+
+def _build_stl(residual: bool) -> AttackProgram:
+    """Store-bypass witness.
+
+    The sanitized variant is the PoC shape: a *tagged* bypassing load,
+    whose data SpecASan holds until the store queue disambiguates.  The
+    residual variant reads through an untagged (key-0) pointer into
+    untagged memory — outside the declared protection boundary, so the
+    load proceeds as on the baseline.
+    """
+    b = ProgramBuilder()
+    safe_value = 2
+    if residual:
+        victim_ptr = SECRET_BASE
+        secret_tag = None
+    else:
+        victim_ptr = with_key(SECRET_BASE, TAG_SECRET)
+        secret_tag = TAG_SECRET
+    b.bytes_segment("secret", SECRET_BASE,
+                    bytes([SECRET_VALUE] + [0] * 15), tag=secret_tag)
+    make_probe_array(b)
+    slow_cell_segment(b, values=[victim_ptr])
+    b.li("X20", victim_ptr)
+    b.ldrb("X21", "X20", note="victim warms its slot")
+    b.sb(note="wait for the warm-up fill")
+    b.li("X3", PROBE_BASE)
+    b.li("X12", safe_value, note="the value the store will write")
+    b.li("X2", victim_ptr)
+    b.li("X15", SLOW_CELLS)
+    b.ldr("X11", "X15", note="store address arrives late (DRAM round trip)")
+    b.str_("X12", "X11", note="victim store: overwrite the secret")
+    b.ldr("X5", "X2", note="bypassing load: reads the STALE secret")
+    emit_transmit(b, "X5", "X3")
+    b.halt()
+    return AttackProgram(
+        name="witness-stl", variant=variant_name(EntryKind.STL, residual),
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[safe_value],
+        description="synthesized speculative-store-bypass witness")
+
+
+def _build_sbb(residual: bool) -> AttackProgram:
+    """Fallout witness: loosenet store-buffer sampling.
+
+    SpecASan gates forwarding on matching address keys; the residual
+    variant samples through a pointer carrying the victim store's own key,
+    so the forward is allowed.
+    """
+    b = ProgramBuilder()
+    line = bytearray(16)
+    line[0] = SECRET_VALUE
+    b.bytes_segment("secret", SECRET_BASE, bytes(line), tag=TAG_SECRET)
+    b.zero_segment("victim_slot", VICTIM_SLOT, 16, tag=TAG_SECRET)
+    b.zero_segment("aliased", ALIASED_ADDR, 16)
+    make_probe_array(b)
+    slow_cell_segment(b)
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X21", "X20", note="victim holds the secret in a register")
+    b.sb(note="wait for the warm-up fill")
+    b.li("X3", PROBE_BASE)
+    b.li("X15", SLOW_CELLS)
+    b.ldr("X19", "X15", note="commit blocker (DRAM round trip)")
+    b.li("X23", with_key(VICTIM_SLOT, TAG_SECRET))
+    b.strb("X21", "X23", note="victim store: secret enters the store queue")
+    sampler_ptr = (with_key(ALIASED_ADDR, TAG_SECRET) if residual
+                   else ALIASED_ADDR)
+    b.li("X22", sampler_ptr, note="attacker address: same page offset")
+    b.ldrb("X5", "X22", note="loosenet match forwards the victim's data")
+    emit_transmit(b, "X5", "X3")
+    b.halt()
+    return AttackProgram(
+        name="witness-sbb", variant=variant_name(EntryKind.SBB, residual),
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[0],
+        description="synthesized store-buffer-sampling witness")
+
+
+def _build_lfb(residual: bool) -> AttackProgram:
+    """RIDL-style witness: stale line-fill-buffer sampling.
+
+    The stale entry keeps the victim line's allocation tags; hits are
+    checked against them.  The residual variant samples through a pointer
+    keyed with the victim's tag (its own sample line is tagged to match, so
+    the access also commits cleanly).
+    """
+    b = ProgramBuilder()
+    line = bytearray(64)
+    line[SECRET_LINE_OFFSET] = SECRET_VALUE
+    b.bytes_segment("secret", SECRET_BASE, bytes(line), tag=TAG_SECRET)
+    make_probe_array(b)
+    benign = 1
+    if residual:
+        # The sample line is tagged with the victim's own tag and the
+        # sampler pointer carries it: the stale-entry tag check passes (the
+        # same-key residual) and the committed access is architecturally
+        # clean.  Backed with *nonzero* benign bytes: a zero-filled segment
+        # would let the constant-folder collapse the sampled value to the
+        # exact constant 0, dropping the stale taint the static pattern
+        # needs (the AND-with-zero absorbing rule).
+        b.bytes_segment("sample_line", SAMPLE_LINE, bytes([benign] * 128),
+                        tag=TAG_SECRET)
+        sampler_ptr = with_key(SAMPLE_LINE + SECRET_LINE_OFFSET, TAG_SECRET)
+    else:
+        sampler_ptr = SAMPLE_LINE + SECRET_LINE_OFFSET
+    b.li("X3", PROBE_BASE)
+    b.li("X20", with_key(SECRET_BASE, TAG_SECRET))
+    b.ldrb("X21", "X20", note="victim load: secret line transits the LFB")
+    for index in range(15):
+        b.li("X16", DUMMY_BASE + index * 4096)
+        b.ldr("X17", "X16", note="LFB-walking dummy miss")
+    b.udiv("X13", "X21", "X21", note="delay chain (waits for the fill)")
+    b.udiv("X13", "X13", "X13")
+    b.and_("X13", "X13", "XZR", note="collapse to zero, keep the dependency")
+    b.li("X22", sampler_ptr)
+    b.add("X22", "X22", "X13")
+    b.ldr("X18", "X22", note="allocate the (stale) LFB entry")
+    b.ldr("X5", "X22", note="SAMPLE: crossing load reads stale LFB bytes")
+    b.and_("X5", "X5", imm=0xFF)
+    emit_transmit(b, "X5", "X3")
+    b.halt()
+    return AttackProgram(
+        name="witness-lfb", variant=variant_name(EntryKind.LFB, residual),
+        builder_program=b.build(),
+        secret_value=SECRET_VALUE, secret_address=SECRET_BASE,
+        benign_values=[0, benign],
+        description="synthesized line-fill-buffer-sampling witness")
+
+
+_BUILDERS = {
+    EntryKind.PHT: _build_pht,
+    EntryKind.BTB: _build_btb,
+    EntryKind.RSB: _build_rsb,
+    EntryKind.STL: _build_stl,
+    EntryKind.SBB: _build_sbb,
+    EntryKind.LFB: _build_lfb,
+}
+
+
+# -- synthesis pipeline -------------------------------------------------------
+
+
+def secret_ranges_of(attack: AttackProgram) -> List[Tuple[int, int]]:
+    return [(attack.secret_address,
+             attack.secret_address + attack.secret_size)]
+
+
+def synthesize(kind: EntryKind, residual: bool = False,
+               core: Optional[CoreConfig] = None) -> Witness:
+    """Build, text-round-trip, and statically analyze one witness.
+
+    Raises :class:`~repro.errors.AnalysisError` if the round trip changes
+    the program or if the analyzer does not report a gadget of ``kind`` on
+    the re-assembled program — a witness must witness its own class.
+    """
+    core = core or CORTEX_A76.core
+    attack = _BUILDERS[kind](residual)
+    built = attack.builder_program
+    source_text = disassemble(built)
+    reassembled = assemble(source_text)
+    if signature(reassembled) != signature(built):
+        raise AnalysisError(
+            f"witness {kind.value} failed its assemble round-trip")
+    attack = replace(attack, builder_program=reassembled)
+    gadgets = find_gadgets(reassembled, secret_ranges_of(attack), core)
+    if kind not in {g.kind for g in gadgets}:
+        raise AnalysisError(
+            f"synthesized {kind.value} witness exhibits no {kind.value} "
+            f"gadget (found: {sorted({g.kind.value for g in gadgets})})")
+    return Witness(kind=kind, variant=attack.variant, attack=attack,
+                   source_text=source_text, gadgets=gadgets)
+
+
+def synthesize_all(kinds: Optional[Sequence[EntryKind]] = None,
+                   core: Optional[CoreConfig] = None) -> List[Witness]:
+    """Both variants (sanitized + residual) of every requested kind."""
+    witnesses = []
+    for kind in kinds or WITNESS_KINDS:
+        for residual in (False, True):
+            witnesses.append(synthesize(kind, residual, core))
+    return witnesses
+
+
+def confirm(witness: Witness,
+            defenses: Optional[Sequence[DefenseKind]] = None,
+            ) -> Tuple[List[WitnessCheck], List[WitnessDisagreement]]:
+    """Run the witness under each defense; diff dynamic vs static verdicts."""
+    checks: List[WitnessCheck] = []
+    disagreements: List[WitnessDisagreement] = []
+    for defense in defenses if defenses is not None else CONFIRM_DEFENSES:
+        static = witness.static_leaks(defense)
+        outcome = run_attack_program(witness.attack, defense)
+        checks.append(WitnessCheck(
+            subject=witness.subject, kind=witness.kind.value, defense=defense,
+            static_leaks=static, dynamic_leaked=outcome.leaked,
+            faulted=outcome.faulted, recovered=tuple(outcome.recovered)))
+        if static != outcome.leaked:
+            disagreements.append(WitnessDisagreement(
+                subject=witness.subject, kind=witness.kind.value,
+                defense=defense, static_leaks=static,
+                dynamic_leaked=outcome.leaked,
+                detail=f"recovered={list(outcome.recovered)}"
+                       f"{', faulted' if outcome.faulted else ''}"))
+    return checks, disagreements
+
+
+def render_confirmation(witness: Witness, checks: Sequence[WitnessCheck],
+                        disagreements: Sequence[WitnessDisagreement]) -> str:
+    """A lint-style per-witness confirmation report."""
+    lines = [f"witness {witness.subject}:"]
+    for gadget in witness.gadgets:
+        lines.append(f"  {gadget.render()}")
+    for check in checks:
+        static = "leaks" if check.static_leaks else "blocked"
+        dynamic = "LEAKED" if check.dynamic_leaked else "blocked"
+        mark = "ok" if check.agree else "MISMATCH"
+        lines.append(f"  {check.defense.value:>14s}: static {static:7s} "
+                     f"simulator {dynamic:7s} [{mark}]")
+    if disagreements:
+        lines.append(f"  {len(disagreements)} disagreement(s):")
+        lines.extend(f"    {d}" for d in disagreements)
+    return "\n".join(lines)
+
+
+# -- keyed lookup used by the CLI / repair entry points -----------------------
+
+
+def witness_kind(name: str) -> EntryKind:
+    """Parse a gadget-class name (``"pht"``) into an :class:`EntryKind`."""
+    try:
+        return EntryKind(name.lower())
+    except ValueError:
+        raise AnalysisError(
+            f"unknown gadget class {name!r}; "
+            f"have {[k.value for k in WITNESS_KINDS]}") from None

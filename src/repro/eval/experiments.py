@@ -387,6 +387,88 @@ def render_rows(rows: List[ExperimentRow], metric: str = "normalized", *,
     return "\n".join(lines)
 
 
+# -- repair overhead (the spec-repair pipeline's performance half) ------------
+
+
+@dataclass
+class RepairRow:
+    """One repaired-witness measurement under the target defense."""
+
+    subject: str
+    defense: DefenseKind
+    fixes: tuple
+    baseline_cycles: int
+    repaired_cycles: int
+    #: Static re-lint: nothing leaks under the target defense anymore.
+    verified: bool
+    #: Simulator re-run: the witness leak is gone.
+    dynamic_blocked: bool
+
+    @property
+    def overhead(self) -> float:
+        return normalized(self.repaired_cycles, self.baseline_cycles) - 1.0
+
+
+def repair_overhead(subjects: Optional[Sequence[str]] = None,
+                    defense: DefenseKind = DefenseKind.SPECASAN,
+                    config: Optional[SystemConfig] = None) -> List[RepairRow]:
+    """Repair each witness subject and measure the cycle cost of its fixes.
+
+    ``subjects`` are witness names (``pht/same-key``); the default is every
+    residual (repair-needing) variant.  Each row carries both verification
+    verdicts — the static flip and the simulator confirmation — plus the
+    repaired-over-baseline cycle overhead under ``defense``.
+    """
+    from repro.analysis import repair as repair_mod
+    from repro.analysis.witness import (
+        secret_ranges_of, synthesize, variant_name, witness_kind,
+        WITNESS_KINDS)
+
+    subjects = list(subjects) if subjects else [
+        f"{kind.value}/{variant_name(kind, True)}" for kind in WITNESS_KINDS]
+    rows: List[RepairRow] = []
+    for subject in subjects:
+        kind_name, _, variant = subject.partition("/")
+        kind = witness_kind(kind_name)
+        residual = variant != variant_name(kind, residual=False)
+        witness = synthesize(kind, residual=residual)
+        result = repair_mod.plan(witness.attack.builder_program,
+                                 secret_ranges_of(witness.attack),
+                                 defense=defense)
+        registry = repair_mod.measure_overhead(result, subject=witness.subject,
+                                               config=config)
+        prefix = f"repair.{witness.subject.replace('/', '-')}"
+        baseline = int(registry.get(f"{prefix}.baseline_cycles").value)
+        repaired = (int(registry.get(f"{prefix}.repaired_cycles").value)
+                    if result.fixes else baseline)
+        after = run_attack_program(
+            replace(witness.attack, builder_program=result.repaired),
+            defense, config)
+        rows.append(RepairRow(
+            subject=witness.subject, defense=defense,
+            fixes=tuple(fix.kind.value for fix in result.fixes),
+            baseline_cycles=baseline, repaired_cycles=repaired,
+            verified=result.verified, dynamic_blocked=not after.leaked))
+    return rows
+
+
+def render_repair_rows(rows: List[RepairRow]) -> str:
+    """The per-fix overhead table of the repair pipeline."""
+    header = (f"{'subject':16s}{'fixes':20s}{'baseline':>10s}"
+              f"{'repaired':>10s}{'overhead':>10s}{'static':>12s}"
+              f"{'simulator':>11s}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        fixes = "+".join(row.fixes) if row.fixes else "(none)"
+        static = "sanitized" if row.verified else "LEAKS"
+        dynamic = "blocked" if row.dynamic_blocked else "LEAKS"
+        lines.append(
+            f"{row.subject:16s}{fixes:20s}{row.baseline_cycles:>10d}"
+            f"{row.repaired_cycles:>10d}{row.overhead:>9.1%}"
+            f"{static:>12s}{dynamic:>11s}")
+    return "\n".join(lines)
+
+
 def render_figure1(rows: List[Figure1Row]) -> str:
     header = (f"{'defense':14s}{'class':28s}{'ACCESS ran':>12s}"
               f"{'TRANSMIT ran':>14s}{'leaked':>8s}")
@@ -415,7 +497,10 @@ __all__ = [
     "MISSING_CELL",
     "render_figure1",
     "render_matrix",
+    "render_repair_rows",
     "render_rows",
+    "repair_overhead",
+    "RepairRow",
     "run_parsec",
     "run_resilient",
     "run_spec",

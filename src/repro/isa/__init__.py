@@ -24,10 +24,13 @@ from repro.isa.instructions import (
 from repro.isa.program import DataSegment, Program
 from repro.isa.assembler import assemble
 from repro.isa.builder import ProgramBuilder
+from repro.isa.disasm import disassemble, signature
 from repro.isa.interpreter import Interpreter
 
 __all__ = [
     "assemble",
+    "disassemble",
+    "signature",
     "Interpreter",
     "Cond",
     "DataSegment",

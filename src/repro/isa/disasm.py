@@ -1,0 +1,198 @@
+"""Disassembler / pretty-printer: the inverse of :mod:`repro.isa.assembler`.
+
+:func:`disassemble` renders a linked :class:`~repro.isa.program.Program`
+back to assembler-accepted source text, so synthesized witness programs
+(:mod:`repro.analysis.witness`) and repaired programs
+(:mod:`repro.analysis.repair`) can be dumped as readable ``.s`` files for
+bug reports and re-assembled bit-for-bit.
+
+Round-trip contract (tested property-style in ``tests/isa/test_disasm.py``):
+
+- ``assemble(disassemble(p))`` produces a program with the same
+  :func:`signature` as ``p`` — identical opcode/operand/address structure,
+  entry point, and data image.  Label *names* are not preserved exactly:
+  :class:`~repro.isa.builder.ProgramBuilder` emits ``.L1``-style fresh
+  labels that the assembler grammar rejects (labels must start with a
+  letter or underscore), so the disassembler deterministically renames any
+  unrepresentable label.
+- ``disassemble(assemble(disassemble(p)), notes=False)`` is a fixed point:
+  instruction notes are annotations, not program state, and are dropped by
+  assembly, so text-level idempotence is only promised without them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import INSTR_BYTES, Instruction, Opcode
+from repro.isa.program import Program
+
+#: Labels the assembler grammar accepts (see ``assembler._LABEL_RE``).
+_VALID_LABEL = re.compile(r"^[A-Za-z_][\w.$]*$")
+
+
+def _safe_label_names(program: Program) -> Dict[str, str]:
+    """Deterministic original-name -> assemblable-name mapping.
+
+    Valid names pass through; invalid ones (``.L1``…) are sanitized and
+    uniquified in (index, name) order so two disassemblies of the same
+    program always agree.
+    """
+    used = set()
+    mapping: Dict[str, str] = {}
+    ordered = sorted(program.labels.items(), key=lambda kv: (kv[1], kv[0]))
+    for name, _index in ordered:
+        candidate = name
+        if not _VALID_LABEL.match(candidate):
+            candidate = re.sub(r"[^\w.$]", "_", candidate)
+            if not candidate or not re.match(r"^[A-Za-z_]", candidate):
+                candidate = "L" + candidate.lstrip(".")
+            if not _VALID_LABEL.match(candidate):
+                candidate = "L" + re.sub(r"[^\w]", "_", name)
+        while candidate in used:
+            candidate += "_"
+        used.add(candidate)
+        mapping[name] = candidate
+    return mapping
+
+
+def _labels_by_index(program: Program,
+                     names: Dict[str, str]) -> Dict[int, List[str]]:
+    by_index: Dict[int, List[str]] = {}
+    for name, index in sorted(program.labels.items(),
+                              key=lambda kv: (kv[1], kv[0])):
+        by_index.setdefault(index, []).append(names[name])
+    return by_index
+
+
+def _branch_target_label(instr: Instruction, program: Program,
+                         names: Dict[str, str],
+                         by_index: Dict[int, List[str]],
+                         synthesized: Dict[int, str]) -> str:
+    """The label text to emit for a branch operand.
+
+    Prefers the instruction's own (renamed) label; a linked branch that
+    carries only ``target_addr`` gets a synthesized ``Ltgt_<n>`` label at
+    the addressed instruction.
+    """
+    if instr.target is not None:
+        if instr.target not in names:
+            raise AssemblerError(
+                f"branch at {instr.address:#x} targets unknown label "
+                f"{instr.target!r}")
+        return names[instr.target]
+    if instr.target_addr is None:
+        raise AssemblerError(
+            f"branch at {instr.address:#x} has no target to disassemble")
+    offset = instr.target_addr - program.base_address
+    index, misaligned = divmod(offset, INSTR_BYTES)
+    if misaligned or not 0 <= index <= len(program.instructions):
+        raise AssemblerError(
+            f"branch at {instr.address:#x} targets {instr.target_addr:#x}, "
+            f"outside the text segment")
+    if index not in synthesized:
+        existing = by_index.get(index)
+        if existing:
+            synthesized[index] = existing[0]
+        else:
+            synthesized[index] = f"Ltgt_{index}"
+            by_index.setdefault(index, []).append(synthesized[index])
+    return synthesized[index]
+
+
+def _render_instruction(instr: Instruction, label: str) -> str:
+    op = instr.op
+    if op is Opcode.B_COND:
+        return f"B.{instr.cond.value} {label}"
+    if op in (Opcode.B, Opcode.BL):
+        return f"{op.value} {label}"
+    if op in (Opcode.CBZ, Opcode.CBNZ):
+        from repro.isa.registers import reg_name
+        return f"{op.value} {reg_name(instr.rn)}, {label}"
+    return instr.render()
+
+
+def _data_line(segment) -> str:
+    name = re.sub(r"\s", "_", segment.name) or "seg"
+    head = f".data {name} {segment.address:#x}"
+    if segment.tag is not None:
+        head += f" tag={segment.tag}"
+    data = segment.data
+    if not any(data):
+        return f"{head} zero {len(data)}"
+    if len(data) % 8 == 0:
+        words = [int.from_bytes(data[i:i + 8], "little")
+                 for i in range(0, len(data), 8)]
+        return f"{head} words " + " ".join(f"{w:#x}" for w in words)
+    return f"{head} bytes " + " ".join(f"{b:#x}" for b in data)
+
+
+def disassemble(program: Program, notes: bool = True) -> str:
+    """Render ``program`` as assembler-accepted source text.
+
+    Args:
+        program: the program to dump (linked or not; linking is forced so
+            branch targets and addresses are resolved).
+        notes: emit each instruction's free-form ``note`` as a trailing
+            ``// …`` comment.  Notes do not survive re-assembly, so pass
+            ``False`` when the output must be a textual fixed point.
+    """
+    program.link()
+    names = _safe_label_names(program)
+    by_index = _labels_by_index(program, names)
+    synthesized: Dict[int, str] = {}
+
+    # Resolve branch operand labels first: this may synthesize labels, which
+    # must be known before the line-emission walk.
+    branch_labels: Dict[int, str] = {}
+    for index, instr in enumerate(program.instructions):
+        if instr.is_branch and not instr.is_indirect_branch:
+            branch_labels[index] = _branch_target_label(
+                instr, program, names, by_index, synthesized)
+
+    lines: List[str] = [f".base {program.base_address:#x}"]
+    if program.entry_label is not None:
+        lines.append(f".entry {names[program.entry_label]}")
+    for segment in program.data_segments:
+        lines.append(_data_line(segment))
+    for index, instr in enumerate(program.instructions):
+        for label in by_index.get(index, ()):
+            lines.append(f"{label}:")
+        text = "    " + _render_instruction(instr, branch_labels.get(index, ""))
+        if notes and instr.note:
+            text += f"  // {instr.note}"
+        lines.append(text)
+    # Labels that point one past the last instruction (end-of-text markers).
+    for label in by_index.get(len(program.instructions), ()):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"
+
+
+def signature(program: Program) -> Tuple:
+    """A canonical structural fingerprint, invariant under disassembly.
+
+    Two programs with equal signatures execute identically: same text
+    (opcodes, operands, addresses, resolved branch targets), same entry
+    point, same data image and tag assignments.  Label names and
+    instruction notes are deliberately excluded — the disassembler may
+    rename labels, and notes are annotations.
+    """
+    program.link()
+    instrs = []
+    for instr in program.instructions:
+        imm, tag_imm = instr.imm, instr.tag_imm
+        if instr.op in (Opcode.ADDG, Opcode.SUBG):
+            imm, tag_imm = imm or 0, tag_imm or 0
+        elif instr.is_memory and instr.op is not Opcode.IRG:
+            # `[Xn]` and `[Xn, #0]` are the same addressing mode.
+            imm = None if instr.rm is not None else (imm or 0)
+        instrs.append((instr.op.value, instr.rd, instr.rn, instr.rm, imm,
+                       tag_imm, instr.cond.value if instr.cond else None,
+                       instr.target_addr, instr.address))
+    segments = tuple(sorted(
+        (seg.address, bytes(seg.data), seg.tag)
+        for seg in program.data_segments))
+    return (program.base_address, program.entry_address,
+            tuple(instrs), segments)

@@ -1,0 +1,43 @@
+"""Byte-identical gadget reports: the regression the CI diff relies on."""
+
+from repro.analysis.differential import render_report
+from repro.analysis.gadgets import find_gadgets
+from repro.isa import assemble
+from repro.workloads import SPEC_BY_NAME
+from repro.workloads.generator import HEAP_BASE, generate
+
+from tests.analysis.test_gadgets import SECRET, V1_SHAPE, SAME_KEY_BASE
+
+
+def test_find_gadgets_is_sorted_deterministically():
+    gadgets = find_gadgets(assemble(V1_SHAPE.format(base=SAME_KEY_BASE)),
+                           SECRET)
+    keys = [(g.source, g.kind.value, g.entry, g.transmitters)
+            for g in gadgets]
+    assert keys == sorted(keys)
+
+
+def test_reports_are_byte_identical_across_runs():
+    def report(source, secrets):
+        return "\n".join(g.render()
+                         for g in find_gadgets(assemble(source), secrets))
+
+    source = V1_SHAPE.format(base=SAME_KEY_BASE)
+    assert report(source, SECRET) == report(source, SECRET)
+
+
+def test_workload_reports_are_byte_identical_across_runs():
+    secrets = [(HEAP_BASE, HEAP_BASE + 64)]
+
+    def report():
+        program = generate(SPEC_BY_NAME["505.mcf_r"], seed=3,
+                           target_instructions=400).program
+        return "\n".join(g.render()
+                         for g in find_gadgets(program, secrets))
+
+    first = report()
+    assert first and first == report()
+
+
+def test_render_report_is_byte_identical_across_runs():
+    assert render_report(["spectre-v1"]) == render_report(["spectre-v1"])

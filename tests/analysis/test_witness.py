@@ -1,0 +1,114 @@
+"""Witness synthesis: every gadget class gets a self-witnessing program.
+
+Static properties are checked for all twelve (kind, variant) witnesses;
+dynamic confirmation runs are bounded to a couple of representative cells
+(the full sweep is the CLI's ``--witness`` mode and the extended selftest).
+"""
+
+import pytest
+
+from repro.analysis.windows import EntryKind
+from repro.analysis.witness import (
+    WITNESS_KINDS,
+    WitnessCheck,
+    confirm,
+    render_confirmation,
+    secret_ranges_of,
+    synthesize,
+    synthesize_all,
+    variant_name,
+    witness_kind,
+)
+from repro.config import DefenseKind
+from repro.errors import AnalysisError
+from repro.isa import assemble
+from repro.isa.disasm import signature
+
+
+@pytest.fixture(scope="module")
+def witnesses():
+    return {(w.kind, w.variant): w for w in synthesize_all()}
+
+
+def test_all_kinds_and_both_variants_synthesize(witnesses):
+    assert len(witnesses) == 2 * len(WITNESS_KINDS)
+    for kind in WITNESS_KINDS:
+        for residual in (False, True):
+            assert (kind, variant_name(kind, residual)) in witnesses
+
+
+@pytest.mark.parametrize("kind", WITNESS_KINDS, ids=lambda k: k.value)
+def test_witness_exhibits_its_own_class(witnesses, kind):
+    for residual in (False, True):
+        witness = witnesses[(kind, variant_name(kind, residual))]
+        assert kind in {g.kind for g in witness.gadgets}
+        assert witness.subject == f"{kind.value}/{witness.variant}"
+
+
+@pytest.mark.parametrize("kind", WITNESS_KINDS, ids=lambda k: k.value)
+def test_source_text_is_the_witness(witnesses, kind):
+    # The dumped .s file re-assembles to exactly the analyzed program.
+    witness = witnesses[(kind, variant_name(kind, True))]
+    assert (signature(assemble(witness.source_text))
+            == signature(witness.attack.builder_program))
+
+
+@pytest.mark.parametrize("kind", WITNESS_KINDS, ids=lambda k: k.value)
+def test_static_verdicts_split_on_the_variant(witnesses, kind):
+    sanitized = witnesses[(kind, variant_name(kind, False))]
+    residual = witnesses[(kind, variant_name(kind, True))]
+    # Everything leaks on the unsafe baseline ...
+    assert sanitized.static_leaks(DefenseKind.NONE)
+    assert residual.static_leaks(DefenseKind.NONE)
+    # ... SpecASan stops the cross-key variant but misses the residual.
+    assert not sanitized.static_leaks(DefenseKind.SPECASAN)
+    assert residual.static_leaks(DefenseKind.SPECASAN)
+
+
+def test_secret_ranges_cover_the_secret(witnesses):
+    witness = witnesses[(EntryKind.PHT, "same-key")]
+    (lo, hi), = secret_ranges_of(witness.attack)
+    assert lo <= witness.attack.secret_address < hi
+
+
+def test_confirm_residual_pht_leaks_and_agrees(witnesses):
+    witness = witnesses[(EntryKind.PHT, "same-key")]
+    checks, disagreements = confirm(
+        witness, [DefenseKind.NONE, DefenseKind.SPECASAN])
+    assert disagreements == []
+    assert all(isinstance(c, WitnessCheck) and c.agree for c in checks)
+    assert all(c.dynamic_leaked for c in checks)  # residual beats SpecASan
+
+
+def test_confirm_sanitized_pht_is_blocked(witnesses):
+    witness = witnesses[(EntryKind.PHT, "cross-key")]
+    checks, disagreements = confirm(witness, [DefenseKind.SPECASAN])
+    assert disagreements == []
+    assert not checks[0].dynamic_leaked and not checks[0].static_leaks
+
+
+def test_render_confirmation_mentions_verdicts(witnesses):
+    witness = witnesses[(EntryKind.PHT, "same-key")]
+    checks, disagreements = confirm(witness, [DefenseKind.NONE])
+    text = render_confirmation(witness, checks, disagreements)
+    assert "pht/same-key" in text and "[ok]" in text and "[pht]" in text
+
+
+def test_variant_names_follow_the_kind():
+    assert variant_name(EntryKind.PHT, residual=True) == "same-key"
+    assert variant_name(EntryKind.PHT, residual=False) == "cross-key"
+    assert variant_name(EntryKind.STL, residual=True) == "untagged"
+    assert variant_name(EntryKind.STL, residual=False) == "tagged"
+
+
+def test_witness_kind_parses_and_rejects():
+    assert witness_kind("PHT") is EntryKind.PHT
+    with pytest.raises(AnalysisError):
+        witness_kind("meltdown")
+
+
+def test_synthesize_is_deterministic():
+    a = synthesize(EntryKind.SBB, residual=True)
+    b = synthesize(EntryKind.SBB, residual=True)
+    assert a.source_text == b.source_text
+    assert [g.render() for g in a.gadgets] == [g.render() for g in b.gadgets]

@@ -63,6 +63,16 @@ class TestCampaignConfig:
         assert all(cell.kind == "parsec" and cell.num_threads == 4
                    for cell in cells)
 
+    def test_repair_overhead_schedules_no_baseline_cells(self):
+        config = CampaignConfig(figure="repair-overhead")
+        cells = config.build_cells()
+        # One self-normalizing cell per residual witness subject.
+        assert all(cell.kind == "repair" for cell in cells)
+        assert all(cell.defense == "specasan" for cell in cells)
+        assert [c.benchmark for c in cells] == [
+            "pht/same-key", "btb/same-key", "rsb/same-key",
+            "stl/untagged", "sbb/same-key", "lfb/same-key"]
+
     def test_hash_is_stable_and_parameter_sensitive(self):
         a = CampaignConfig(figure="figure6", target_instructions=300)
         b = CampaignConfig(figure="figure6", target_instructions=300)
@@ -89,6 +99,17 @@ class TestRowAssembly:
         by_defense = {row.defense: row for row in rows}
         assert by_defense[DefenseKind.FENCE].normalized_time == 2.5
         assert by_defense[DefenseKind.NONE].normalized_time == 1.0
+
+    def test_repair_rows_normalize_against_their_own_payload(self):
+        config = CampaignConfig(figure="repair-overhead",
+                                benchmarks=("btb/same-key",))
+        cells = config.build_cells()
+        record = self._record(1100)
+        record["row"]["baseline_cycles"] = 1000
+        rows = rows_from_records(
+            cells, {"repair:btb/same-key:specasan": record})
+        assert len(rows) == 1
+        assert rows[0].normalized_time == pytest.approx(1.1)
 
     def test_missing_baseline_drops_the_benchmark(self):
         # Without a baseline there is nothing sound to normalize against;

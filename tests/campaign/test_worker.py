@@ -39,6 +39,21 @@ class TestRunCell:
         with pytest.raises(ReproError):
             run_cell(spec_cell(max_cycles=50))
 
+    def test_repair_cell_is_self_normalizing(self):
+        row = run_cell(CellSpec(kind="repair", benchmark="pht/same-key",
+                                defense="specasan"))
+        assert row["verified"] and row["fixes"]
+        assert row["baseline_cycles"] > 0 and row["cycles"] > 0
+        assert row["halted"]
+        stats = row["stats"]["repair"]["pht-same-key"]
+        assert stats["baseline_cycles"] == row["baseline_cycles"]
+        assert "cycles" in stats["fix1"]
+
+    def test_repair_cell_is_deterministic(self):
+        cell = CellSpec(kind="repair", benchmark="stl/untagged",
+                        defense="specasan")
+        assert run_cell(cell) == run_cell(cell)
+
     def test_heartbeat_pulsed_from_the_run_loop(self, tmp_path):
         path = str(tmp_path / "hb")
         heartbeat = Heartbeat(path, interval=100, min_wall_s=0.0)

@@ -195,4 +195,6 @@ class TestComposite:
 
         flags = policy.request_flags(_Dyn())
         assert flags.check_tag and flags.block_fill_on_mismatch
-        assert not flags.allow_stale_forward
+        # Stale LFB forwards stay enabled but are lock-gated by the
+        # hierarchy (block_fill_on_mismatch withholds them on key mismatch).
+        assert flags.allow_stale_forward

@@ -16,6 +16,37 @@ from repro.eval import (
 )
 
 
+class TestRepairRows:
+    def _row(self, **overrides):
+        from repro.eval.experiments import RepairRow
+        params = dict(subject="pht/same-key", defense=DefenseKind.SPECASAN,
+                      fixes=("retag",), baseline_cycles=1000,
+                      repaired_cycles=1100, verified=True,
+                      dynamic_blocked=True)
+        params.update(overrides)
+        return RepairRow(**params)
+
+    def test_overhead_is_normalized_minus_one(self):
+        assert self._row().overhead == pytest.approx(0.1)
+        assert self._row(repaired_cycles=1000).overhead == pytest.approx(0.0)
+
+    def test_render_shows_fixes_and_both_verdicts(self):
+        from repro.eval.experiments import render_repair_rows
+        text = render_repair_rows(
+            [self._row(), self._row(subject="sbb/same-key", fixes=(),
+                                    verified=False, dynamic_blocked=False)])
+        assert "pht/same-key" in text and "retag" in text
+        assert "sanitized" in text and "blocked" in text
+        assert "LEAKS" in text and "(none)" in text
+
+    def test_repair_overhead_measures_one_subject(self):
+        from repro.eval.experiments import repair_overhead
+        rows = repair_overhead(subjects=["pht/same-key"])
+        (row,) = rows
+        assert row.verified and row.dynamic_blocked
+        assert row.fixes and row.baseline_cycles > 0
+
+
 class TestMetrics:
     def test_geomean(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)

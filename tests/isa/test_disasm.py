@@ -1,0 +1,124 @@
+"""Disassembler round-trip properties: ``assemble(disassemble(p)) == p``.
+
+The contract (see :mod:`repro.isa.disasm`) is structural, not textual:
+label names may be renamed (builder-fresh ``.L1`` labels are not valid
+assembler labels) and instruction notes are annotations, so equality is
+checked via :func:`~repro.isa.disasm.signature`.  Without notes the text
+itself is a fixed point.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.disasm import disassemble, signature
+from repro.workloads import PARSEC_BY_NAME, SPEC_BY_NAME
+from repro.workloads.generator import generate
+
+HANDWRITTEN = """
+    .data arr 0x4000 tag=2 bytes 1 1 1 1
+    .data sec 0x4100 tag=5 bytes 11
+    .data probe 0x100000 zero 4096
+    MOV X2, #0x4000
+    MOV X0, #3
+    CMP X0, #4
+    B.HS skip
+    LDRB X5, [X2, X0]
+    LSL X6, X5, #12
+    MOV X3, #0x100000
+    ADD X7, X3, X6
+    LDRB X8, [X7]
+skip:
+    HALT
+"""
+
+
+def roundtrip(program):
+    """Disassemble, re-assemble, and assert structural identity."""
+    text = disassemble(program)
+    again = assemble(text)
+    assert signature(again) == signature(program)
+    return again, text
+
+
+def _builder_program():
+    """A program exercising builder-fresh (``.L1``-style) labels, tagged
+    data, branches, and an end-of-loop back edge."""
+    b = ProgramBuilder()
+    b.bytes_segment("payload", 0x4000, bytes([7] * 16), tag=3)
+    b.words_segment("table", 0x5000, [0x4000, (0x3 << 56) | 0x4008])
+    loop = b.fresh_label("loop")
+    done = b.fresh_label("done")
+    b.li("X0", 4)
+    b.li("X1", 0x4000)
+    b.label(loop)
+    b.cbz("X0", done)
+    b.ldrb("X2", "X1", note="a note that must not survive re-assembly")
+    b.sub("X0", "X0", imm=1)
+    b.b(loop)
+    b.label(done)
+    b.halt()
+    return b.build()
+
+
+class TestRoundTrip:
+    def test_handwritten_source_roundtrips(self):
+        roundtrip(assemble(HANDWRITTEN))
+
+    def test_builder_fresh_labels_are_renamed_and_roundtrip(self):
+        program = _builder_program()
+        again, text = roundtrip(program)
+        assert ".L" not in text  # builder labels sanitized for the grammar
+        # Idempotence: renaming already-valid labels is the identity.
+        roundtrip(again)
+
+    def test_text_fixed_point_without_notes(self):
+        program = _builder_program()
+        text = disassemble(program, notes=False)
+        assert disassemble(assemble(text), notes=False) == text
+
+    def test_notes_render_but_do_not_survive(self):
+        program = _builder_program()
+        text = disassemble(program)
+        assert "must not survive" in text
+        assert "must not survive" not in disassemble(assemble(text))
+
+    def test_disassembly_is_deterministic(self):
+        assert disassemble(_builder_program()) == disassemble(
+            _builder_program())
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from(sorted(SPEC_BY_NAME)), st.integers(0, 7),
+           st.booleans())
+    def test_generated_spec_workloads_roundtrip(self, name, seed,
+                                                instrumented):
+        program = generate(SPEC_BY_NAME[name], seed=seed,
+                           target_instructions=300,
+                           mte_instrumented=instrumented).program
+        roundtrip(program)
+
+    @settings(max_examples=4, deadline=None)
+    @given(st.sampled_from(sorted(PARSEC_BY_NAME)), st.integers(0, 3))
+    def test_generated_parsec_workloads_roundtrip(self, name, seed):
+        spec = PARSEC_BY_NAME[name]
+        program = generate(spec.profile, seed=seed, target_instructions=300,
+                           shared_base=0x300000, shared_size=0x1000,
+                           shared_fraction=spec.shared_fraction).program
+        roundtrip(program)
+
+
+class TestSignature:
+    def test_signature_ignores_label_names_and_notes(self):
+        a = assemble(HANDWRITTEN)
+        b = assemble(HANDWRITTEN.replace("skip", "elsewhere"))
+        assert signature(a) == signature(b)
+
+    def test_signature_sees_operand_changes(self):
+        a = assemble(HANDWRITTEN)
+        b = assemble(HANDWRITTEN.replace("MOV X0, #3", "MOV X0, #5"))
+        assert signature(a) != signature(b)
+
+    def test_signature_sees_data_changes(self):
+        a = assemble(HANDWRITTEN)
+        b = assemble(HANDWRITTEN.replace("bytes 11", "bytes 12"))
+        assert signature(a) != signature(b)
