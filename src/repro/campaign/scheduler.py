@@ -61,6 +61,13 @@ class AttemptFailure:
 class _PendingCell:
     cell: CellSpec
     attempts: int = 0
+    #: MTE tag-seed perturbation for the next attempt.  Bumped only on
+    #: *typed* simulation failures (the deterministic kind reseeding can
+    #: dodge); environmental deaths — kill, OOM, wall-timeout, stall —
+    #: retry under the same seed so the previous attempt's mid-cell
+    #: checkpoints stay restorable and the retry resumes instead of
+    #: restarting from cycle 0.
+    reseed: int = 0
     eligible_at: float = 0.0
     failures: List[AttemptFailure] = field(default_factory=list)
 
@@ -106,6 +113,22 @@ class CampaignOutcome:
                            benchmarks=self.config.suite(),
                            defenses=baseline + self.config.defenses)
 
+    @property
+    def degradations(self) -> Dict[str, List[dict]]:
+        """Checkpoint corruptions each completed cell degraded past.
+
+        Keyed by cell id; each entry names the stage (``warm`` — shared
+        warm checkpoint, ``resume`` — per-cell generation) and the
+        :class:`~repro.errors.CheckpointError` fault class.  Degradations
+        cost re-simulation time, never results, so they are reported but
+        do not affect :attr:`ok`.
+        """
+        return {
+            cell_id: record["row"]["degradations"]
+            for cell_id, record in sorted(self.completed.items())
+            if record.get("row", {}).get("degradations")
+        }
+
     def report(self) -> dict:
         """Structured failure report (persisted as ``report.json``)."""
         return {
@@ -119,6 +142,7 @@ class CampaignOutcome:
             "corrupt_records": [
                 {"line_no": c.line_no, "reason": c.reason,
                  "cell_id": c.cell_id} for c in self.corrupt],
+            "degradations": self.degradations,
             "ok": self.ok,
         }
 
@@ -167,19 +191,32 @@ class CampaignScheduler:
             .replace("/", "-")
         stem = os.path.join(self.store.work_dir, f"{safe}.a{attempt}")
         return {"spec": stem + ".cell.json", "out": stem + ".out.json",
-                "heartbeat": stem + ".hb", "log": stem + ".log"}
+                "heartbeat": stem + ".hb", "log": stem + ".log",
+                # Checkpoint stem is attempt-INdependent: a retry must find
+                # the generations the dead attempt left behind, and a
+                # ``--resume`` of the whole campaign picks a killed cell
+                # back up mid-run the same way.
+                "ckpt": os.path.join(self.store.work_dir, safe)}
 
     def _default_argv(self, cell: CellSpec, paths: dict, attempt: int,
                       reseed: int) -> List[str]:
-        return [sys.executable, "-m", "repro.campaign.worker",
+        argv = [sys.executable, "-m", "repro.campaign.worker",
                 "--spec", paths["spec"], "--out", paths["out"],
                 "--heartbeat", paths["heartbeat"],
                 "--attempt", str(attempt), "--reseed", str(reseed),
                 "--heartbeat-cycles", str(self.config.heartbeat_cycles)]
+        if self.config.checkpoint_interval > 0:
+            argv += ["--checkpoint-stem", paths["ckpt"],
+                     "--checkpoint-interval",
+                     str(self.config.checkpoint_interval),
+                     "--checkpoint-keep", str(self.config.checkpoint_keep)]
+        if self.config.share_warm:
+            argv += ["--warm-dir", self.store.work_dir]
+        return argv
 
     def _launch(self, state: _PendingCell) -> _ActiveWorker:
         cell, attempt = state.cell, state.attempts
-        reseed = attempt  # same convention as run_resilient
+        reseed = state.reseed  # bumped per *typed* failure, not per attempt
         paths = self._paths(cell, attempt)
         with open(paths["spec"], "w", encoding="utf-8") as handle:
             json.dump(cell.to_dict(), handle)
@@ -236,13 +273,20 @@ class CampaignScheduler:
             "cell_id": worker.cell.cell_id,
             "status": "ok",
             "attempt": worker.state.attempts,
-            "reseed": outcome.get("reseed", worker.state.attempts),
+            "reseed": outcome.get("reseed", worker.state.reseed),
             "cell": worker.cell.to_dict(),
             "row": outcome["row"],
         })
+        row = outcome["row"]
+        notes = ""
+        if row.get("resumed_cycle") is not None:
+            notes += f", resumed from cycle {row['resumed_cycle']}"
+        if row.get("degradations"):
+            kinds = sorted({d["kind"] for d in row["degradations"]})
+            notes += f", degraded past {'/'.join(kinds)}"
         self.progress(f"cell {worker.cell.cell_id}: ok "
-                      f"({outcome['row']['cycles']} cycles, "
-                      f"attempt {worker.state.attempts})")
+                      f"({row['cycles']} cycles, "
+                      f"attempt {worker.state.attempts}{notes})")
 
     def _classify_exit(self, worker: _ActiveWorker,
                        returncode: int) -> AttemptFailure:
@@ -271,6 +315,13 @@ class CampaignScheduler:
         state = worker.state
         state.failures.append(failure)
         state.attempts += 1
+        if failure.kind == "typed":
+            # Deterministic simulation failure: perturb the MTE seed (the
+            # run_resilient convention).  The old checkpoints are now
+            # config-skewed and the worker starts the cell over; for every
+            # other failure kind the seed is kept so the retry restores the
+            # dead attempt's newest generation and continues mid-cell.
+            state.reseed += 1
         cell_id = worker.cell.cell_id
         if state.attempts > self.config.max_retries:
             failed[cell_id] = state.failures
@@ -292,7 +343,7 @@ class CampaignScheduler:
         pending.append(state)
         self.progress(f"cell {cell_id}: attempt {failure.attempt} "
                       f"{failure.kind} ({failure.error}); retrying in "
-                      f"{delay:.2f}s with reseed {state.attempts}")
+                      f"{delay:.2f}s with reseed {state.reseed}")
 
     # ------------------------------------------------------------------
     # the main loop

@@ -17,15 +17,24 @@ tests.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import hashlib
 import json
+import os
 import sys
 import traceback
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.campaign.cells import CellSpec, system_config
 from repro.campaign.heartbeat import Heartbeat
 from repro.campaign.store import atomic_write
-from repro.errors import ReproError
+from repro.checkpoint import (CheckpointHook, CheckpointManager,
+                              CheckpointStats, config_fingerprint,
+                              program_fingerprint, read_checkpoint,
+                              write_checkpoint)
+from repro.config import DefenseKind
+from repro.errors import CheckpointError, ReproError
 from repro.multicore import MulticoreSystem
 from repro.system import build_system
 from repro.workloads import PARSEC_BY_NAME, SPEC_BY_NAME
@@ -37,28 +46,179 @@ from repro.workloads.parsec import (SHARED_BASE, SHARED_SIZE,
 EXIT_TYPED_FAILURE = 3
 
 
+@dataclass
+class CheckpointPlan:
+    """Scheduler-provided checkpointing knobs for one cell.
+
+    ``stem`` is *attempt-independent* (no ``.a<N>`` suffix), so a retried
+    attempt finds the generations its predecessor wrote and resumes
+    mid-cell instead of restarting from cycle 0.  ``warm_dir`` is the
+    campaign-wide directory holding shared warm-state checkpoints; empty
+    disables warm sharing.  The default plan (both empty/zero) reproduces
+    the pre-checkpoint worker behavior exactly.
+    """
+
+    stem: str = ""
+    interval: int = 0
+    keep: int = 2
+    warm_dir: str = ""
+
+    @property
+    def periodic(self) -> bool:
+        """Per-cell generation checkpoints enabled?"""
+        return bool(self.stem) and self.interval > 0
+
+    @property
+    def share_warm(self) -> bool:
+        return bool(self.warm_dir)
+
+    @property
+    def active(self) -> bool:
+        return self.periodic or self.share_warm
+
+
+def _degradation(stage: str, err: CheckpointError) -> dict:
+    """One graceful-degradation record for the row payload / report.json."""
+    return {"stage": stage, "kind": err.kind,
+            "path": os.path.basename(err.path) if err.path else "",
+            "error": str(err)}
+
+
+def _clear_generations(manager: CheckpointManager) -> None:
+    """Drop every generation (all unusable: corrupt, or config-skewed
+    after a reseeding retry) so the fresh attempt starts a clean lineage."""
+    for generation in manager.generations():
+        try:
+            os.unlink(manager.path_for(generation))
+        except OSError:
+            pass
+
+
+def _resume(manager: Optional[CheckpointManager], system, programs,
+            degradations: List[dict]):
+    """Restore the newest valid per-cell generation, if one exists.
+
+    Returns ``(result, dirty)``: the
+    :class:`~repro.checkpoint.manager.RestoreResult` or None (fresh
+    start), and whether the failed walk may have left ``system`` partially
+    loaded (the caller rebuilds it then).  Generations rejected on the
+    walk become ``resume`` degradation records; ``config-skew`` is silent
+    because it is the *expected* outcome of finding a previous reseed's
+    checkpoints after a typed failure bumped the MTE seed.  Corruption
+    never propagates: the worst case is warming and running from cycle 0.
+    """
+    if manager is None:
+        return None, False
+    try:
+        result = manager.restore(system, programs)
+    except CheckpointError as err:
+        if err.kind == "missing":
+            return None, False
+        if err.kind != "config-skew":
+            degradations.append(_degradation("resume", err))
+        _clear_generations(manager)
+        return None, True
+    for rejected in result.rejected:
+        degradations.append(_degradation("resume", rejected))
+    return result, False
+
+
+def _shared_warm_state(cell: CellSpec, reseed: int, programs,
+                       plan: CheckpointPlan,
+                       stats: Optional[CheckpointStats],
+                       degradations: List[dict], produce):
+    """The warm hierarchy state for this cell's warm group.
+
+    Every defense cell of one (workload, seed) group shares a single
+    warm-state checkpoint, keyed by the *canonical* warm config (the
+    cell's config with the defense forced to ``none`` — warming measures
+    nothing, so the group warms once under the baseline) plus the program
+    fingerprint.  The first member to arrive produces the file; the rest
+    fan out from the identical hierarchy state.  A member that finds the
+    file corrupt re-warms locally — recording the degradation, never
+    failing the cell — and its atomic rewrite heals the file for the rest
+    of the group.  Returns ``(hierarchy state dict, origin label)``.
+    """
+    warm_cell = dataclasses.replace(cell, defense=DefenseKind.NONE.value)
+    warm_fp = config_fingerprint(system_config(warm_cell, reseed))
+    prog_fp = program_fingerprint(programs)
+    key = hashlib.sha256(
+        f"{warm_fp}:{prog_fp}:{cell.warm_runs}".encode("utf-8")
+    ).hexdigest()[:12]
+    path = os.path.join(plan.warm_dir, f"warm.{key}.ckpt")
+    try:
+        _, sections = read_checkpoint(path, expect_config=warm_fp,
+                                      expect_program=prog_fp)
+        if "hierarchy" not in sections:
+            raise CheckpointError("warm checkpoint lacks a hierarchy "
+                                  "section", path=path,
+                                  kind="section-corrupt")
+        if stats is not None:
+            stats.restores += 1
+        return sections["hierarchy"], "shared"
+    except CheckpointError as err:
+        if err.kind != "missing":
+            degradations.append(_degradation("warm", err))
+            if stats is not None:
+                stats.corrupt_rejected += 1
+    state, cycle = produce(system_config(warm_cell, reseed))
+    nbytes = write_checkpoint(path, {"hierarchy": state},
+                              config_hash=warm_fp, program_hash=prog_fp,
+                              cycle=cycle)
+    if stats is not None:
+        stats.saves += 1
+        stats.bytes += nbytes
+        stats.save_cycles = cycle
+    return state, "produced"
+
+
 def _run_spec_cell(cell: CellSpec, reseed: int,
-                   heartbeat: Optional[Heartbeat]) -> dict:
+                   heartbeat: Optional[Heartbeat],
+                   plan: CheckpointPlan) -> dict:
     profile = SPEC_BY_NAME[cell.benchmark]
     program = generate(
         profile, seed=cell.seed,
         target_instructions=cell.target_instructions,
         mte_instrumented=cell.defense_kind.uses_specasan).program
-    system = build_system(system_config(cell, reseed))
+    config = system_config(cell, reseed)
+    stats = CheckpointStats() if plan.active else None
+    manager = (CheckpointManager(plan.stem, keep=plan.keep, stats=stats)
+               if plan.periodic else None)
+    degradations: List[dict] = []
 
-    def measured_run():
+    system = build_system(config)
+    system.checkpoint_stats = stats
+    resumed, dirty = _resume(manager, system, program, degradations)
+    if dirty:
+        system = build_system(config)
+        system.checkpoint_stats = stats
+    if resumed is not None:
+        origin = "checkpoint"
+        core = system.core
+    elif plan.share_warm and cell.warm_runs > 0:
         core = system.prepare(program)
-        core.heartbeat = heartbeat
-        core.run()
-        return system.result()
-
-    for _ in range(cell.warm_runs):
-        measured_run()
-    result = measured_run()
+        warm_state, origin = _shared_warm_state(
+            cell, reseed, program, plan, stats, degradations,
+            produce=lambda warm_config: _produce_spec_warm(
+                warm_config, program, cell.warm_runs))
+        system.hierarchy.load_state_dict(warm_state)
+    else:
+        for _ in range(cell.warm_runs):
+            warm_core = system.prepare(program)
+            warm_core.heartbeat = heartbeat
+            warm_core.run()
+        core = system.prepare(program)
+        origin = "local" if cell.warm_runs else "cold"
+    core.heartbeat = heartbeat
+    if manager is not None:
+        core.checkpoint_hook = CheckpointHook(manager, system, program,
+                                              interval=plan.interval)
+    core.run()
+    result = system.result()
     if result.fault is not None:
         raise ReproError(
             f"{cell.benchmark} faulted under {cell.defense}: {result.fault}")
-    return {
+    row = {
         "cycles": result.cycles,
         "instructions": result.instructions,
         "restricted_fraction": result.stats.restricted_fraction,
@@ -66,10 +226,35 @@ def _run_spec_cell(cell: CellSpec, reseed: int,
         "halted": result.halted,
         "stats": system.stats_registry().dump(),
     }
+    if plan.active:
+        row["warm"] = origin
+        row["degradations"] = degradations
+        if resumed is not None:
+            row["resumed_cycle"] = resumed.cycle
+    return row
+
+
+def _produce_spec_warm(warm_config, program, warm_runs: int):
+    """Warm a fresh baseline system; returns (hierarchy state, cycles)."""
+    warm_system = build_system(warm_config)
+    for _ in range(warm_runs):
+        warm_system.prepare(program).run()
+    warm_system.hierarchy.quiesce()
+    return warm_system.hierarchy.state_dict(), warm_system.core.cycle
+
+
+def _produce_parsec_warm(warm_config, programs, warm_runs: int,
+                         max_cycles: int):
+    warm_system = MulticoreSystem(warm_config)
+    warm_system.run(programs, max_cycles=max_cycles,
+                    warm_runs=warm_runs - 1)
+    warm_system.hierarchy.quiesce()
+    return warm_system.hierarchy.state_dict(), warm_system.result().cycles
 
 
 def _run_parsec_cell(cell: CellSpec, reseed: int,
-                     heartbeat: Optional[Heartbeat]) -> dict:
+                     heartbeat: Optional[Heartbeat],
+                     plan: CheckpointPlan) -> dict:
     spec = PARSEC_BY_NAME[cell.benchmark]
     instrumented = cell.defense_kind.uses_specasan
     programs = [generate(
@@ -82,13 +267,43 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
         mte_instrumented=instrumented).program
         for t in range(cell.num_threads)]
     config = system_config(cell, reseed)
+    stats = CheckpointStats() if plan.active else None
+    manager = (CheckpointManager(plan.stem, keep=plan.keep, stats=stats)
+               if plan.periodic else None)
+    degradations: List[dict] = []
+
     system = MulticoreSystem(config)
     system.heartbeat = heartbeat
-    result = system.run(programs, max_cycles=config.core.max_cycles,
-                        warm_runs=cell.warm_runs)
+    system.checkpoint_stats = stats
+    resumed, dirty = _resume(manager, system, programs, degradations)
+    if dirty:
+        system = MulticoreSystem(config)
+        system.heartbeat = heartbeat
+        system.checkpoint_stats = stats
+    origin = "checkpoint"
+    if resumed is None:
+        if plan.share_warm and cell.warm_runs > 0:
+            system.prepare(programs)
+            warm_state, origin = _shared_warm_state(
+                cell, reseed, programs, plan, stats, degradations,
+                produce=lambda warm_config: _produce_parsec_warm(
+                    warm_config, programs, cell.warm_runs,
+                    config.core.max_cycles))
+            system.hierarchy.load_state_dict(warm_state)
+        else:
+            for _ in range(cell.warm_runs):
+                system.prepare(programs)
+                system.run_prepared(config.core.max_cycles)
+            system.prepare(programs)
+            origin = "local" if cell.warm_runs else "cold"
+    if manager is not None:
+        system.checkpoint_hook = CheckpointHook(manager, system, programs,
+                                                interval=plan.interval)
+    system.run_prepared(config.core.max_cycles)
+    result = system.result()
     if any(result.faults):
         raise ReproError(f"{cell.benchmark} faulted under {cell.defense}")
-    return {
+    row = {
         "cycles": result.cycles,
         "instructions": result.instructions,
         "restricted_fraction": result.restricted_fraction,
@@ -96,6 +311,12 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
         "halted": True,
         "stats": system.stats_registry().dump(),
     }
+    if plan.active:
+        row["warm"] = origin
+        row["degradations"] = degradations
+        if resumed is not None:
+            row["resumed_cycle"] = resumed.cycle
+    return row
 
 
 def _run_repair_cell(cell: CellSpec, reseed: int,
@@ -151,13 +372,20 @@ def _run_repair_cell(cell: CellSpec, reseed: int,
 
 
 def run_cell(cell: CellSpec, reseed: int = 0,
-             heartbeat: Optional[Heartbeat] = None) -> dict:
-    """Measure one cell; returns the row payload or raises ReproError."""
+             heartbeat: Optional[Heartbeat] = None,
+             checkpointing: Optional[CheckpointPlan] = None) -> dict:
+    """Measure one cell; returns the row payload or raises ReproError.
+
+    ``checkpointing`` (default: fully disabled) controls mid-cell
+    generation checkpoints and shared warm-state reuse; repair cells have
+    no long simulation loop of the right shape and ignore it.
+    """
+    plan = checkpointing if checkpointing is not None else CheckpointPlan()
     if cell.kind == "spec":
-        return _run_spec_cell(cell, reseed, heartbeat)
+        return _run_spec_cell(cell, reseed, heartbeat, plan)
     if cell.kind == "repair":
         return _run_repair_cell(cell, reseed, heartbeat)
-    return _run_parsec_cell(cell, reseed, heartbeat)
+    return _run_parsec_cell(cell, reseed, heartbeat, plan)
 
 
 def main(argv=None) -> int:
@@ -173,17 +401,31 @@ def main(argv=None) -> int:
     parser.add_argument("--attempt", type=int, default=0)
     parser.add_argument("--reseed", type=int, default=0)
     parser.add_argument("--heartbeat-cycles", type=int, default=2000)
+    parser.add_argument("--checkpoint-stem", default="",
+                        help="attempt-independent per-cell checkpoint stem")
+    parser.add_argument("--checkpoint-interval", type=int, default=0,
+                        help="simulated cycles between generations "
+                             "(0 disables)")
+    parser.add_argument("--checkpoint-keep", type=int, default=2)
+    parser.add_argument("--warm-dir", default="",
+                        help="shared warm-checkpoint directory "
+                             "(empty disables warm sharing)")
     args = parser.parse_args(argv)
 
     with open(args.spec, encoding="utf-8") as handle:
         cell = CellSpec.from_dict(json.load(handle))
     heartbeat = Heartbeat(args.heartbeat, interval=args.heartbeat_cycles)
     heartbeat.beat(0)  # prove liveness before the (long) first interval
+    plan = CheckpointPlan(stem=args.checkpoint_stem,
+                          interval=args.checkpoint_interval,
+                          keep=args.checkpoint_keep,
+                          warm_dir=args.warm_dir)
 
     base = {"cell_id": cell.cell_id, "attempt": args.attempt,
             "reseed": args.reseed}
     try:
-        row = run_cell(cell, reseed=args.reseed, heartbeat=heartbeat)
+        row = run_cell(cell, reseed=args.reseed, heartbeat=heartbeat,
+                       checkpointing=plan)
     except ReproError as exc:
         atomic_write(args.out, json.dumps({
             **base, "status": "failed",

@@ -1,0 +1,82 @@
+"""Checkpoint corruption primitives.
+
+The write-side of the robustness story: these helpers damage a checkpoint
+file in each of the ways the read path must detect and reject.  They are
+used by the corruption-matrix tests, by ``python -m repro.checkpoint``'s
+self-test, and by the :class:`~repro.resilience.faults.FaultInjector`'s
+checkpoint fault kinds.
+
+Every helper writes the damaged bytes *directly* (no atomic rename): they
+model the failure modes the atomic writer cannot rule out — media
+corruption after a successful write, and the torn partial writes a
+non-atomic writer would have produced.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.checkpoint.format import MAGIC, read_header, section_ranges
+
+
+def truncate(path: str, keep_fraction: float = 0.5) -> None:
+    """Cut the file short, as an interrupted copy or a bad sector would."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    keep = max(len(MAGIC), int(len(blob) * keep_fraction))
+    with open(path, "wb") as handle:
+        handle.write(blob[:keep])
+
+
+def flip_bit(path: str, section: str = "", seed: int = 0) -> None:
+    """Flip one payload bit — inside ``section`` if named, else anywhere
+    past the header."""
+    ranges = list(section_ranges(path))
+    if section:
+        ranges = [r for r in ranges if r[0] == section]
+        if not ranges:
+            raise ValueError(f"no section {section!r} in {path}")
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    rng = random.Random(seed)
+    _name, start, end = ranges[rng.randrange(len(ranges))]
+    end = min(end, len(blob))
+    if start >= end:
+        raise ValueError(f"section range empty in {path}")
+    offset = rng.randrange(start, end)
+    blob[offset] ^= 1 << rng.randrange(8)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+
+
+def skew_header(path: str, field: str = "schema") -> None:
+    """Rewrite the header with a skewed ``field`` (payloads untouched).
+
+    ``field="schema"`` bumps the schema version (an incompatible-writer
+    checkpoint); ``field="config"`` / ``"program"`` replace the fingerprint
+    (a checkpoint from a different experiment configuration).
+    """
+    header, offset = read_header(path)
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if field == "schema":
+        header["schema"] = header.get("schema", 0) + 1
+    elif field in ("config", "program"):
+        header[field] = "0" * 16
+    else:
+        raise ValueError(f"unknown header field {field!r}")
+    with open(path, "wb") as handle:
+        handle.write(MAGIC + json.dumps(header, sort_keys=True).encode("utf-8")
+                     + b"\n" + blob[offset:])
+
+
+def tear_write(path: str) -> None:
+    """Leave the half-written file a non-atomic writer would have: the
+    magic plus a prefix of the (unterminated) header line."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    newline = blob.find(b"\n", len(MAGIC))
+    cut = len(MAGIC) + max(1, (max(newline, 0) - len(MAGIC)) // 2)
+    with open(path, "wb") as handle:
+        handle.write(blob[:cut])

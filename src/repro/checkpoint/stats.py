@@ -1,0 +1,38 @@
+"""Checkpoint telemetry counters.
+
+A plain stats dataclass in the style of
+:class:`~repro.pipeline.stats.CoreStats`: flat integer fields the
+checkpoint machinery bumps directly, registered under the ``checkpoint``
+scope by :func:`repro.telemetry.registry.system_registry` (pass the object
+as its ``checkpoint`` argument, or attach it to a system's
+``checkpoint_stats``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass
+class CheckpointStats:
+    """Counters for one system's checkpoint activity."""
+
+    #: Checkpoints written.
+    saves: int = 0
+    #: Simulated cycle of the most recent save (how much re-simulation a
+    #: restore avoids).
+    save_cycles: int = 0
+    #: Total bytes written across all saves.
+    bytes: int = 0
+    #: Successful restores.
+    restores: int = 0
+    #: Checkpoint generations rejected as corrupt during restore walks.
+    corrupt_rejected: int = 0
+
+    def state_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def load_state_dict(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, int(value))

@@ -79,6 +79,27 @@ class DefensePolicy:
         """Record that ``dyn`` was delayed by this defense this cycle."""
         self.restricted_seqs.add(dyn.seq)
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable policy state; subclasses extend this dict."""
+        return {"name": self.name,
+                "restricted_seqs": sorted(self.restricted_seqs)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this (attached) policy.
+
+        Mutates ``restricted_seqs`` in place rather than rebinding it, so
+        composite members sharing the set stay aliased after a restore.
+        """
+        if state.get("name") != self.name:
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                f"policy {state.get('name')!r} cannot restore into "
+                f"{self.name!r}", kind="state-mismatch")
+        self.restricted_seqs.clear()
+        self.restricted_seqs.update(state["restricted_seqs"])
+
     # -- front end ----------------------------------------------------------
 
     def fetch_may_follow_indirect(self, dyn: "DynInstr", target: int) -> bool:

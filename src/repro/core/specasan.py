@@ -78,6 +78,16 @@ class TagCheckStatusHandler:
         self._record("stl-forward blocked, tcs=unsafe", load)
         self.core.schedule_unsafe_broadcast(load)
 
+    def state_dict(self) -> dict:
+        return {"safe_outcomes": self.safe_outcomes,
+                "unsafe_outcomes": self.unsafe_outcomes,
+                "trace": [list(entry) for entry in self.trace]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.safe_outcomes = int(state["safe_outcomes"])
+        self.unsafe_outcomes = int(state["unsafe_outcomes"])
+        self.trace = [tuple(entry) for entry in state["trace"]]
+
 
 class SpecASanPolicy(DefensePolicy):
     """The paper's defense: MTE checks extended to the speculative path."""
@@ -126,3 +136,12 @@ class SpecASanPolicy(DefensePolicy):
         # Data only ever arrives for safe accesses (the hierarchy withholds
         # mismatched responses); deliver it.
         return True
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["tsh"] = self.tsh.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.tsh.load_state_dict(state["tsh"])

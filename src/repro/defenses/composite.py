@@ -42,6 +42,27 @@ class CompositePolicy(DefensePolicy):
             # instruction at most once.
             member.restricted_seqs = self.restricted_seqs
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["members"] = [m.state_dict() for m in self.members]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        members = state.get("members", ())
+        if len(members) != len(self.members):
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                f"composite has {len(self.members)} members, checkpoint "
+                f"has {len(members)}", kind="state-mismatch")
+        super().load_state_dict(state)
+        # Members alias this policy's restricted_seqs; each member reload
+        # repopulates the shared set with identical content, preserving the
+        # aliasing invariant the constructor establishes.
+        for member, sub in zip(self.members, members):
+            member.load_state_dict(sub)
+
     # -- permission hooks: all members must agree ---------------------------
 
     def fetch_may_follow_indirect(self, dyn: DynInstr, target: int) -> bool:

@@ -70,3 +70,14 @@ class SpecCFIPolicy(DefensePolicy):
         # Committed entries can never be rolled back; trim the undo log.
         if self._ops and dyn.is_branch:
             self._ops = [op for op in self._ops if op[0] > dyn.seq]
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["shadow"] = list(self._shadow)
+        state["ops"] = [list(op) for op in self._ops]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._shadow = list(state["shadow"])
+        self._ops = [(seq, kind, value) for seq, kind, value in state["ops"]]

@@ -146,6 +146,35 @@ class InvariantViolation(ReproError):
                          f"[structure={self.structure}]: {message}")
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or restored.
+
+    Restore-side failures are *expected* events, not bugs: the campaign
+    layer catches this error, walks back to an older checkpoint generation
+    or degrades the cell to a straight-through run, and records the
+    degradation in ``report.json``.  The structured attributes exist so
+    that degradation records can name the fault class that was detected.
+
+    Attributes:
+        path: the checkpoint file involved.
+        section: the section whose integrity check failed, or ``""`` when
+            the failure is file-level (truncation, unparseable header).
+        kind: machine-readable failure class — one of ``"truncated"``,
+            ``"torn-header"``, ``"bad-magic"``, ``"schema-skew"``,
+            ``"config-skew"``, ``"section-corrupt"``, ``"missing"``,
+            ``"state-mismatch"``.
+    """
+
+    def __init__(self, message: str, *, path: str = "", section: str = "",
+                 kind: str = "corrupt"):
+        self.path = path
+        self.section = section
+        self.kind = kind
+        where = f" [{path}]" if path else ""
+        which = f" section={section!r}" if section else ""
+        super().__init__(f"checkpoint {kind}{which}: {message}{where}")
+
+
 class CampaignError(ReproError):
     """An experiment campaign could not be orchestrated.
 

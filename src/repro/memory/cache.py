@@ -142,3 +142,30 @@ class Cache:
         """Drop all lines (tests / context-switch baselines)."""
         for cache_set in self._sets:
             cache_set.clear()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "tick": self._tick,
+            "sets": [[[line.line_address, list(line.locks), line.dirty,
+                       line.last_used]
+                      for line in cache_set.values()]
+                     for cache_set in self._sets],
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "tag_checks": self.tag_checks,
+            "tag_mismatches": self.tag_mismatches,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._tick = int(state["tick"])
+        self._sets = [
+            {addr: CacheLine(addr, locks=tuple(locks), dirty=dirty,
+                             last_used=last_used)
+             for addr, locks, dirty, last_used in lines}
+            for lines in state["sets"]]
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.evictions = int(state["evictions"])
+        self.tag_checks = int(state["tag_checks"])
+        self.tag_mismatches = int(state["tag_mismatches"])

@@ -59,3 +59,21 @@ class CoherenceDirectory:
         """
         self.tag_update_broadcasts += 1
         return self.on_store(core_id, line_address)
+
+    def state_dict(self) -> dict:
+        # Invalidation hooks are wiring, not state: the hierarchy
+        # re-registers them at construction, so only sharer sets and
+        # counters are serialized.
+        return {
+            "sharers": [[line, sorted(cores)]
+                        for line, cores in self._sharers.items() if cores],
+            "invalidations": self.invalidations,
+            "tag_update_broadcasts": self.tag_update_broadcasts,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._sharers = defaultdict(set)
+        for line, cores in state["sharers"]:
+            self._sharers[line] = set(cores)
+        self.invalidations = int(state["invalidations"])
+        self.tag_update_broadcasts = int(state["tag_update_broadcasts"])

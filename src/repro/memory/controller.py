@@ -117,3 +117,15 @@ class MemoryController:
     def write_lock(self, pointer: int, tag: int) -> None:
         """Direct tag-storage write (STG path)."""
         self.memory.set_lock(pointer, tag)
+
+    def state_dict(self) -> dict:
+        # ``injector`` is wiring (reattached by the fault harness), not state.
+        return {"reads": self.reads, "tag_reads": self.tag_reads,
+                "tag_mismatches": self.tag_mismatches,
+                "blocked_fills": self.blocked_fills,
+                "dropped_tag_responses": self.dropped_tag_responses,
+                "delayed_tag_responses": self.delayed_tag_responses}
+
+    def load_state_dict(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, int(value))

@@ -76,3 +76,29 @@ class MainMemory:
     def line_locks(self, line_address: int, line_bytes: int) -> tuple:
         """All locks covering one cache line (travel with fills, Fig. 3)."""
         return self.tags.line_tags(line_address, line_bytes)
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        # The backing store is large (16 MiB default) but overwhelmingly
+        # zero; compress it so the checkpoint section stays small.
+        import base64
+        import zlib
+        return {
+            "size": self.size,
+            "data": base64.b64encode(
+                zlib.compress(bytes(self._data), 6)).decode("ascii"),
+            "tags": self.tags.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        import base64
+        import zlib
+        data = bytearray(zlib.decompress(base64.b64decode(state["data"])))
+        if len(data) != int(state["size"]) or len(data) != self.size:
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                f"memory image size {len(data)} != configured {self.size}",
+                kind="state-mismatch")
+        self._data = data
+        self.tags.load_state_dict(state["tags"])

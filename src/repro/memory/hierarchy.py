@@ -62,6 +62,14 @@ class HierarchyStats:
         from repro.telemetry.registry import hierarchy_registry
         return hierarchy_registry(self, scope_name=scope)
 
+    def state_dict(self) -> dict:
+        from dataclasses import asdict
+        return asdict(self)
+
+    def load_state_dict(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, int(value))
+
 
 class MemoryHierarchy:
     """Caches + LFB + controller + DRAM for ``config.num_cores`` cores."""
@@ -481,6 +489,64 @@ class MemoryHierarchy:
     def squash_minion(self, core_id: int, owner_seq: int) -> None:
         """Squash: drop shadow lines of squashed speculative loads."""
         self.minions[core_id].squash_younger(owner_seq)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serialize every mutable structure in the hierarchy.
+
+        The coherence directory's invalidation hooks are excluded — they
+        are re-registered by the constructor and survive a restore
+        untouched.  The returned dict is JSON-serializable.
+        """
+        return {
+            "memory": self.memory.state_dict(),
+            "controller": self.controller.state_dict(),
+            "l2": self.l2.state_dict(),
+            "l2_mshrs": self.l2_mshrs.state_dict(),
+            "directory": self.directory.state_dict(),
+            "l1ds": [c.state_dict() for c in self.l1ds],
+            "lfbs": [b.state_dict() for b in self.lfbs],
+            "l1_mshrs": [m.state_dict() for m in self.l1_mshrs],
+            "minions": [m.state_dict() for m in self.minions],
+            "stats": self.stats.state_dict(),
+            "pending_fills": [[ready, core_id, line, list(locks)]
+                              for ready, core_id, line, locks
+                              in self._pending_fills],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a hierarchy serialized by :meth:`state_dict`.
+
+        The hierarchy must have been built from the same configuration
+        (same core count, cache geometry, and memory size); structural
+        mismatches raise :class:`~repro.errors.CheckpointError`.
+        """
+        if (len(state["l1ds"]) != len(self.l1ds)
+                or len(state["lfbs"]) != len(self.lfbs)):
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                f"hierarchy has {len(self.l1ds)} cores, checkpoint has "
+                f"{len(state['l1ds'])}", kind="state-mismatch")
+        self.memory.load_state_dict(state["memory"])
+        self.controller.load_state_dict(state["controller"])
+        self.l2.load_state_dict(state["l2"])
+        self.l2_mshrs.load_state_dict(state["l2_mshrs"])
+        self.directory.load_state_dict(state["directory"])
+        for cache, sub in zip(self.l1ds, state["l1ds"]):
+            cache.load_state_dict(sub)
+        for lfb, sub in zip(self.lfbs, state["lfbs"]):
+            lfb.load_state_dict(sub)
+        for mshrs, sub in zip(self.l1_mshrs, state["l1_mshrs"]):
+            mshrs.load_state_dict(sub)
+        for minion, sub in zip(self.minions, state["minions"]):
+            minion.load_state_dict(sub)
+        self.stats.load_state_dict(state["stats"])
+        self._pending_fills = [
+            (ready, core_id, line, tuple(locks))
+            for ready, core_id, line, locks in state["pending_fills"]]
 
     # ------------------------------------------------------------------
     # attack probes (no state perturbation)

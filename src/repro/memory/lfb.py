@@ -153,3 +153,31 @@ class LineFillBuffer:
         """Clear all entries (MDS mitigation baselines flush on switch)."""
         for index in range(self.capacity):
             self.entries[index] = LFBEntry(index)
+
+    def state_dict(self) -> dict:
+        return {
+            "victim": self._victim,
+            "entries": [{
+                "index": e.index, "line_address": e.line_address,
+                "fill_ready_cycle": e.fill_ready_cycle, "filled": e.filled,
+                "stale_line_address": e.stale_line_address,
+                "data": e.data.hex(), "locks": list(e.locks),
+                "unsafe": e.unsafe, "phantom": e.phantom,
+            } for e in self.entries],
+            "allocations": self.allocations, "hits": self.hits,
+            "stale_hits": self.stale_hits,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._victim = int(state["victim"])
+        self.entries = [
+            LFBEntry(index=s["index"], line_address=s["line_address"],
+                     fill_ready_cycle=s["fill_ready_cycle"],
+                     filled=s["filled"],
+                     stale_line_address=s["stale_line_address"],
+                     data=bytes.fromhex(s["data"]), locks=tuple(s["locks"]),
+                     unsafe=s["unsafe"], phantom=s["phantom"])
+            for s in state["entries"]]
+        self.allocations = int(state["allocations"])
+        self.hits = int(state["hits"])
+        self.stale_hits = int(state["stale_hits"])

@@ -84,3 +84,25 @@ class MinionCache:
 
     def __len__(self) -> int:
         return len(self._lines)
+
+    def state_dict(self) -> dict:
+        return {
+            "tick": self._tick,
+            "lines": [[l.line_address, list(l.locks), l.last_used,
+                       l.owner_seq] for l in self._lines.values()],
+            "fills": self.fills, "hits": self.hits,
+            "promotions": self.promotions,
+            "capacity_evictions": self.capacity_evictions,
+            "squash_drops": self.squash_drops,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._tick = int(state["tick"])
+        self._lines = {
+            addr: MinionLine(addr, tuple(locks), last_used, owner_seq)
+            for addr, locks, last_used, owner_seq in state["lines"]}
+        self.fills = int(state["fills"])
+        self.hits = int(state["hits"])
+        self.promotions = int(state["promotions"])
+        self.capacity_evictions = int(state["capacity_evictions"])
+        self.squash_drops = int(state["squash_drops"])

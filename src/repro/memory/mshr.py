@@ -104,3 +104,23 @@ class MSHRFile:
     def flush(self) -> None:
         """Drop all entries (used by tests and reset)."""
         self._by_line.clear()
+
+    def state_dict(self) -> dict:
+        return {
+            "entries": [[e.line_address, e.ready_cycle, e.unsafe, e.merged]
+                        for e in self._by_line.values()],
+            "allocations": self.allocations, "merges": self.merges,
+            "full_stalls": self.full_stalls,
+            "reserved": self.reserved,
+            "reserved_until": self.reserved_until,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._by_line = {
+            line: MSHR(line, ready, unsafe=unsafe, merged=merged)
+            for line, ready, unsafe, merged in state["entries"]}
+        self.allocations = int(state["allocations"])
+        self.merges = int(state["merges"])
+        self.full_stalls = int(state["full_stalls"])
+        self.reserved = int(state["reserved"])
+        self.reserved_until = int(state["reserved_until"])

@@ -103,3 +103,38 @@ class MemResponse:
     #: dummy data; a committed access with this flag is an architectural
     #: memory fault.
     faulted: bool = False
+
+    def state_dict(self) -> dict:
+        return {
+            "ready_cycle": self.ready_cycle,
+            "data": self.data.hex(),
+            "served_from": self.served_from.value,
+            "tag_ok": self.tag_ok,
+            "tag_known_cycle": self.tag_known_cycle,
+            "lock": self.lock,
+            "stale_data": (None if self.stale_data is None
+                           else self.stale_data.hex()),
+            "stale_ready_cycle": self.stale_ready_cycle,
+            "stale_line_address": self.stale_line_address,
+            "line_address": self.line_address,
+            "data_withheld": self.data_withheld,
+            "faulted": self.faulted,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MemResponse":
+        stale = state["stale_data"]
+        return cls(
+            ready_cycle=state["ready_cycle"],
+            data=bytes.fromhex(state["data"]),
+            served_from=ServedFrom(state["served_from"]),
+            tag_ok=state["tag_ok"],
+            tag_known_cycle=state["tag_known_cycle"],
+            lock=state["lock"],
+            stale_data=None if stale is None else bytes.fromhex(stale),
+            stale_ready_cycle=state["stale_ready_cycle"],
+            stale_line_address=state["stale_line_address"],
+            line_address=state["line_address"],
+            data_withheld=state["data_withheld"],
+            faulted=state["faulted"],
+        )

@@ -92,3 +92,29 @@ class TagStorage:
         """True when ``pointer``'s key matches its granule's lock."""
         key = (pointer >> 56) & self._mask
         return key == self._tags[self._index(pointer)]
+
+    def state_dict(self) -> dict:
+        # The tag array is dense but overwhelmingly zero; compress it so
+        # checkpoint sections stay kilobytes, not megabytes.
+        import base64
+        import zlib
+        return {
+            "size": len(self._tags),
+            "tags": base64.b64encode(
+                zlib.compress(bytes(self._tags), 6)).decode("ascii"),
+            "corruptions": self.corruptions,
+            "corrupted_granules": sorted(self.corrupted_granules),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        import base64
+        import zlib
+        tags = bytearray(zlib.decompress(base64.b64decode(state["tags"])))
+        if len(tags) != int(state["size"]) or len(tags) != len(self._tags):
+            from repro.errors import CheckpointError
+            raise CheckpointError(
+                f"tag storage size {len(tags)} != configured "
+                f"{len(self._tags)}", kind="state-mismatch")
+        self._tags = tags
+        self.corruptions = int(state["corruptions"])
+        self.corrupted_granules = set(state["corrupted_granules"])

@@ -72,6 +72,15 @@ class MulticoreSystem:
         self.tracer_factory = None
         self.occupancy_factory = None
         self.tracers: List = []
+        #: Lockstep cycle of the current prepared run.
+        self._cycle = 0
+        #: Checkpoint telemetry, same contract as
+        #: :attr:`repro.system.SimulatedSystem.checkpoint_stats`.
+        self.checkpoint_stats = None
+        #: Periodic re-checkpoint hook (duck-typed ``.interval`` +
+        #: ``.save(core)``), fired from the lockstep loop — the multicore
+        #: analogue of :attr:`repro.pipeline.core.Core.checkpoint_hook`.
+        self.checkpoint_hook = None
 
     def run(self, programs: List[Program], max_cycles: int = 5_000_000,
             warm_runs: int = 0) -> MulticoreResult:
@@ -91,8 +100,15 @@ class MulticoreSystem:
 
     def _run_once(self, programs: List[Program],
                   max_cycles: int) -> MulticoreResult:
+        self.prepare(programs)
+        self.run_prepared(max_cycles)
+        return self.result()
+
+    def prepare(self, programs: List[Program]) -> List[Core]:
+        """Load the programs and build fresh cores (not yet run)."""
         self.cores = []
         self.hierarchy.quiesce()
+        self._cycle = 0
         for core_id, program in enumerate(programs):
             load_program(self.hierarchy, program)
             core = Core(self.config, self.hierarchy, program,
@@ -104,22 +120,37 @@ class MulticoreSystem:
             if self.occupancy_factory is not None:
                 self.occupancy_factory(core_id).attach(core)
             self.cores.append(core)
+        return self.cores
 
-        cycle = 0
+    def run_prepared(self, max_cycles: int = 5_000_000,
+                     until_cycle: Optional[int] = None) -> None:
+        """Lockstep loop over the prepared cores.
+
+        ``until_cycle`` pauses between cycles without raising — the
+        checkpoint seam, mirroring
+        :meth:`repro.pipeline.core.Core.run`.
+        """
         while not all(core.halted for core in self.cores):
-            cycle += 1
-            if cycle > max_cycles:
+            if until_cycle is not None and self._cycle >= until_cycle:
+                return  # paused, resumable
+            self._cycle += 1
+            if self._cycle > max_cycles:
                 raise SimulationError(
                     f"multicore run did not finish within {max_cycles} cycles")
             for core in self.cores:
                 if not core.halted:
                     core.tick()
             heartbeat = self.heartbeat
-            if heartbeat is not None and cycle % heartbeat.interval == 0:
-                heartbeat.beat(cycle)
-
+            if heartbeat is not None and self._cycle % heartbeat.interval == 0:
+                heartbeat.beat(self._cycle)
+            hook = self.checkpoint_hook
+            if hook is not None and self._cycle % hook.interval == 0:
+                hook.save(None)
         for tracer in self.tracers:
             tracer.close()
+
+    def result(self) -> MulticoreResult:
+        """Summarize the (finished or paused) run."""
         restricted = sum(len(core.policy.restricted_seqs)
                          for core in self.cores)
         return MulticoreResult(
@@ -129,10 +160,37 @@ class MulticoreSystem:
             restricted=restricted,
             invalidations=self.hierarchy.directory.invalidations)
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        if not self.cores:
+            raise RuntimeError("no programs prepared; nothing to checkpoint")
+        return {
+            "cycle": self._cycle,
+            "hierarchy": self.hierarchy.state_dict(),
+            "cores": [core.state_dict() for core in self.cores],
+        }
+
+    def load_state_dict(self, state: dict,
+                        programs: List[Program]) -> List[Core]:
+        """Restore a snapshot taken against the same ``programs``."""
+        from repro.errors import CheckpointError
+        cores = self.prepare(programs)
+        if len(state["cores"]) != len(cores):
+            raise CheckpointError(
+                f"checkpoint has {len(state['cores'])} cores, system "
+                f"prepared {len(cores)}", kind="state-mismatch")
+        self.hierarchy.load_state_dict(state["hierarchy"])
+        for core, sub in zip(cores, state["cores"]):
+            core.load_state_dict(sub)
+        self._cycle = state["cycle"]
+        return cores
+
     def stats_registry(self):
         """One :class:`~repro.telemetry.registry.StatsRegistry` over every
         core (``core0`` / ``core1`` / …) plus the shared hierarchy."""
         from repro.telemetry.registry import system_registry
         return system_registry(
             hierarchy_stats=self.hierarchy.stats,
-            per_core=[core.stats for core in self.cores])
+            per_core=[core.stats for core in self.cores],
+            checkpoint=self.checkpoint_stats)

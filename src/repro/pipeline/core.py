@@ -123,6 +123,10 @@ class Core:
         #: *simulated* progress, so a wedged simulation loop stops beating
         #: and the campaign straggler detector can reap the worker.
         self.heartbeat = None
+        #: Periodic checkpoint hook: any object with an ``interval`` (cycles)
+        #: and a ``save(core)`` method, called every ``interval`` simulated
+        #: cycles by run() (see :class:`repro.checkpoint.manager.CheckpointHook`).
+        self.checkpoint_hook = None
 
         # Telemetry hooks (opt-in; see repro.telemetry).  Both default to
         # None and every call site is guarded on that, so an untraced run
@@ -158,13 +162,20 @@ class Core:
         self._dispatch()
         self._fetch()
 
-    def run(self, max_cycles: Optional[int] = None) -> None:
+    def run(self, max_cycles: Optional[int] = None,
+            until_cycle: Optional[int] = None) -> None:
         """Run until HALT commits, a tag fault halts the core, or timeout.
 
         ``max_cycles`` defaults to the configured cycle budget
         (:attr:`~repro.config.CoreConfig.max_cycles`), so campaigns can set
         per-workload budgets through the config instead of threading an
         argument through every call site.
+
+        ``until_cycle`` pauses the run once ``cycle`` reaches it *without*
+        raising: the core is left mid-program in a consistent inter-cycle
+        state and a later ``run()`` call continues where it stopped.  This
+        is the checkpoint/restore seam — callers checkpoint at the pause,
+        and a restored core resumes through the same loop.
 
         When resilience hooks are attached, each cycle additionally drives
         the fault injector, and the invariant checker runs at its configured
@@ -174,6 +185,8 @@ class Core:
             max_cycles = self.config.core.max_cycles
         threshold = self.config.core.deadlock_threshold
         while not self.halted and self.cycle < max_cycles:
+            if until_cycle is not None and self.cycle >= until_cycle:
+                return  # paused, resumable
             if self.fault_injector is not None:
                 self.fault_injector.tick(self)
             self.tick()
@@ -183,9 +196,12 @@ class Core:
             heartbeat = self.heartbeat
             if heartbeat is not None and self.cycle % heartbeat.interval == 0:
                 heartbeat.beat(self.cycle)
+            hook = self.checkpoint_hook
+            if hook is not None and self.cycle % hook.interval == 0:
+                hook.save(self)
             if self.cycle - self._last_commit_cycle > threshold:
                 from repro.resilience.snapshot import core_snapshot, summarize
-                snapshot = core_snapshot(self)
+                snapshot = core_snapshot(self, restorable=True)
                 raise DeadlockError(self.cycle - self._last_commit_cycle,
                                     summarize(snapshot), snapshot=snapshot)
         if not self.halted and self.cycle >= max_cycles:
@@ -874,3 +890,168 @@ class Core:
             key_of(dyn.addr or 0, self.config.mte.tag_bits), lock, pc=dyn.pc)
         self.stats.tag_faults += 1
         self.halted = True
+
+    # ==================================================================
+    # checkpointing
+    # ==================================================================
+
+    def _live_instrs(self) -> Dict[int, DynInstr]:
+        """Every DynInstr reachable from core state, keyed by seq.
+
+        The closure starts from all pipeline containers and chases
+        ``producers`` edges transitively: committed instructions stay
+        reachable through rename/consumer references (commit does not
+        clear the rename table), so they must be serialized too for the
+        object graph to rebuild identically.
+        """
+        roots: List[DynInstr] = []
+        roots += self.rob
+        roots += self.iq
+        roots += self.fetch_queue
+        roots += self.rename.values()
+        roots += self.lsq.lq
+        roots += self.lsq.sq
+        roots += self.lsq._stale_pending
+        for load, store, _cycle in self.lsq._partial_pending:
+            roots += (load, store)
+        for pending in self._completions.values():
+            roots += pending
+        roots += self._unresolved_branches.values()
+        roots += self._pending_sb
+        roots += (dyn for _cycle, dyn in self._unsafe_broadcasts)
+        if self.fetch_blocked_on is not None:
+            roots.append(self.fetch_blocked_on)
+        live: Dict[int, DynInstr] = {}
+        stack = roots
+        while stack:
+            dyn = stack.pop()
+            if dyn.seq in live:
+                continue
+            live[dyn.seq] = dyn
+            for producer in dyn.producers.values():
+                if producer is not None and producer.seq not in live:
+                    stack.append(producer)
+        return live
+
+    def state_dict(self) -> dict:
+        """Complete serializable core state (one core; hierarchy separate).
+
+        Must be taken between cycles (as :meth:`run`'s ``until_cycle``
+        pause guarantees): per-cycle scratch such as the exec ports'
+        claimed set is then empty by construction.
+        """
+        instrs = self._live_instrs()
+        rng_state = self._rng.getstate()
+        return {
+            "core_id": self.core_id,
+            "cycle": self.cycle,
+            "seq": self.seq,
+            "arf": list(self.arf),
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+            "halted": self.halted,
+            "fault": None if self.fault is None else {
+                "address": self.fault.address, "key": self.fault.key,
+                "lock": self.fault.lock, "pc": self.fault.pc},
+            "last_commit_cycle": self._last_commit_cycle,
+            "last_commit_pc": self.last_commit_pc,
+            "fetch_pc": self.fetch_pc,
+            "fetch_resume_cycle": self.fetch_resume_cycle,
+            "fetch_blocked_on": (None if self.fetch_blocked_on is None
+                                 else self.fetch_blocked_on.seq),
+            "fetch_stopped": self._fetch_stopped,
+            "instrs": [instrs[seq].state_dict() for seq in sorted(instrs)],
+            "rob": [d.seq for d in self.rob],
+            "iq": [d.seq for d in self.iq],
+            "fetch_queue": [d.seq for d in self.fetch_queue],
+            "rename": [[reg, d.seq] for reg, d in self.rename.items()],
+            "completions": [[cycle, [d.seq for d in pending]]
+                            for cycle, pending
+                            in sorted(self._completions.items())],
+            "unresolved_branches": sorted(self._unresolved_branches),
+            "pending_sb": [d.seq for d in self._pending_sb],
+            "unsafe_broadcasts": [[cycle, d.seq]
+                                  for cycle, d in self._unsafe_broadcasts],
+            "lsq": self.lsq.state_dict(),
+            "stats": self.stats.state_dict(),
+            "ports": self.ports.state_dict(),
+            "bhb": self.bhb.state_dict(),
+            "pht": self.pht.state_dict(),
+            "btb": self.btb.state_dict(),
+            "rsb": self.rsb.state_dict(),
+            "mdp": self.mdp.state_dict(),
+            "policy": self.policy.state_dict(),
+            "secret_ranges": [[lo, hi] for lo, hi in self.secret_ranges],
+            "leak_log": [dict(entry) for entry in self.leak_log],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this freshly built core.
+
+        The core must have been constructed against the *same* program and
+        config (the checkpoint header's config hash enforces this); static
+        instructions are rehydrated from the program text by pc.
+        """
+        from repro.errors import CheckpointError
+        if state["core_id"] != self.core_id:
+            raise CheckpointError(
+                f"checkpoint is for core {state['core_id']}, "
+                f"restoring into core {self.core_id}", kind="state-mismatch")
+        # Rebuild every live instruction, then rewire seq cross-references
+        # into object references in a second pass.
+        instrs: Dict[int, DynInstr] = {}
+        for entry in state["instrs"]:
+            static = self.program.fetch(entry["pc"])
+            if static is None:
+                raise CheckpointError(
+                    f"checkpointed instruction #{entry['seq']} at "
+                    f"pc={entry['pc']:#x} is outside the program text",
+                    kind="state-mismatch")
+            instrs[entry["seq"]] = DynInstr.from_state_dict(entry, static)
+        for entry in state["instrs"]:
+            dyn = instrs[entry["seq"]]
+            dyn.producers = {
+                reg: (None if seq is None else instrs[seq])
+                for reg, seq in entry["producers"]}
+
+        self.cycle = state["cycle"]
+        self.seq = state["seq"]
+        self.arf = list(state["arf"])
+        rng = state["rng"]
+        self._rng.setstate((rng[0], tuple(rng[1]), rng[2]))
+        self.halted = state["halted"]
+        fault = state["fault"]
+        self.fault = None if fault is None else TagCheckFault(
+            fault["address"], fault["key"], fault["lock"], pc=fault["pc"])
+        self._last_commit_cycle = state["last_commit_cycle"]
+        self.last_commit_pc = state["last_commit_pc"]
+        self.fetch_pc = state["fetch_pc"]
+        self.fetch_resume_cycle = state["fetch_resume_cycle"]
+        self.fetch_blocked_on = (
+            None if state["fetch_blocked_on"] is None
+            else instrs[state["fetch_blocked_on"]])
+        self._fetch_stopped = state["fetch_stopped"]
+
+        self.rob = [instrs[seq] for seq in state["rob"]]
+        self.iq = [instrs[seq] for seq in state["iq"]]
+        self.fetch_queue = [instrs[seq] for seq in state["fetch_queue"]]
+        self.rename = {reg: instrs[seq] for reg, seq in state["rename"]}
+        self._completions = {
+            cycle: [instrs[seq] for seq in seqs]
+            for cycle, seqs in state["completions"]}
+        self._unresolved_branches = {
+            seq: instrs[seq] for seq in state["unresolved_branches"]}
+        self._pending_sb = [instrs[seq] for seq in state["pending_sb"]]
+        self._unsafe_broadcasts = [
+            (cycle, instrs[seq])
+            for cycle, seq in state["unsafe_broadcasts"]]
+        self.lsq.load_state_dict(state["lsq"], instrs)
+        self.stats.load_state_dict(state["stats"])
+        self.ports.load_state_dict(state["ports"])
+        self.bhb.load_state_dict(state["bhb"])
+        self.pht.load_state_dict(state["pht"])
+        self.btb.load_state_dict(state["btb"])
+        self.rsb.load_state_dict(state["rsb"])
+        self.mdp.load_state_dict(state["mdp"])
+        self.policy.load_state_dict(state["policy"])
+        self.secret_ranges = [(lo, hi) for lo, hi in state["secret_ranges"]]
+        self.leak_log = [dict(entry) for entry in state["leak_log"]]

@@ -136,3 +136,100 @@ class DynInstr:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<DynInstr #{self.seq} {self.static.render()} pc={self.pc:#x} "
                 f"{self.state.value}{' SQUASHED' if self.squashed else ''}>")
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of this in-flight instruction.
+
+        Cross-instruction references (``producers``, ``forwarded_from``)
+        are stored as sequence numbers; the core's restore pass rewires
+        them into object references once every live instruction exists.
+        ``static`` is rehydrated from the program text via the pc.
+        """
+        return {
+            "seq": self.seq,
+            "pc": self.pc,
+            "state": self.state.value,
+            "squashed": self.squashed,
+            "producers": [[reg, None if p is None else p.seq]
+                          for reg, p in self.producers.items()],
+            "result": self.result,
+            "issue_cycle": self.issue_cycle,
+            "complete_cycle": self.complete_cycle,
+            "fetch_cycle": self.fetch_cycle,
+            "dispatch_cycle": self.dispatch_cycle,
+            "commit_cycle": self.commit_cycle,
+            "squash_cycle": self.squash_cycle,
+            "restricted_cycle": self.restricted_cycle,
+            "restriction_lifted_cycle": self.restriction_lifted_cycle,
+            "pred_taken": self.pred_taken,
+            "pred_target": self.pred_target,
+            "bhb_snapshot": self.bhb_snapshot,
+            "resolved": self.resolved,
+            "actual_taken": self.actual_taken,
+            "actual_target": self.actual_target,
+            "mispredicted": self.mispredicted,
+            "addr": self.addr,
+            "addr_ready_cycle": self.addr_ready_cycle,
+            "mem_issued": self.mem_issued,
+            "response": (None if self.response is None
+                         else self.response.state_dict()),
+            "forwarded_from": self.forwarded_from,
+            "bypassed_store_seqs": sorted(self.bypassed_store_seqs),
+            "used_stale_data": self.used_stale_data,
+            "verify_pending": self.verify_pending,
+            "store_value": self.store_value,
+            "tcs": self.tcs.value,
+            "ssa": self.ssa,
+            "unsafe_dependent": self.unsafe_dependent,
+            "tag_fault_pending": self.tag_fault_pending,
+            "taint_roots": sorted(self.taint_roots),
+            "speculative_at_complete": self.speculative_at_complete,
+            "secret_tainted": self.secret_tainted,
+            "was_restricted": self.was_restricted,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict,
+                        static: Instruction) -> "DynInstr":
+        """Rebuild from :meth:`state_dict`; ``producers`` stays empty until
+        the caller rewires seq references into object references."""
+        dyn = cls(seq=state["seq"], static=static, pc=state["pc"],
+                  state=InstrState(state["state"]),
+                  squashed=state["squashed"])
+        dyn.result = state["result"]
+        dyn.issue_cycle = state["issue_cycle"]
+        dyn.complete_cycle = state["complete_cycle"]
+        dyn.fetch_cycle = state["fetch_cycle"]
+        dyn.dispatch_cycle = state["dispatch_cycle"]
+        dyn.commit_cycle = state["commit_cycle"]
+        dyn.squash_cycle = state["squash_cycle"]
+        dyn.restricted_cycle = state["restricted_cycle"]
+        dyn.restriction_lifted_cycle = state["restriction_lifted_cycle"]
+        dyn.pred_taken = state["pred_taken"]
+        dyn.pred_target = state["pred_target"]
+        dyn.bhb_snapshot = state["bhb_snapshot"]
+        dyn.resolved = state["resolved"]
+        dyn.actual_taken = state["actual_taken"]
+        dyn.actual_target = state["actual_target"]
+        dyn.mispredicted = state["mispredicted"]
+        dyn.addr = state["addr"]
+        dyn.addr_ready_cycle = state["addr_ready_cycle"]
+        dyn.mem_issued = state["mem_issued"]
+        if state["response"] is not None:
+            dyn.response = MemResponse.from_state_dict(state["response"])
+        dyn.forwarded_from = state["forwarded_from"]
+        dyn.bypassed_store_seqs = frozenset(state["bypassed_store_seqs"])
+        dyn.used_stale_data = state["used_stale_data"]
+        dyn.verify_pending = state["verify_pending"]
+        dyn.store_value = state["store_value"]
+        dyn.tcs = TagCheckStatus(state["tcs"])
+        dyn.ssa = state["ssa"]
+        dyn.unsafe_dependent = state["unsafe_dependent"]
+        dyn.tag_fault_pending = state["tag_fault_pending"]
+        dyn.taint_roots = frozenset(state["taint_roots"])
+        dyn.speculative_at_complete = state["speculative_at_complete"]
+        dyn.secret_tainted = state["secret_tainted"]
+        dyn.was_restricted = state["was_restricted"]
+        return dyn

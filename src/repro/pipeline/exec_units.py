@@ -56,3 +56,16 @@ class ExecPorts:
     def occupancy(self, klass: InstrClass) -> int:
         """Ports of ``klass`` in use this cycle (the contention observable)."""
         return self._used.get(klass, 0)
+
+    def state_dict(self) -> dict:
+        # ``_used`` is per-cycle scratch (reset by ``new_cycle``);
+        # checkpoints are taken at cycle boundaries, so it is not state.
+        return {"issue_counts": {k.value: v
+                                 for k, v in self.issue_counts.items()},
+                "contention_stalls": self.contention_stalls}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._used = {}
+        self.issue_counts = {InstrClass(k): int(v)
+                             for k, v in state["issue_counts"].items()}
+        self.contention_stalls = int(state["contention_stalls"])

@@ -80,6 +80,31 @@ class LoadStoreQueues:
         elif dyn.is_store and dyn in self.sq:
             self.sq.remove(dyn)
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Queue membership as sequence numbers (the instruction payloads
+        live in the core's instruction table)."""
+        return {
+            "lq": [d.seq for d in self.lq],
+            "sq": [d.seq for d in self.sq],
+            "stale_pending": [d.seq for d in self._stale_pending],
+            "partial_pending": [[l.seq, s.seq, c]
+                                for l, s, c in self._partial_pending],
+            "partial_blocked_pcs": sorted(self._partial_blocked_pcs),
+        }
+
+    def load_state_dict(self, state: dict, instrs: dict) -> None:
+        """Restore queue membership; ``instrs`` maps seq -> DynInstr."""
+        self.lq = [instrs[seq] for seq in state["lq"]]
+        self.sq = [instrs[seq] for seq in state["sq"]]
+        self._stale_pending = [instrs[seq]
+                               for seq in state["stale_pending"]]
+        self._partial_pending = [
+            (instrs[load_seq], instrs[store_seq], cycle)
+            for load_seq, store_seq, cycle in state["partial_pending"]]
+        self._partial_blocked_pcs = set(state["partial_blocked_pcs"])
+
     # -- the memory stage ---------------------------------------------------------
 
     def tick(self, cycle: int) -> None:

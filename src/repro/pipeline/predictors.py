@@ -41,6 +41,12 @@ class BranchHistoryBuffer:
         """Fault injection: scramble the global history register."""
         self.history = rng.getrandbits(self.bits)
 
+    def state_dict(self) -> dict:
+        return {"history": self.history}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.history = int(state["history"]) & self._mask
+
 
 class PatternHistoryTable:
     """gshare: 2-bit saturating counters indexed by PC xor history."""
@@ -87,6 +93,15 @@ class PatternHistoryTable:
             if fraction >= 1.0 or rng.random() < fraction:
                 self._counters[index] = rng.randrange(4)
 
+    def state_dict(self) -> dict:
+        return {"counters": list(self._counters), "lookups": self.lookups,
+                "correct": self.correct}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._counters = [int(c) for c in state["counters"]]
+        self.lookups = int(state["lookups"])
+        self.correct = int(state["correct"])
+
 
 class BranchTargetBuffer:
     """Direct-mapped indirect-target predictor, history-hashed (BHB-prone)."""
@@ -128,6 +143,17 @@ class BranchTargetBuffer:
             if target is not None:
                 self._targets[index] = rng.randrange(1 << 20) & ~3
 
+    def state_dict(self) -> dict:
+        return {"targets": list(self._targets), "tags": list(self._tags),
+                "lookups": self.lookups, "mispredicts": self.mispredicts}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._targets = [None if t is None else int(t)
+                         for t in state["targets"]]
+        self._tags = [int(t) for t in state["tags"]]
+        self.lookups = int(state["lookups"])
+        self.mispredicts = int(state["mispredicts"])
+
 
 class ReturnStackBuffer:
     """Truly circular return-address predictor stack.
@@ -164,6 +190,16 @@ class ReturnStackBuffer:
         for index, slot in enumerate(self._slots):
             if slot is not None:
                 self._slots[index] = rng.randrange(1 << 20) & ~3
+
+    def state_dict(self) -> dict:
+        return {"slots": list(self._slots), "tos": self._tos,
+                "pushes": self.pushes, "pops": self.pops}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._slots = [None if s is None else int(s) for s in state["slots"]]
+        self._tos = int(state["tos"])
+        self.pushes = int(state["pushes"])
+        self.pops = int(state["pops"])
 
 
 class MemoryDependencePredictor:
@@ -205,3 +241,11 @@ class MemoryDependencePredictor:
         cost is replays, not wrong results.
         """
         self._wait_bits = [0] * self.entries
+
+    def state_dict(self) -> dict:
+        return {"wait_bits": list(self._wait_bits),
+                "violations": self.violations}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._wait_bits = [int(b) for b in state["wait_bits"]]
+        self.violations = int(state["violations"])

@@ -64,3 +64,11 @@ class CoreStats:
         counters plus the standard derived formulas, scoped under ``scope``."""
         from repro.telemetry.registry import core_registry
         return core_registry(self, scope_name=scope)
+
+    def state_dict(self) -> dict:
+        from dataclasses import asdict
+        return asdict(self)
+
+    def load_state_dict(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, int(value))

@@ -19,22 +19,25 @@ Quick start::
 ``python -m repro.resilience --selftest`` runs the built-in smoke sweep.
 """
 
-from repro.resilience.faults import (ALL_FAULT_KINDS, FaultEvent,
+from repro.resilience.faults import (ALL_FAULT_KINDS,
+                                     CHECKPOINT_FAULT_KINDS, FaultEvent,
                                      FaultInjector, FaultKind, FaultSchedule)
 from repro.resilience.harness import (DEFAULT_DEFENSES, ResilienceCell,
                                       evaluate_resilience_matrix,
                                       render_resilience_matrix,
                                       run_resilient_attack)
 from repro.resilience.invariants import INVARIANTS, InvariantChecker
-from repro.resilience.snapshot import core_snapshot, summarize
+from repro.resilience.snapshot import core_snapshot, rebuild_core, summarize
 from repro.resilience.watchdog import (DegradationEvent, DegradationMode,
                                        GracefulDegradation, Watchdog)
 
 __all__ = [
-    "ALL_FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultKind",
+    "ALL_FAULT_KINDS", "CHECKPOINT_FAULT_KINDS", "FaultEvent",
+    "FaultInjector", "FaultKind",
     "FaultSchedule", "DEFAULT_DEFENSES", "ResilienceCell",
     "evaluate_resilience_matrix", "render_resilience_matrix",
     "run_resilient_attack", "INVARIANTS", "InvariantChecker",
-    "core_snapshot", "summarize", "DegradationEvent", "DegradationMode",
+    "core_snapshot", "rebuild_core", "summarize", "DegradationEvent",
+    "DegradationMode",
     "GracefulDegradation", "Watchdog",
 ]

@@ -40,13 +40,18 @@ def _instr_summary(dyn) -> Dict:
     return summary
 
 
-def core_snapshot(core) -> Dict:
+def core_snapshot(core, restorable: bool = False) -> Dict:
     """Capture the diagnostic state of ``core`` as a plain dict.
 
     Includes the ROB head instruction, LQ/SQ/IQ occupancies, the last
     committed PC, unresolved-branch count, and (via the shared hierarchy)
     MSHR/LFB occupancy for this core — everything the acceptance criterion
     "snapshot names the faulty structure" needs.
+
+    With ``restorable=True`` the snapshot additionally embeds the core's
+    full ``state_dict()`` under ``"state"``, so a deadlock/livelock error
+    carries a snapshot :func:`rebuild_core` can bring back to life for
+    post-mortem stepping — not just a summary.
     """
     config = core.config.core
     head: Optional[Dict] = _instr_summary(core.rob[0]) if core.rob else None
@@ -82,7 +87,39 @@ def core_snapshot(core) -> Dict:
             snapshot["trace_tail"] = tail()
         except Exception:  # never let diagnostics raise a second error
             pass
+    if restorable:
+        try:
+            snapshot["state"] = core.state_dict()
+        except Exception:  # diagnostics must not raise a second error
+            pass
     return snapshot
+
+
+def rebuild_core(snapshot: Dict, config, hierarchy, program):
+    """Reconstruct a live :class:`~repro.pipeline.core.Core` from a
+    restorable snapshot (one taken with ``restorable=True``).
+
+    The caller supplies the config, hierarchy, and program the wedged run
+    used (typically a freshly prepared system); the returned core is left
+    exactly at the cycle the error fired, ready for single-stepping.
+    """
+    state = snapshot.get("state")
+    if state is None:
+        raise ValueError(
+            "snapshot carries no restorable state (taken with "
+            "restorable=False)")
+    # Imported lazily: snapshot *capture* stays import-free of the pipeline.
+    from repro.config import DefenseKind
+    from repro.defenses import make_policy
+    from repro.pipeline.core import Core
+    try:
+        policy = make_policy(DefenseKind(snapshot.get("policy", "none")))
+    except ValueError:
+        policy = None
+    core = Core(config, hierarchy, program, policy=policy,
+                core_id=snapshot.get("core_id", 0))
+    core.load_state_dict(state)
+    return core
 
 
 def summarize(snapshot: Dict) -> str:

@@ -69,7 +69,7 @@ class Watchdog:
         if self._commits_in_window > self.commit_limit and not core.halted:
             raise LivelockError(self._commits_in_window,
                                 sorted(self._window_pcs),
-                                snapshot=core_snapshot(core))
+                                snapshot=core_snapshot(core, restorable=True))
 
 
 class DegradationMode(enum.Enum):

@@ -91,6 +91,10 @@ class SimulatedSystem:
         #: :meth:`prepare`/:meth:`run`; each fresh core is wired to them.
         self.tracer = None
         self.occupancy = None
+        #: Checkpoint telemetry (:class:`repro.checkpoint.stats.CheckpointStats`),
+        #: attached by a :class:`repro.checkpoint.manager.CheckpointManager`;
+        #: registers under the ``checkpoint`` scope in :meth:`stats_registry`.
+        self.checkpoint_stats = None
 
     def prepare(self, program: Program) -> Core:
         """Load ``program`` and build a fresh core for it (not yet run)."""
@@ -148,7 +152,42 @@ class SimulatedSystem:
         return system_registry(
             core_stats=self.core.stats if self.core is not None else None,
             hierarchy_stats=self.hierarchy.stats,
-            occupancy=self.occupancy)
+            occupancy=self.occupancy,
+            checkpoint=self.checkpoint_stats)
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete serializable system state (hierarchy + core [+ occupancy]).
+
+        Taken between cycles; pair with
+        :meth:`~repro.pipeline.core.Core.run`'s ``until_cycle`` pause.
+        """
+        if self.core is None:
+            raise RuntimeError("no program prepared; nothing to checkpoint")
+        state = {
+            "hierarchy": self.hierarchy.state_dict(),
+            "core": self.core.state_dict(),
+        }
+        if self.occupancy is not None:
+            state["occupancy"] = self.occupancy.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict, program: Program) -> Core:
+        """Restore a :meth:`state_dict` snapshot and return the live core.
+
+        Builds a fresh core against ``program`` (which must be the program
+        the snapshot was taken from — the checkpoint file format fingerprints
+        it), then overwrites every stateful structure, leaving the system
+        exactly mid-run: ``core.run()`` continues from the paused cycle and
+        produces the same continuation as an uninterrupted run.
+        """
+        core = self.prepare(program)
+        self.hierarchy.load_state_dict(state["hierarchy"])
+        core.load_state_dict(state["core"])
+        if self.occupancy is not None and "occupancy" in state:
+            self.occupancy.load_state_dict(state["occupancy"])
+        return core
 
 
 def build_system(config: Optional[SystemConfig] = None,

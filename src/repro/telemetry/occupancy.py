@@ -89,6 +89,19 @@ class OccupancyProfiler:
         """A defense restriction lifted ``delay`` cycles after it landed."""
         self.restriction_delay.sample(delay)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        state = {"samples_taken": self.samples_taken}
+        for name in self.STRUCTURES + ("shadow_length", "restriction_delay"):
+            state[name] = getattr(self, name).state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.samples_taken = state["samples_taken"]
+        for name in self.STRUCTURES + ("shadow_length", "restriction_delay"):
+            getattr(self, name).load_state_dict(state[name])
+
     # -- output --------------------------------------------------------------
 
     def registry(self, scope_name: str = "occupancy") -> StatsRegistry:

@@ -211,6 +211,26 @@ class Distribution(Stat):
             "log2_buckets": self.log2_buckets,
         }
 
+    def state_dict(self) -> dict:
+        """Lossless snapshot (unlike :meth:`dump`, which derives mean/stdev
+        and drops the running sums a resumed run needs)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "sum_sq": self.sum_sq,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [[k, v] for k, v in sorted(self.buckets.items())],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.count = state["count"]
+        self.total = state["total"]
+        self.sum_sq = state["sum_sq"]
+        self.min = state["min"]
+        self.max = state["max"]
+        self.buckets = {int(k): v for k, v in state["buckets"]}
+
 
 class Scope:
     """A dotted-prefix view of a registry: ``scope.scalar("x")`` registers
@@ -365,13 +385,14 @@ def hierarchy_registry(stats, scope_name: str = "mem") -> StatsRegistry:
 
 
 def system_registry(core_stats=None, hierarchy_stats=None, occupancy=None,
-                    per_core=()) -> StatsRegistry:
+                    per_core=(), checkpoint=None) -> StatsRegistry:
     """One registry over a whole simulated system.
 
     ``core_stats`` registers under ``core``; ``per_core`` (a sequence of
     CoreStats) registers under ``core0`` / ``core1`` / …; the hierarchy under
     ``mem``; an :class:`~repro.telemetry.occupancy.OccupancyProfiler` under
-    ``occupancy``.
+    ``occupancy``; a :class:`~repro.checkpoint.stats.CheckpointStats` (any
+    stats dataclass) under ``checkpoint``.
     """
     registry = StatsRegistry()
     if core_stats is not None:
@@ -382,4 +403,6 @@ def system_registry(core_stats=None, hierarchy_stats=None, occupancy=None,
         registry.merge(hierarchy_registry(hierarchy_stats))
     if occupancy is not None:
         registry.merge(occupancy.registry())
+    if checkpoint is not None:
+        bind_dataclass(registry.scope("checkpoint"), checkpoint)
     return registry

@@ -136,7 +136,7 @@ class TestRetryRecovery:
     def test_crashing_attempt_is_retried_to_success(self, tmp_path):
         # Attempt 0 of every cell dies instantly with no outcome file (the
         # shape of an OOM kill); attempt 1 runs the real worker.  The
-        # campaign must converge with full results and a recorded reseed.
+        # campaign must converge with full results.
         launches = []
 
         def flaky_argv(cell, paths, attempt, reseed):
@@ -152,9 +152,11 @@ class TestRetryRecovery:
         outcome = scheduler.run()
         assert outcome.ok
         assert len(outcome.completed) == 4
-        # Every cell was launched twice, retry carrying reseed 1.
+        # Every cell was launched twice.  An environmental death keeps the
+        # reseed (so the dead attempt's mid-cell checkpoints stay
+        # restorable); only typed simulation failures perturb the seed.
         by_cell = {}
         for cell_id, attempt, reseed in launches:
             by_cell.setdefault(cell_id, []).append((attempt, reseed))
-        assert all(attempts == [(0, 0), (1, 1)]
+        assert all(attempts == [(0, 0), (1, 0)]
                    for attempts in by_cell.values())

@@ -1,0 +1,196 @@
+"""Checkpoint/restore property: a paused-and-restored run IS the run.
+
+The acceptance criterion: for every Table-1 defense, on several workload
+profiles, checkpoint-then-restore must produce a stats registry
+byte-identical to the straight-through run — pipeline, memory hierarchy,
+MTE tags, predictors, and RNG streams all land exactly where they were.
+Plus the generation machinery: rotation, pruning, corrupt-newest fallback,
+and the ``checkpoint.*`` telemetry counters.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import (CheckpointHook, CheckpointManager,
+                              CheckpointStats, corrupt)
+from repro.config import CORTEX_A76, DefenseKind
+from repro.errors import CheckpointError
+from repro.multicore import MulticoreSystem
+from repro.system import build_system
+from repro.workloads import build_parsec, build_spec
+
+ALL_DEFENSES = list(DefenseKind)
+SPEC_PROFILES = ["505.mcf_r", "531.deepsjeng_r"]
+
+
+def blob(system) -> str:
+    return json.dumps(system.stats_registry().dump(), sort_keys=True)
+
+
+def spec_program(name, seed=3, target=600):
+    # Small enough to keep the 7-defense matrix fast; the pause points
+    # below still land mid-run, with the ROB/LSQ/MSHRs genuinely busy.
+    return build_spec(name, seed=seed, target_instructions=target).program
+
+
+class TestByteIdenticalContinuation:
+    """Straight-through vs checkpoint-at-pause-then-restore, per defense."""
+
+    @pytest.mark.parametrize("defense", ALL_DEFENSES,
+                             ids=[d.value for d in ALL_DEFENSES])
+    @pytest.mark.parametrize("workload", SPEC_PROFILES)
+    def test_spec_profiles(self, tmp_path, defense, workload):
+        config = CORTEX_A76.with_defense(defense)
+        program = spec_program(workload)
+
+        reference = build_system(config)
+        reference.prepare(program).run()
+        reference_blob = blob(reference)
+
+        manager = CheckpointManager(str(tmp_path / "gen"))
+        victim = build_system(config)
+        victim.prepare(program).run(until_cycle=140)
+        manager.save(victim, program)
+        del victim  # the kill: nothing of the live system survives
+
+        resumed = build_system(config)
+        result = manager.restore(resumed, program)
+        assert resumed.core.cycle == result.cycle
+        resumed.core.run()
+        assert blob(resumed) == reference_blob
+
+    @pytest.mark.parametrize("defense",
+                             [DefenseKind.NONE, DefenseKind.SPECASAN,
+                              DefenseKind.GHOSTMINION],
+                             ids=["none", "specasan", "ghostminion"])
+    def test_parsec_profile_multicore(self, tmp_path, defense):
+        config = CORTEX_A76.with_defense(defense).with_cores(2)
+        programs = [w.program for w in build_parsec(
+            "canneal", seed=1, num_threads=2, target_instructions=400)]
+
+        reference = MulticoreSystem(config)
+        reference.prepare(programs)
+        reference.run_prepared()
+        reference_blob = blob(reference)
+
+        manager = CheckpointManager(str(tmp_path / "gen"))
+        victim = MulticoreSystem(config)
+        victim.prepare(programs)
+        victim.run_prepared(until_cycle=120)
+        manager.save(victim, programs)
+        del victim
+
+        resumed = MulticoreSystem(config)
+        result = manager.restore(resumed, programs)
+        assert result.cycle == 120
+        resumed.run_prepared()
+        assert blob(resumed) == reference_blob
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_seed_sweep(self, tmp_path, seed):
+        config = CORTEX_A76.with_defense(DefenseKind.SPECASAN)
+        program = spec_program("541.leela_r", seed=seed)
+        reference = build_system(config)
+        reference.prepare(program).run()
+
+        manager = CheckpointManager(str(tmp_path / "gen"))
+        victim = build_system(config)
+        victim.prepare(program).run(until_cycle=90)
+        manager.save(victim, program)
+        resumed = build_system(config)
+        manager.restore(resumed, program)
+        resumed.core.run()
+        assert blob(resumed) == blob(reference)
+
+
+class TestGenerations:
+    def _saved(self, tmp_path, keep=2, saves=3, stats=None):
+        config = CORTEX_A76.with_defense(DefenseKind.SPECASAN)
+        program = spec_program("505.mcf_r")
+        manager = CheckpointManager(str(tmp_path / "gen"), keep=keep,
+                                    stats=stats)
+        system = build_system(config)
+        core = system.prepare(program)
+        for pause in range(1, saves + 1):
+            core.run(until_cycle=pause * 60)
+            manager.save(system, program)
+        return manager, config, program
+
+    def test_rotation_prunes_to_keep(self, tmp_path):
+        manager, _, _ = self._saved(tmp_path, keep=2, saves=3)
+        assert manager.generations() == [2, 1]
+        assert not os.path.exists(manager.path_for(0))
+
+    def test_corrupt_newest_falls_back_one_generation(self, tmp_path):
+        stats = CheckpointStats()
+        manager, config, program = self._saved(tmp_path, stats=stats)
+        corrupt.flip_bit(manager.path_for(2), section="cores")
+        resumed = build_system(config)
+        result = manager.restore(resumed, program)
+        assert result.generation == 1 and result.cycle == 120
+        assert [r.kind for r in result.rejected] == ["section-corrupt"]
+        assert stats.corrupt_rejected == 1 and stats.restores == 1
+
+    def test_every_generation_corrupt_raises_newest_rejection(self,
+                                                              tmp_path):
+        manager, config, program = self._saved(tmp_path)
+        corrupt.truncate(manager.path_for(2), 0.3)
+        corrupt.flip_bit(manager.path_for(1), section="hierarchy")
+        with pytest.raises(CheckpointError) as err:
+            manager.restore(build_system(config), program)
+        assert err.value.kind == "truncated"  # the newest generation's kind
+
+    def test_no_generations_is_kind_missing(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "void"))
+        config = CORTEX_A76.with_defense(DefenseKind.SPECASAN)
+        with pytest.raises(CheckpointError) as err:
+            manager.restore(build_system(config),
+                            spec_program("505.mcf_r"))
+        assert err.value.kind == "missing"
+
+    def test_wrong_defense_config_is_skew(self, tmp_path):
+        manager, _, program = self._saved(tmp_path)
+        other = build_system(CORTEX_A76.with_defense(DefenseKind.FENCE))
+        with pytest.raises(CheckpointError) as err:
+            manager.restore(other, program)
+        assert err.value.kind == "config-skew"
+
+
+class TestPeriodicHookAndTelemetry:
+    def test_hook_checkpoints_mid_run_and_counters_register(self, tmp_path):
+        config = CORTEX_A76.with_defense(DefenseKind.SPECASAN)
+        program = spec_program("505.mcf_r")
+        stats = CheckpointStats()
+        manager = CheckpointManager(str(tmp_path / "gen"), keep=2,
+                                    stats=stats)
+        system = build_system(config)
+        system.checkpoint_stats = stats
+        core = system.prepare(program)
+        core.checkpoint_hook = CheckpointHook(manager, system, program,
+                                              interval=100)
+        core.run()
+        assert stats.saves >= 2  # several generations along the way
+        assert stats.bytes > 0
+        assert stats.save_cycles % 100 == 0
+        assert len(manager.generations()) <= 2  # pruned to keep
+        dump = system.stats_registry().dump()
+        assert dump["checkpoint"]["saves"] == stats.saves
+        assert dump["checkpoint"]["corrupt_rejected"] == 0
+
+    def test_hook_runs_do_not_perturb_results(self, tmp_path):
+        # A hooked run must measure exactly what an unhooked run measures
+        # (modulo the checkpoint scope itself): saving is observation-free.
+        config = CORTEX_A76.with_defense(DefenseKind.STT)
+        program = spec_program("531.deepsjeng_r")
+        plain = build_system(config)
+        plain.prepare(program).run()
+
+        manager = CheckpointManager(str(tmp_path / "gen"))
+        hooked = build_system(config)
+        core = hooked.prepare(program)
+        core.checkpoint_hook = CheckpointHook(manager, hooked, program,
+                                              interval=70)
+        core.run()
+        assert blob(hooked) == blob(plain)

@@ -1,0 +1,84 @@
+"""Checkpoint fault kinds driven through the live injector.
+
+The durable-state fault classes damage the run's newest checkpoint
+generation while the simulation is still going — the TikTag-style question
+asked of the checkpoint layer instead of the tag store: when the machinery
+recovery relies on is itself perturbed, restore must degrade to an older
+generation or fail typed, never load half-trusted state.
+"""
+
+from repro import build_system, CORTEX_A76, DefenseKind
+from repro.checkpoint import CheckpointManager
+from repro.errors import CheckpointError
+from repro.resilience import (CHECKPOINT_FAULT_KINDS, FaultInjector,
+                              FaultKind, FaultSchedule)
+from repro.workloads import build_spec
+
+
+def prepared(tmp_path, keep=2):
+    config = CORTEX_A76.with_defense(DefenseKind.SPECASAN)
+    program = build_spec("505.mcf_r", seed=3,
+                         target_instructions=600).program
+    manager = CheckpointManager(str(tmp_path / "gen"), keep=keep)
+    system = build_system(config)
+    core = system.prepare(program)
+    return config, program, manager, system, core
+
+
+class TestInjectedCheckpointDamage:
+    def test_faults_fire_and_restore_never_loads_damage(self, tmp_path):
+        config, program, manager, system, core = prepared(tmp_path)
+        core.run(until_cycle=50)
+        manager.save(system, program)   # generation 0: pristine fallback
+        core.run(until_cycle=100)
+        manager.save(system, program)   # generation 1: the fault target
+
+        schedule = FaultSchedule.generate(
+            seed=11, kinds=CHECKPOINT_FAULT_KINDS, count=1,
+            start_cycle=110, window=40)
+        injector = FaultInjector(schedule).attach(core)
+        injector.checkpoint_target = (
+            lambda: manager.path_for(manager.generations()[0]))
+        core.run()
+        assert injector.injected_kinds == set(CHECKPOINT_FAULT_KINDS)
+
+        # The newest generation took four kinds of damage; restore must
+        # either walk back to the pristine generation 0 (rejecting 1 with a
+        # typed kind) or — had every generation been hit — raise. It must
+        # never hand back state from the damaged file.
+        resumed = build_system(config)
+        try:
+            result = manager.restore(resumed, program)
+        except CheckpointError as err:
+            assert err.kind in ("truncated", "section-corrupt",
+                                "schema-skew", "config-skew", "torn-header")
+        else:
+            assert result.generation == 0
+            assert result.cycle == 50
+            assert result.rejected and all(
+                r.kind != "missing" for r in result.rejected)
+            assert resumed.core.cycle == 50
+
+    def test_unset_target_makes_checkpoint_faults_noops(self, tmp_path):
+        _, program, manager, system, core = prepared(tmp_path)
+        core.run(until_cycle=60)
+        manager.save(system, program)
+        schedule = FaultSchedule.generate(
+            seed=5, kinds=[FaultKind.CHECKPOINT_TRUNCATE], count=2,
+            start_cycle=70, window=30)
+        injector = FaultInjector(schedule).attach(core)
+        core.run()  # checkpoint_target left None
+        assert injector.injected_kinds == {FaultKind.CHECKPOINT_TRUNCATE}
+        # The generation survived untouched.
+        result = manager.restore(build_system(
+            CORTEX_A76.with_defense(DefenseKind.SPECASAN)), program)
+        assert result.cycle == 60 and result.rejected == []
+
+    def test_schedule_covers_checkpoint_kinds_deterministically(self):
+        a = FaultSchedule.generate(3, CHECKPOINT_FAULT_KINDS, count=2)
+        b = FaultSchedule.generate(3, CHECKPOINT_FAULT_KINDS, count=2)
+        assert a.events == b.events
+        assert {e.kind for e in a.events} == set(CHECKPOINT_FAULT_KINDS)
+        for event in a.events:
+            assert "checkpoint" in event.kind.value
+            assert event.describe()

@@ -1,0 +1,71 @@
+"""Diagnostic snapshots: summary capture and restorable rebuilds."""
+
+import pytest
+
+from repro import build_system, CORTEX_A76, DefenseKind
+from repro.resilience.snapshot import core_snapshot, rebuild_core, summarize
+from repro.workloads import build_spec
+
+
+def paused_system(defense=DefenseKind.SPECASAN, until=80):
+    config = CORTEX_A76.with_defense(defense)
+    program = build_spec("505.mcf_r", seed=3,
+                         target_instructions=600).program
+    system = build_system(config)
+    core = system.prepare(program)
+    core.run(until_cycle=until)
+    return config, program, system, core
+
+
+class TestDiagnosticSnapshot:
+    def test_names_structures_and_occupancies(self):
+        _, _, _, core = paused_system()
+        snapshot = core_snapshot(core)
+        assert snapshot["cycle"] == core.cycle
+        assert snapshot["rob"]["capacity"] == core.config.core.rob_entries
+        assert 0 <= snapshot["rob"]["occupancy"] <= snapshot["rob"]["capacity"]
+        assert {"lq", "sq", "mshr", "lfb_inflight"} <= set(snapshot)
+        assert "state" not in snapshot  # summaries stay lightweight
+        line = summarize(snapshot)
+        assert "rob-head" in line and "mshr" in line
+
+    def test_capture_does_not_perturb_the_run(self):
+        _, _, reference_system, reference = paused_system()
+        _, _, observed_system, observed = paused_system()
+        core_snapshot(observed)
+        reference.run()
+        observed.run()
+        assert reference.cycle == observed.cycle
+        assert (reference_system.stats_registry().dump()
+                == observed_system.stats_registry().dump())
+
+
+class TestRestorableSnapshot:
+    def test_rebuild_resumes_exactly_where_it_stopped(self):
+        config, program, system, core = paused_system()
+        snapshot = core_snapshot(core, restorable=True)
+        hierarchy_state = system.hierarchy.state_dict()
+        core.run()
+        reference_cycle_end = core.cycle
+        reference_committed = core.stats.committed
+
+        # Post-mortem shape: fresh system, same config/program; bring the
+        # hierarchy back to the pause point, rebuild the wedged core into
+        # it, and let it finish.
+        host = build_system(config)
+        host.prepare(program)
+        host.hierarchy.load_state_dict(hierarchy_state)
+        revived = rebuild_core(snapshot, config, host.hierarchy, program)
+        assert revived.cycle == snapshot["cycle"]
+        assert revived.fetch_pc == snapshot["fetch_pc"]
+        assert len(revived.rob) == snapshot["rob"]["occupancy"]
+        assert len(revived.lsq.lq) == snapshot["lq"]["occupancy"]
+        revived.run()
+        assert revived.cycle == reference_cycle_end
+        assert revived.stats.committed == reference_committed
+
+    def test_non_restorable_snapshot_refuses_rebuild(self):
+        config, program, system, core = paused_system(until=40)
+        snapshot = core_snapshot(core)
+        with pytest.raises(ValueError, match="restorable"):
+            rebuild_core(snapshot, config, system.hierarchy, program)
