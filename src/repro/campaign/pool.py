@@ -1,0 +1,216 @@
+"""Shared process-pool core: one abstraction under campaigns and the service.
+
+The campaign scheduler (batch sweeps) and :mod:`repro.service` (the
+always-on spec-lint front end) supervise the same kind of unit: a worker
+subprocess that writes a heartbeat file from inside its work loop and an
+outcome JSON on exit.  This module is the machinery both share:
+
+- :func:`worker_env` / :func:`launch` — spawn a worker with the repro
+  source tree importable and its output captured to a log file;
+- :class:`WorkerProcess` — one supervised subprocess: non-blocking exit
+  polling, heartbeat-staleness and wall-budget liveness checks, and
+  terminate-then-kill reaping;
+- :func:`read_outcome` / :func:`classify_exit` — the outcome-file contract
+  (``status: ok | failed | crashed``) folded with the exit code into one
+  :class:`WorkerExit` classification;
+- :class:`AdaptiveWait` — the poll pacing used by both supervision loops:
+  tight while workers are active, exponential backoff capped while idle,
+  so an always-on service does not burn CPU between requests.
+
+The scheduler drives these primitives from its synchronous poll loop; the
+service supervisor drives the same primitives from asyncio (``Popen.poll``
+and the liveness checks are non-blocking, so they compose with either).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import repro
+from repro.campaign.heartbeat import age_s
+
+#: Worker exit code for a typed, retryable failure (see campaign.worker).
+EXIT_TYPED_FAILURE = 3
+
+#: Liveness-failure kinds reported by :meth:`WorkerProcess.liveness_failure`.
+WALL_TIMEOUT = "wall-timeout"
+STALLED = "stalled"
+
+
+def worker_env() -> dict:
+    """Child env with the repro source tree importable."""
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src if not existing
+                         else src + os.pathsep + existing)
+    return env
+
+
+def read_outcome(path: str) -> Optional[dict]:
+    """The worker's outcome JSON, or ``None`` if absent/unparseable."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def log_tail(path: str, limit: int = 400) -> str:
+    """The last ``limit`` characters of a worker log (diagnostics)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()[-limit:].strip()
+    except OSError:
+        return ""
+
+
+@dataclass
+class WorkerExit:
+    """One classified worker exit.
+
+    ``kind`` is ``"ok"`` (outcome present, status ok, exit 0), ``"typed"``
+    (a typed, possibly-retryable failure the worker reported), or
+    ``"crashed"`` / ``"killed"`` (the worker died: harness bug, signal,
+    OOM kill — environmental, retried under the same seed).
+    """
+
+    kind: str
+    error: str = ""
+    error_type: str = ""
+    outcome: Optional[dict] = None
+
+
+def classify_exit(returncode: int, outcome: Optional[dict],
+                  tail: str = "") -> WorkerExit:
+    """Fold the exit code and outcome file into one classification."""
+    if returncode == 0 and outcome is not None \
+            and outcome.get("status") == "ok":
+        return WorkerExit("ok", outcome=outcome)
+    if outcome is not None and outcome.get("status") == "failed":
+        return WorkerExit("typed", outcome.get("error", ""),
+                          outcome.get("error_type", ""), outcome)
+    if outcome is not None and outcome.get("status") == "crashed":
+        return WorkerExit("crashed", outcome.get("error", ""),
+                          outcome.get("error_type", ""), outcome)
+    if returncode < 0:
+        return WorkerExit("killed", f"worker died to signal {-returncode}")
+    return WorkerExit(
+        "crashed",
+        f"exit code {returncode} with no outcome file"
+        + (f"; log tail: {tail}" if tail else ""))
+
+
+class WorkerProcess:
+    """One supervised worker subprocess and its liveness contract.
+
+    The worker promises to pulse ``heartbeat_path`` from inside its work
+    loop and to write ``out_path`` atomically before exiting.  The
+    supervisor polls :meth:`exit` (non-blocking) and
+    :meth:`liveness_failure`; a worker that exceeds its wall budget or
+    goes heartbeat-silent is :meth:`reaped <reap>`.
+    """
+
+    def __init__(self, proc: subprocess.Popen, *, out_path: str,
+                 heartbeat_path: str, log_path: str = "",
+                 timeout_s: float = float("inf"),
+                 stall_timeout_s: float = float("inf")):
+        self.proc = proc
+        self.out_path = out_path
+        self.heartbeat_path = heartbeat_path
+        self.log_path = log_path
+        self.timeout_s = timeout_s
+        self.stall_timeout_s = stall_timeout_s
+        self.started = time.monotonic()
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def elapsed(self, now: Optional[float] = None) -> float:
+        return (now if now is not None else time.monotonic()) - self.started
+
+    def exit(self) -> Optional[WorkerExit]:
+        """Classified exit if the process has finished, else ``None``."""
+        returncode = self.proc.poll()
+        if returncode is None:
+            return None
+        return classify_exit(returncode, read_outcome(self.out_path),
+                             log_tail(self.log_path) if self.log_path else "")
+
+    def liveness_failure(self,
+                         now: Optional[float] = None) -> Optional[WorkerExit]:
+        """Wall-budget / heartbeat-staleness check for a *running* worker.
+
+        Returns a :class:`WorkerExit` of kind :data:`WALL_TIMEOUT` or
+        :data:`STALLED` when the worker must be reaped, else ``None``.
+        A worker that never heartbeats is measured from its start time.
+        """
+        elapsed = self.elapsed(now)
+        if elapsed > self.timeout_s:
+            return WorkerExit(WALL_TIMEOUT,
+                              f"exceeded {self.timeout_s}s wall budget")
+        heartbeat_age = age_s(self.heartbeat_path, now=time.time())
+        stale = heartbeat_age if heartbeat_age is not None else elapsed
+        if stale > self.stall_timeout_s:
+            return WorkerExit(STALLED, f"no heartbeat for {stale:.1f}s "
+                                       "(straggler reaped)")
+        return None
+
+    def reap(self) -> None:
+        """Terminate, escalating to SIGKILL if the worker ignores it."""
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=2)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def launch(argv: List[str], *, out_path: str, heartbeat_path: str,
+           log_path: str, timeout_s: float = float("inf"),
+           stall_timeout_s: float = float("inf"),
+           env: Optional[dict] = None) -> WorkerProcess:
+    """Spawn one worker with stdout/stderr captured to ``log_path``."""
+    log = open(log_path, "w", encoding="utf-8")
+    try:
+        proc = subprocess.Popen(argv, stdout=log, stderr=log,
+                                env=env if env is not None else worker_env())
+    finally:
+        log.close()
+    return WorkerProcess(proc, out_path=out_path,
+                         heartbeat_path=heartbeat_path, log_path=log_path,
+                         timeout_s=timeout_s,
+                         stall_timeout_s=stall_timeout_s)
+
+
+class AdaptiveWait:
+    """Poll pacing: tight under activity, capped backoff while idle.
+
+    ``interval(active)`` returns the next wait; while ``active`` it is
+    always ``base``, and each consecutive idle step doubles the wait up to
+    ``cap``.  Any active step resets the backoff, so a pool that goes busy
+    again is immediately back on the tight cadence.  :meth:`sleep` is the
+    synchronous convenience; asyncio callers await ``interval`` themselves.
+    """
+
+    def __init__(self, base: float = 0.02, cap: float = 0.5):
+        self.base = base
+        self.cap = max(cap, base)
+        self._idle_streak = 0
+
+    def interval(self, active: bool) -> float:
+        if active:
+            self._idle_streak = 0
+            return self.base
+        delay = min(self.cap, self.base * (2 ** self._idle_streak))
+        self._idle_streak += 1
+        return delay
+
+    def sleep(self, active: bool) -> None:
+        time.sleep(self.interval(active))

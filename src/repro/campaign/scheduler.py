@@ -19,7 +19,14 @@ Drives a sweep's cells through isolated worker subprocesses with:
   so ``--resume`` skips exactly the work that already landed;
 - **graceful degradation** — a cell that exhausts its retries becomes an
   explicit missing-cell marker in the rendered figure plus an entry in the
-  structured failure report; it never aborts the campaign.
+  structured failure report; it never aborts the campaign;
+- **graceful interrupt** — SIGTERM/SIGINT mid-campaign reaps the active
+  workers, writes ``report.json`` with an ``"interrupted"`` status, and
+  leaves the run directory resumable (``--resume`` finishes it).
+
+The process-launch / liveness / exit-classification primitives live in
+:mod:`repro.campaign.pool`, shared with the :mod:`repro.service` worker
+supervisor — "campaign" and "service queue" are one pool abstraction.
 """
 
 from __future__ import annotations
@@ -27,18 +34,22 @@ from __future__ import annotations
 import json
 import os
 import random
-import subprocess
+import signal
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-import repro
+from repro.campaign import pool
 from repro.campaign.cells import (CampaignConfig, CellSpec, rows_from_records)
-from repro.campaign.heartbeat import age_s
+from repro.campaign.pool import AdaptiveWait, WorkerExit, WorkerProcess
 from repro.campaign.store import CorruptRecord, ResultStore
 from repro.config import DefenseKind
 from repro.eval.experiments import ExperimentRow, render_rows
+
+#: Backwards-compatible alias (the CLI and older tests import it from here).
+_worker_env = pool.worker_env
 
 
 @dataclass
@@ -76,11 +87,7 @@ class _PendingCell:
 class _ActiveWorker:
     cell: CellSpec
     state: _PendingCell
-    proc: subprocess.Popen
-    out_path: str
-    heartbeat_path: str
-    log_path: str
-    started: float
+    worker: WorkerProcess
 
 
 @dataclass
@@ -94,10 +101,14 @@ class CampaignOutcome:
     corrupt: List[CorruptRecord]
     #: Cells found already done in the store (the resume fast path).
     skipped: int = 0
+    #: The campaign was stopped by SIGTERM/SIGINT before finishing; the
+    #: run directory stays resumable (completed cells are durable, active
+    #: workers were reaped, nothing was marked failed).
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
-        return not self.failed and not self.corrupt
+        return not self.failed and not self.corrupt and not self.interrupted
 
     @property
     def rows(self) -> List[ExperimentRow]:
@@ -134,6 +145,7 @@ class CampaignOutcome:
         return {
             "figure": self.config.figure,
             "config_hash": self.config.config_hash(),
+            "status": "interrupted" if self.interrupted else "finished",
             "total_cells": len(self.cells),
             "completed": len(self.completed),
             "skipped_already_done": self.skipped,
@@ -143,18 +155,9 @@ class CampaignOutcome:
                 {"line_no": c.line_no, "reason": c.reason,
                  "cell_id": c.cell_id} for c in self.corrupt],
             "degradations": self.degradations,
+            "resumable": self.interrupted,
             "ok": self.ok,
         }
-
-
-def _worker_env() -> dict:
-    """Child env with the repro source tree importable."""
-    env = dict(os.environ)
-    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = (src if not existing
-                         else src + os.pathsep + existing)
-    return env
 
 
 class CampaignScheduler:
@@ -175,6 +178,7 @@ class CampaignScheduler:
         self.progress = progress or (lambda message: None)
         self.worker_argv = worker_argv
         self.poll_interval_s = poll_interval_s
+        self._interrupted = False
         # Jitter must be deterministic per campaign seed so two runs of the
         # same config retry on the same schedule (results never depend on
         # jitter, only latency does).
@@ -227,46 +231,18 @@ class CampaignScheduler:
                 pass
         argv_factory = self.worker_argv or self._default_argv
         argv = argv_factory(cell, paths, attempt, reseed)
-        log = open(paths["log"], "w", encoding="utf-8")
-        try:
-            proc = subprocess.Popen(argv, stdout=log, stderr=log,
-                                    env=_worker_env())
-        finally:
-            log.close()
-        self.progress(f"cell {cell.cell_id}: attempt {attempt} started "
-                      f"(pid {proc.pid}, reseed {reseed})")
-        return _ActiveWorker(cell=cell, state=state, proc=proc,
-                             out_path=paths["out"],
+        worker = pool.launch(argv, out_path=paths["out"],
                              heartbeat_path=paths["heartbeat"],
                              log_path=paths["log"],
-                             started=time.monotonic())
-
-    @staticmethod
-    def _reap(worker: _ActiveWorker) -> None:
-        worker.proc.terminate()
-        try:
-            worker.proc.wait(timeout=2)
-        except subprocess.TimeoutExpired:
-            worker.proc.kill()
-            worker.proc.wait()
+                             timeout_s=cell.timeout_s,
+                             stall_timeout_s=self.config.stall_timeout_s)
+        self.progress(f"cell {cell.cell_id}: attempt {attempt} started "
+                      f"(pid {worker.pid}, reseed {reseed})")
+        return _ActiveWorker(cell=cell, state=state, worker=worker)
 
     # ------------------------------------------------------------------
     # outcome handling
     # ------------------------------------------------------------------
-
-    def _read_outcome(self, worker: _ActiveWorker) -> Optional[dict]:
-        try:
-            with open(worker.out_path, encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            return None
-
-    def _log_tail(self, worker: _ActiveWorker, limit: int = 400) -> str:
-        try:
-            with open(worker.log_path, encoding="utf-8") as handle:
-                return handle.read()[-limit:].strip()
-        except OSError:
-            return ""
 
     def _record_success(self, worker: _ActiveWorker, outcome: dict) -> None:
         self.store.append({
@@ -288,25 +264,10 @@ class CampaignScheduler:
                       f"({row['cycles']} cycles, "
                       f"attempt {worker.state.attempts}{notes})")
 
-    def _classify_exit(self, worker: _ActiveWorker,
-                       returncode: int) -> AttemptFailure:
-        outcome = self._read_outcome(worker)
-        attempt = worker.state.attempts
-        if outcome is not None and outcome.get("status") == "failed":
-            return AttemptFailure(attempt, "typed",
-                                  outcome.get("error", ""),
-                                  outcome.get("error_type", ""))
-        if outcome is not None and outcome.get("status") == "crashed":
-            return AttemptFailure(attempt, "crashed",
-                                  outcome.get("error", ""),
-                                  outcome.get("error_type", ""))
-        if returncode < 0:
-            return AttemptFailure(attempt, "killed",
-                                  f"worker died to signal {-returncode}")
-        return AttemptFailure(
-            attempt, "crashed",
-            f"exit code {returncode} with no outcome file; "
-            f"log tail: {self._log_tail(worker)}")
+    @staticmethod
+    def _as_failure(worker: _ActiveWorker, exit: WorkerExit) -> AttemptFailure:
+        return AttemptFailure(worker.state.attempts, exit.kind,
+                              exit.error, exit.error_type)
 
     def _handle_failure(self, worker: _ActiveWorker,
                         failure: AttemptFailure,
@@ -376,57 +337,95 @@ class CampaignScheduler:
                    if cell.cell_id not in completed]
         active: List[_ActiveWorker] = []
         failed: Dict[str, List[AttemptFailure]] = {}
+        # Poll pacing: tight while workers run, capped backoff while every
+        # pending cell is waiting out its retry delay (nothing to observe).
+        wait = AdaptiveWait(base=self.poll_interval_s,
+                            cap=max(self.poll_interval_s, 0.25))
 
-        while pending or active:
-            now = time.monotonic()
-            # Launch every eligible cell while worker slots are free.
-            launchable = [s for s in pending if s.eligible_at <= now]
-            while launchable and len(active) < self.config.max_workers:
-                state = launchable.pop(0)
-                pending.remove(state)
-                active.append(self._launch(state))
+        with self._signal_scope():
+            while (pending or active) and not self._interrupted:
+                now = time.monotonic()
+                # Launch every eligible cell while worker slots are free.
+                launchable = [s for s in pending if s.eligible_at <= now]
+                while launchable and len(active) < self.config.max_workers:
+                    state = launchable.pop(0)
+                    pending.remove(state)
+                    active.append(self._launch(state))
 
-            still_active: List[_ActiveWorker] = []
-            for worker in active:
-                returncode = worker.proc.poll()
-                if returncode is not None:
-                    outcome = self._read_outcome(worker)
-                    if returncode == 0 and outcome is not None \
-                            and outcome.get("status") == "ok":
-                        self._record_success(worker, outcome)
+                still_active: List[_ActiveWorker] = []
+                for worker in active:
+                    exit = worker.worker.exit()
+                    if exit is None:
+                        exit = worker.worker.liveness_failure(now)
+                        if exit is not None:
+                            worker.worker.reap()
+                    if exit is None:
+                        still_active.append(worker)
+                    elif exit.kind == "ok":
+                        self._record_success(worker, exit.outcome)
                         completed[worker.cell.cell_id] = {
                             "cell_id": worker.cell.cell_id,
-                            "row": outcome["row"]}
+                            "row": exit.outcome["row"]}
                     else:
-                        self._handle_failure(
-                            worker, self._classify_exit(worker, returncode),
-                            pending, failed)
-                    continue
-                elapsed = now - worker.started
-                heartbeat_age = age_s(worker.heartbeat_path, now=time.time())
-                if elapsed > worker.cell.timeout_s:
-                    self._reap(worker)
-                    self._handle_failure(worker, AttemptFailure(
-                        worker.state.attempts, "wall-timeout",
-                        f"exceeded {worker.cell.timeout_s}s wall budget"),
-                        pending, failed)
-                    continue
-                stale = (heartbeat_age if heartbeat_age is not None
-                         else elapsed)
-                if stale > self.config.stall_timeout_s:
-                    self._reap(worker)
-                    self._handle_failure(worker, AttemptFailure(
-                        worker.state.attempts, "stalled",
-                        f"no heartbeat for {stale:.1f}s "
-                        f"(straggler reaped)"), pending, failed)
-                    continue
-                still_active.append(worker)
-            active = still_active
-            if pending or active:
-                time.sleep(self.poll_interval_s)
+                        self._handle_failure(worker,
+                                             self._as_failure(worker, exit),
+                                             pending, failed)
+                active = still_active
+                if pending or active:
+                    wait.sleep(active=bool(active))
+
+        if self._interrupted and active:
+            # Reap, don't strand: the workers die now, their cells stay
+            # unrecorded (= pending), and --resume picks them back up —
+            # mid-cell where checkpoints exist.
+            self.progress(f"interrupt: reaping {len(active)} active "
+                          "worker(s); run directory stays resumable")
+            for worker in active:
+                worker.worker.reap()
 
         outcome = CampaignOutcome(config=self.config, cells=cells,
                                   completed=completed, failed=failed,
-                                  corrupt=corrupt, skipped=skipped)
+                                  corrupt=corrupt, skipped=skipped,
+                                  interrupted=self._interrupted)
         self.store.write_report(outcome.report())
         return outcome
+
+    # ------------------------------------------------------------------
+    # graceful interrupt
+    # ------------------------------------------------------------------
+
+    def interrupt(self) -> None:
+        """Request a graceful stop (signal-handler and test entry point)."""
+        self._interrupted = True
+
+    def _signal_scope(self):
+        """Install SIGTERM/SIGINT -> :meth:`interrupt` around the run loop.
+
+        Only the main thread may install signal handlers; elsewhere (tests
+        driving the scheduler from a thread, embedding services) the scope
+        is a no-op and :meth:`interrupt` is called directly.
+        """
+        import contextlib
+
+        @contextlib.contextmanager
+        def scope():
+            if threading.current_thread() is not threading.main_thread():
+                yield
+                return
+            previous = {}
+            handled = (signal.SIGTERM, signal.SIGINT)
+
+            def handler(signum, frame):
+                self.progress(f"received signal {signum}; finishing poll "
+                              "and stopping gracefully")
+                self.interrupt()
+
+            for sig in handled:
+                previous[sig] = signal.signal(sig, handler)
+            try:
+                yield
+            finally:
+                for sig, old in previous.items():
+                    signal.signal(sig, old)
+
+        return scope()

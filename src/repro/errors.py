@@ -225,6 +225,54 @@ class ResultCorruption(CampaignError):
         super().__init__(f"results.jsonl line {line_no}: {reason}")
 
 
+#: Machine-readable :class:`ServiceError` kinds, each mapped 1:1 to a
+#: protocol error response by :mod:`repro.service.protocol`.
+SERVICE_ERROR_KINDS = frozenset({
+    "malformed",          # request line is not a valid protocol object
+    "oversize",           # request exceeds the line-size budget
+    "unsupported",        # unknown op / protocol version skew
+    "invalid-program",    # the submitted program failed to assemble/link
+    "overloaded",         # admission queue full: load shed
+    "client-over-limit",  # per-client fairness cap exceeded
+    "deadline",           # request budget expired (queued or running)
+    "cancelled",          # cooperatively cancelled (client gone, drain cut)
+    "quarantined",        # content hash tripped the poison-program breaker
+    "draining",           # server is in SIGTERM drain; admission stopped
+    "degraded-unavailable",  # ladder bottom: no tier can serve this request
+    "worker-lost",        # worker died repeatedly; retries exhausted
+})
+
+
+class ServiceError(ReproError):
+    """A spec-lint service request could not be served.
+
+    Service failures are *protocol events*, not crashes: every kind maps to
+    a typed error response the client can interpret (back off on
+    ``overloaded``, re-submit later on ``draining``, give up on
+    ``quarantined``).  The server never lets one of these take down the
+    accept loop.
+
+    Attributes:
+        kind: machine-readable failure class, one of
+            :data:`SERVICE_ERROR_KINDS`.
+        retryable: hint to clients whether re-submitting the identical
+            request later can succeed (load/lifecycle kinds) or is futile
+            until the request itself changes (malformed, quarantined...).
+    """
+
+    #: Kinds a client may retry later without changing the request.
+    RETRYABLE = frozenset({"overloaded", "client-over-limit", "deadline",
+                           "cancelled", "draining",
+                           "degraded-unavailable", "worker-lost"})
+
+    def __init__(self, message: str, *, kind: str):
+        if kind not in SERVICE_ERROR_KINDS:
+            raise ValueError(f"unknown service error kind {kind!r}")
+        self.kind = kind
+        self.retryable = kind in self.RETRYABLE
+        super().__init__(f"[{kind}] {message}")
+
+
 class AnalysisError(ReproError):
     """The static-analysis toolchain could not complete a request.
 

@@ -1,0 +1,135 @@
+"""Admission control: bounded queueing, load shedding, per-client fairness.
+
+The service never buffers without bound.  Admission enforces two budgets
+at the moment a request arrives — both violations are *typed rejections*
+(the client hears why), never silent queue growth:
+
+- a **global queue bound** (``max_queue``): more queued work than the
+  pool can plausibly drain is shed with ``overloaded``;
+- a **per-client outstanding bound** (``max_per_client``): one client
+  pipelining requests cannot occupy the whole queue; past its cap it is
+  rejected with ``client-over-limit`` while other clients still get in.
+
+Dispatch order is round-robin *across clients* (each client's own
+requests stay FIFO), so a burst from one client interleaves fairly with
+everyone else's traffic instead of being drained front-to-back.
+
+A slot is held from admission until the response is written
+(:meth:`AdmissionController.done`), so cancellation/deadline paths must
+refund it — the controller asserts conservation in :meth:`snapshot`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+
+
+class AdmissionController:
+    """Bounded fair queue of (client_id, item) work units."""
+
+    def __init__(self, *, max_queue: int = 8, max_per_client: int = 4):
+        if max_queue < 1 or max_per_client < 1:
+            raise ValueError("admission bounds must be >= 1")
+        self.max_queue = max_queue
+        self.max_per_client = max_per_client
+        #: client -> FIFO of queued items; insertion order seeds round-robin.
+        self._queues: "OrderedDict[str, Deque[object]]" = OrderedDict()
+        #: client -> admitted-but-not-yet-answered count (queued + running).
+        self._outstanding: Dict[str, int] = {}
+        self._queued = 0
+        self._ready = asyncio.Event()
+        self._closed = False
+
+    # -- intake --------------------------------------------------------------
+
+    def admit(self, client_id: str, item: object) -> None:
+        """Enqueue or raise a typed rejection (the backpressure edge)."""
+        if self._closed:
+            raise ServiceError("server is draining; admission stopped",
+                               kind="draining")
+        outstanding = self._outstanding.get(client_id, 0)
+        if outstanding >= self.max_per_client:
+            raise ServiceError(
+                f"client has {outstanding} requests outstanding "
+                f"(cap {self.max_per_client})", kind="client-over-limit")
+        if self._queued >= self.max_queue:
+            raise ServiceError(
+                f"request queue full ({self._queued}/{self.max_queue}); "
+                "shedding load", kind="overloaded")
+        self._queues.setdefault(client_id, deque()).append(item)
+        self._outstanding[client_id] = outstanding + 1
+        self._queued += 1
+        self._ready.set()
+
+    def done(self, client_id: str) -> None:
+        """Refund the outstanding slot once the response is written."""
+        remaining = self._outstanding.get(client_id, 0) - 1
+        if remaining > 0:
+            self._outstanding[client_id] = remaining
+        else:
+            self._outstanding.pop(client_id, None)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _pop_round_robin(self) -> Optional[Tuple[str, object]]:
+        if not self._queues:
+            return None
+        client_id, queue = next(iter(self._queues.items()))
+        item = queue.popleft()
+        # Rotate: the client goes to the back whether or not it has more
+        # queued, so interleaving is per-request, not per-burst.
+        del self._queues[client_id]
+        if queue:
+            self._queues[client_id] = queue
+        self._queued -= 1
+        return client_id, item
+
+    async def next(self) -> Optional[Tuple[str, object]]:
+        """The next (client, item) in fair order; ``None`` once closed
+        and empty (dispatcher shutdown signal)."""
+        while True:
+            entry = self._pop_round_robin()
+            if entry is not None:
+                return entry
+            if self._closed:
+                return None
+            self._ready.clear()
+            await self._ready.wait()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admission (drain): new requests get ``draining``; already
+        queued items still dispatch."""
+        self._closed = True
+        self._ready.set()
+
+    def flush(self) -> list:
+        """Remove and return every still-queued item (drain-timeout cut)."""
+        items = []
+        while True:
+            entry = self._pop_round_robin()
+            if entry is None:
+                return items
+            items.append(entry)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @property
+    def outstanding(self) -> int:
+        return sum(self._outstanding.values())
+
+    def snapshot(self) -> dict:
+        return {"queued": self._queued,
+                "outstanding": dict(sorted(self._outstanding.items())),
+                "max_queue": self.max_queue,
+                "max_per_client": self.max_per_client,
+                "draining": self._closed}

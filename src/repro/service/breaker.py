@@ -1,0 +1,179 @@
+"""Circuit breakers: pool health and poison-program quarantine.
+
+Two failure populations need different treatment:
+
+- **The worker pool itself is sick** (toolchain broken, resource
+  exhaustion, a bad deploy): *consecutive* deaths across unrelated
+  requests.  :class:`CircuitBreaker` trips open after ``failure_threshold``
+  of them, the ladder degrades past the pool (static-only / cache-only),
+  and after ``reset_timeout_s`` a half-open probe request tests recovery —
+  success closes the breaker, failure re-opens it.
+- **One request is poison** (a program that reliably kills or wedges any
+  worker that touches it): deaths keyed by content hash.
+  :class:`Quarantine` trips per hash after ``death_threshold`` deaths; the
+  hash is then rejected with a typed ``quarantined`` response instead of
+  being allowed to chew through the pool again.  Quarantine holds for
+  ``hold_s`` (``None`` = for the life of the process).
+
+Both are plain synchronous state machines with an injectable clock — the
+asyncio layer calls them, the unit tests drive them deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable, Dict, Optional
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open recovery probes."""
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 reset_timeout_s: float = 5.0, half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_open: Optional[Callable[[], None]] = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = max(1, half_open_probes)
+        self._clock = clock
+        self._on_open = on_open
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        #: Diagnostics: lifetime open transitions.
+        self.opens = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state; OPEN lazily decays to HALF_OPEN after the
+        reset timeout (no background timer needed)."""
+        if self._state is BreakerState.OPEN and \
+                self._clock() - self._opened_at >= self.reset_timeout_s:
+            self._state = BreakerState.HALF_OPEN
+            self._probes_in_flight = 0
+        return self._state
+
+    @property
+    def healthy(self) -> bool:
+        """Not hard-open: closed, or probing its way back."""
+        return self.state is not BreakerState.OPEN
+
+    # -- transitions ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May one request pass right now?  Half-open admits at most
+        ``half_open_probes`` concurrent probes."""
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        if self._probes_in_flight < self.half_open_probes:
+            self._probes_in_flight += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        state = self.state
+        self._consecutive_failures += 1
+        if state is BreakerState.HALF_OPEN \
+                or self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        if self._state is not BreakerState.OPEN:
+            self.opens += 1
+            if self._on_open is not None:
+                self._on_open()
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+
+    def snapshot(self) -> dict:
+        return {"state": self.state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens}
+
+
+class Quarantine:
+    """Per-content-hash death tracking: poison programs get benched.
+
+    A hash whose workers die ``death_threshold`` times (not necessarily
+    consecutively across the whole service — per hash they always are) is
+    quarantined: :meth:`blocked` turns true and the admission ladder
+    rejects it with a typed response.  A success for the hash (a retry
+    that made it) clears its count.  ``hold_s=None`` quarantines for the
+    process lifetime; otherwise the hash is released after ``hold_s`` and
+    gets a fresh probation count.
+    """
+
+    def __init__(self, *, death_threshold: int = 2,
+                 hold_s: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_quarantine: Optional[Callable[[str], None]] = None):
+        if death_threshold < 1:
+            raise ValueError("death_threshold must be >= 1")
+        self.death_threshold = death_threshold
+        self.hold_s = hold_s
+        self._clock = clock
+        self._on_quarantine = on_quarantine
+        self._deaths: Dict[str, int] = {}
+        self._held_since: Dict[str, float] = {}
+
+    def record_death(self, key: str) -> bool:
+        """Book one worker death for ``key``; True if it just tripped."""
+        if self.blocked(key):
+            return False
+        count = self._deaths.get(key, 0) + 1
+        self._deaths[key] = count
+        if count >= self.death_threshold:
+            self._held_since[key] = self._clock()
+            if self._on_quarantine is not None:
+                self._on_quarantine(key)
+            return True
+        return False
+
+    def record_success(self, key: str) -> None:
+        self._deaths.pop(key, None)
+        self._held_since.pop(key, None)
+
+    def blocked(self, key: str) -> bool:
+        held = self._held_since.get(key)
+        if held is None:
+            return False
+        if self.hold_s is not None \
+                and self._clock() - held >= self.hold_s:
+            # Release back to probation: one more death re-trips at once.
+            del self._held_since[key]
+            self._deaths[key] = self.death_threshold - 1
+            return False
+        return True
+
+    @property
+    def held(self) -> int:
+        return sum(1 for key in list(self._held_since) if self.blocked(key))
+
+    def snapshot(self) -> dict:
+        return {"quarantined": sorted(
+                    key for key in self._held_since if self.blocked(key)),
+                "probation": {key: count
+                              for key, count in sorted(self._deaths.items())
+                              if key not in self._held_since}}

@@ -1,0 +1,145 @@
+"""Content-hash verdict cache: durable JSONL + in-flight single-flight.
+
+Two layers with one key (:func:`repro.service.protocol.content_key`):
+
+- :class:`VerdictCache` — completed verdicts, persisted through the same
+  atomic-write + per-record-SHA-256 JSONL discipline as the campaign
+  :class:`~repro.campaign.store.ResultStore`: a crash mid-append leaves
+  the previous intact file, and a corrupted or truncated record is
+  *skipped and counted* at warm-start, never trusted and never fatal.
+  Restarting the service over the same state directory therefore
+  warm-starts with every verdict that ever completed.
+- :class:`SingleFlight` — the in-flight dedup: the first request for a
+  key becomes the *leader* and computes; identical concurrent requests
+  become followers awaiting the leader's future, so a thundering herd of
+  the same program costs one worker slot, not N.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.campaign.store import atomic_write, checksum
+
+#: Bump when the cached-record layout changes; stale records re-compute.
+CACHE_SCHEMA = 1
+
+_CHECKSUM_FIELD = "sha256"
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class VerdictCache:
+    """Durable content-hash -> verdict-payload map, one JSONL file."""
+
+    FILE = "verdicts.jsonl"
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.path = os.path.join(directory, self.FILE)
+        self._entries: Dict[str, dict] = {}
+        #: Records rejected at warm-start (corrupt/stale), for the report.
+        self.rejected = 0
+        os.makedirs(directory, exist_ok=True)
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.rejected += 1
+                    continue
+                if not isinstance(record, dict) \
+                        or record.get(_CHECKSUM_FIELD) is None \
+                        or checksum(record) != record[_CHECKSUM_FIELD] \
+                        or record.get("schema") != CACHE_SCHEMA \
+                        or not isinstance(record.get("key"), str):
+                    self.rejected += 1
+                    continue
+                # Later records win: a re-computed verdict supersedes.
+                self._entries[record["key"]] = record["row"]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        return self._entries.get(key)
+
+    def put(self, key: str, row: dict) -> None:
+        """Store and durably append one verdict payload.
+
+        Same discipline as the campaign store: the whole file is rewritten
+        through a same-directory tmp + ``os.replace`` with the new line
+        appended — O(n) per put, atomic under any crash.
+        """
+        record = {"schema": CACHE_SCHEMA, "key": key, "row": row}
+        record[_CHECKSUM_FIELD] = checksum(record)
+        existing = ""
+        if os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as handle:
+                existing = handle.read()
+        if existing and not existing.endswith("\n"):
+            existing += "\n"   # heal a torn tail; _load counted the line
+        atomic_write(self.path, existing + _canonical(record) + "\n")
+        self._entries[key] = row
+
+
+class SingleFlight:
+    """Coalesce concurrent identical computations onto one future."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    def begin(self, key: str) -> Tuple[asyncio.Future, bool]:
+        """(future, is_leader): the leader computes and must
+        :meth:`resolve`; followers just await the future."""
+        future = self._inflight.get(key)
+        if future is not None and not future.done():
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        # A leader with no followers never awaits the future; retrieve any
+        # exception eagerly so asyncio doesn't warn at GC time.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None)
+        self._inflight[key] = future
+        return future, True
+
+    def resolve(self, key: str, result: Optional[dict] = None,
+                error: Optional[BaseException] = None) -> None:
+        """Deliver the leader's outcome to every follower."""
+        future = self._inflight.pop(key, None)
+        if future is None or future.done():
+            return
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    def abandon_all(self, error: BaseException) -> int:
+        """Fail every in-flight future (drain-timeout cut); returns count."""
+        cut = 0
+        for key in list(self._inflight):
+            future = self._inflight.pop(key)
+            if not future.done():
+                future.set_exception(error)
+                cut += 1
+        return cut
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for f in self._inflight.values() if not f.done())

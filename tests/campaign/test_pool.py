@@ -1,0 +1,131 @@
+"""The shared process-pool core (campaign + service supervision)."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.campaign import pool
+from repro.campaign.pool import (AdaptiveWait, WorkerProcess, classify_exit,
+                                 launch)
+
+
+class TestClassifyExit:
+    def test_ok(self):
+        exit = classify_exit(0, {"status": "ok", "row": {}})
+        assert exit.kind == "ok" and exit.outcome["status"] == "ok"
+
+    def test_zero_exit_without_outcome_is_crash(self):
+        exit = classify_exit(0, None, tail="boom")
+        assert exit.kind == "crashed" and "boom" in exit.error
+
+    def test_typed_failure(self):
+        exit = classify_exit(pool.EXIT_TYPED_FAILURE,
+                             {"status": "failed", "error": "faulted",
+                              "error_type": "ReproError"})
+        assert exit.kind == "typed"
+        assert exit.error == "faulted" and exit.error_type == "ReproError"
+
+    def test_crashed_outcome(self):
+        exit = classify_exit(1, {"status": "crashed", "error": "bug",
+                                 "error_type": "KeyError"})
+        assert exit.kind == "crashed" and exit.error_type == "KeyError"
+
+    def test_signal_death(self):
+        exit = classify_exit(-9, None)
+        assert exit.kind == "killed" and "signal 9" in exit.error
+
+    def test_nonzero_exit_no_outcome(self):
+        exit = classify_exit(7, None)
+        assert exit.kind == "crashed" and "exit code 7" in exit.error
+
+
+class TestWorkerProcess:
+    def _spawn(self, tmp_path, code, **kwargs):
+        paths = {name: str(tmp_path / name)
+                 for name in ("out", "hb", "log")}
+        worker = launch([sys.executable, "-c", code],
+                        out_path=paths["out"], heartbeat_path=paths["hb"],
+                        log_path=paths["log"], **kwargs)
+        return worker, paths
+
+    def test_successful_worker_round_trip(self, tmp_path):
+        out = str(tmp_path / "out")
+        code = (f"import json; json.dump({{'status': 'ok', 'row': {{}}}}, "
+                f"open({out!r}, 'w'))")
+        worker, _ = self._spawn(tmp_path, code)
+        deadline = time.monotonic() + 10
+        exit = None
+        while exit is None and time.monotonic() < deadline:
+            exit = worker.exit()
+            time.sleep(0.01)
+        assert exit is not None and exit.kind == "ok"
+
+    def test_wall_timeout_and_reap(self, tmp_path):
+        worker, _ = self._spawn(tmp_path, "import time; time.sleep(600)",
+                                timeout_s=0.05)
+        time.sleep(0.1)
+        failure = worker.liveness_failure()
+        assert failure is not None and failure.kind == pool.WALL_TIMEOUT
+        worker.reap()
+        assert worker.proc.poll() is not None
+
+    def test_stalled_without_heartbeat(self, tmp_path):
+        worker, _ = self._spawn(tmp_path, "import time; time.sleep(600)",
+                                stall_timeout_s=0.05)
+        time.sleep(0.1)
+        failure = worker.liveness_failure()
+        assert failure is not None and failure.kind == pool.STALLED
+        worker.reap()
+
+    def test_fresh_heartbeat_keeps_worker_alive(self, tmp_path):
+        worker, paths = self._spawn(tmp_path, "import time; time.sleep(600)",
+                                    stall_timeout_s=0.5)
+        with open(paths["hb"], "w") as handle:
+            json.dump({"cycle": 1}, handle)
+        assert worker.liveness_failure() is None
+        worker.reap()
+
+    def test_log_captured(self, tmp_path):
+        worker, paths = self._spawn(tmp_path, "print('hello from worker')")
+        worker.proc.wait(timeout=10)
+        assert "hello from worker" in pool.log_tail(paths["log"])
+
+
+class TestWorkerEnv:
+    def test_repro_importable_in_child(self):
+        proc = subprocess.run(
+            [sys.executable, "-c", "import repro"],
+            env=pool.worker_env(), capture_output=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_existing_pythonpath_preserved(self, monkeypatch):
+        monkeypatch.setenv("PYTHONPATH", "/elsewhere")
+        env = pool.worker_env()
+        parts = env["PYTHONPATH"].split(os.pathsep)
+        assert "/elsewhere" in parts and len(parts) == 2
+
+
+class TestAdaptiveWait:
+    def test_active_stays_at_base(self):
+        wait = AdaptiveWait(base=0.01, cap=1.0)
+        assert [wait.interval(True) for _ in range(3)] == [0.01] * 3
+
+    def test_idle_backs_off_to_cap(self):
+        wait = AdaptiveWait(base=0.01, cap=0.05)
+        intervals = [wait.interval(False) for _ in range(8)]
+        assert intervals[0] == 0.01
+        assert intervals == sorted(intervals)   # monotone growth
+        assert intervals[-1] == 0.05            # capped
+
+    def test_activity_resets_backoff(self):
+        wait = AdaptiveWait(base=0.01, cap=1.0)
+        for _ in range(5):
+            wait.interval(False)
+        assert wait.interval(True) == 0.01
+        assert wait.interval(False) == 0.01     # streak restarted
+
+    def test_cap_never_below_base(self):
+        wait = AdaptiveWait(base=0.2, cap=0.01)
+        assert wait.interval(False) <= wait.cap and wait.cap == 0.2

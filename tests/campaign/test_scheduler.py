@@ -160,3 +160,59 @@ class TestRetryRecovery:
             by_cell.setdefault(cell_id, []).append((attempt, reseed))
         assert all(attempts == [(0, 0), (1, 0)]
                    for attempts in by_cell.values())
+
+
+class TestGracefulInterrupt:
+    def test_sigterm_reaps_workers_and_leaves_run_resumable(self, tmp_path):
+        import signal
+        import threading
+
+        config = quick_config()
+        run_dir = str(tmp_path / "run")
+        scheduler = CampaignScheduler(config, run_dir,
+                                      worker_argv=sleeper_argv,
+                                      poll_interval_s=0.01)
+        timer = threading.Timer(
+            0.4, lambda: signal.raise_signal(signal.SIGTERM))
+        timer.start()
+        try:
+            outcome = scheduler.run()
+        finally:
+            timer.cancel()
+        # Interrupted, not failed: nothing was marked permanently missing,
+        # the report says "interrupted", and the directory stays resumable.
+        assert outcome.interrupted and not outcome.ok
+        assert outcome.failed == {} and outcome.completed == {}
+        report = json.loads(open(scheduler.store.report_path,
+                                 encoding="utf-8").read())
+        assert report["status"] == "interrupted" and report["resumable"]
+        assert not report["ok"]
+
+    def test_interrupt_flag_stops_loop_without_signal(self, tmp_path):
+        # The same path is reachable programmatically (non-main threads,
+        # embedding services): interrupt() before run() returns instantly.
+        scheduler = CampaignScheduler(quick_config(), str(tmp_path / "run"),
+                                      worker_argv=sleeper_argv,
+                                      poll_interval_s=0.01)
+        scheduler.interrupt()
+        outcome = scheduler.run()
+        assert outcome.interrupted and outcome.completed == {}
+
+    def test_interrupted_run_resumes_to_completion(self, tmp_path):
+        import signal
+        import threading
+
+        config = quick_config()
+        run_dir = str(tmp_path / "run")
+        interrupted = CampaignScheduler(config, run_dir,
+                                        worker_argv=sleeper_argv,
+                                        poll_interval_s=0.01)
+        timer = threading.Timer(
+            0.3, lambda: signal.raise_signal(signal.SIGTERM))
+        timer.start()
+        try:
+            assert interrupted.run().interrupted
+        finally:
+            timer.cancel()
+        resumed = CampaignScheduler(config, run_dir).run(resume=True)
+        assert resumed.ok and len(resumed.completed) == 4

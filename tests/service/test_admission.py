@@ -1,0 +1,147 @@
+"""Admission control: typed shedding, fairness, drain semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.admission import AdmissionController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBounds:
+    def test_global_queue_bound_sheds_overloaded(self):
+        async def scenario():
+            control = AdmissionController(max_queue=2, max_per_client=5)
+            control.admit("a", 1)
+            control.admit("b", 2)
+            with pytest.raises(ServiceError) as err:
+                control.admit("c", 3)
+            return err.value.kind, control.queued
+
+        kind, queued = run(scenario())
+        assert kind == "overloaded"
+        assert queued == 2
+
+    def test_per_client_bound_sheds_client_over_limit(self):
+        async def scenario():
+            control = AdmissionController(max_queue=10, max_per_client=2)
+            control.admit("greedy", 1)
+            control.admit("greedy", 2)
+            with pytest.raises(ServiceError) as err:
+                control.admit("greedy", 3)
+            control.admit("other", 4)   # other clients still get in
+            return err.value.kind
+
+        assert run(scenario()) == "client-over-limit"
+
+    def test_outstanding_includes_running_work(self):
+        async def scenario():
+            control = AdmissionController(max_queue=10, max_per_client=2)
+            control.admit("c", 1)
+            control.admit("c", 2)
+            await control.next()   # now running, still outstanding
+            with pytest.raises(ServiceError) as err:
+                control.admit("c", 3)
+            control.done("c")      # response written: slot refunded
+            control.admit("c", 4)
+            return err.value.kind, control.outstanding
+
+        kind, outstanding = run(scenario())
+        assert kind == "client-over-limit"
+        assert outstanding == 2
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_per_client=0)
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self):
+        async def scenario():
+            control = AdmissionController(max_queue=10, max_per_client=5)
+            for i in range(3):
+                control.admit("a", f"a{i}")
+            control.admit("b", "b0")
+            control.admit("c", "c0")
+            order = []
+            for _ in range(5):
+                client, item = await control.next()
+                order.append(item)
+                control.done(client)
+            return order
+
+        # Client a's burst interleaves with b and c instead of draining
+        # front-to-back; per-client order stays FIFO.
+        order = run(scenario())
+        assert order == ["a0", "b0", "c0", "a1", "a2"]
+
+    def test_next_waits_for_work(self):
+        async def scenario():
+            control = AdmissionController()
+
+            async def feed():
+                await asyncio.sleep(0.01)
+                control.admit("late", "item")
+
+            feeder = asyncio.create_task(feed())
+            entry = await asyncio.wait_for(control.next(), 1.0)
+            await feeder
+            return entry
+
+        assert run(scenario()) == ("late", "item")
+
+
+class TestDrain:
+    def test_closed_admission_is_typed_draining(self):
+        async def scenario():
+            control = AdmissionController()
+            control.close()
+            with pytest.raises(ServiceError) as err:
+                control.admit("a", 1)
+            return err.value.kind
+
+        assert run(scenario()) == "draining"
+
+    def test_queued_work_still_dispatches_after_close(self):
+        async def scenario():
+            control = AdmissionController()
+            control.admit("a", 1)
+            control.close()
+            first = await control.next()
+            sentinel = await control.next()
+            return first, sentinel
+
+        first, sentinel = run(scenario())
+        assert first == ("a", 1)
+        assert sentinel is None
+
+    def test_flush_empties_the_queue(self):
+        async def scenario():
+            control = AdmissionController()
+            control.admit("a", 1)
+            control.admit("b", 2)
+            control.close()
+            flushed = control.flush()
+            return flushed, control.queued, await control.next()
+
+        flushed, queued, sentinel = run(scenario())
+        assert [item for _, item in flushed] == [1, 2]
+        assert queued == 0
+        assert sentinel is None
+
+    def test_snapshot_reports_state(self):
+        async def scenario():
+            control = AdmissionController(max_queue=4, max_per_client=2)
+            control.admit("a", 1)
+            return control.snapshot()
+
+        snap = run(scenario())
+        assert snap["queued"] == 1
+        assert snap["outstanding"] == {"a": 1}
+        assert snap["draining"] is False

@@ -1,0 +1,178 @@
+"""Circuit-breaker and quarantine state machines, driven by a fake clock."""
+
+import pytest
+
+from repro.service.breaker import BreakerState, CircuitBreaker, Quarantine
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(clock=clock)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.healthy
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.healthy
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_decays_to_half_open_after_timeout(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(4.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.healthy
+
+    def test_half_open_bounds_concurrent_probes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 half_open_probes=1, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()        # the single probe slot
+        assert not breaker.allow()    # everyone else waits
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_immediately(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0,
+                                 clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()   # one probe failure suffices
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 2
+        clock.advance(0.5)
+        assert breaker.state is BreakerState.OPEN   # timer restarted
+
+    def test_on_open_fires_once_per_transition(self, clock):
+        trips = []
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0,
+                                 clock=clock, on_open=lambda: trips.append(1))
+        breaker.record_failure()
+        breaker.record_failure()   # already open: no second callback
+        assert len(trips) == 1
+        clock.advance(1.5)
+        breaker.record_failure()   # half-open probe fails: re-open
+        assert len(trips) == 2
+
+    def test_snapshot_is_json_friendly(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["consecutive_failures"] == 1
+        assert snap["opens"] == 1
+
+    def test_rejects_bad_threshold(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+
+
+class TestQuarantine:
+    def test_trips_at_death_threshold(self, clock):
+        quarantine = Quarantine(death_threshold=2, clock=clock)
+        assert quarantine.record_death("k1") is False
+        assert not quarantine.blocked("k1")
+        assert quarantine.record_death("k1") is True
+        assert quarantine.blocked("k1")
+        assert quarantine.held == 1
+
+    def test_keys_are_independent(self, clock):
+        quarantine = Quarantine(death_threshold=2, clock=clock)
+        quarantine.record_death("k1")
+        quarantine.record_death("k2")
+        assert not quarantine.blocked("k1")
+        assert not quarantine.blocked("k2")
+
+    def test_success_clears_the_count(self, clock):
+        quarantine = Quarantine(death_threshold=2, clock=clock)
+        quarantine.record_death("k1")
+        quarantine.record_success("k1")
+        assert quarantine.record_death("k1") is False
+
+    def test_permanent_hold_without_timeout(self, clock):
+        quarantine = Quarantine(death_threshold=1, hold_s=None, clock=clock)
+        quarantine.record_death("k1")
+        clock.advance(10_000)
+        assert quarantine.blocked("k1")
+
+    def test_timed_release_returns_to_probation(self, clock):
+        quarantine = Quarantine(death_threshold=2, hold_s=60.0, clock=clock)
+        quarantine.record_death("k1")
+        quarantine.record_death("k1")
+        assert quarantine.blocked("k1")
+        clock.advance(61)
+        assert not quarantine.blocked("k1")
+        # Probation: a single further death re-trips at once.
+        assert quarantine.record_death("k1") is True
+        assert quarantine.blocked("k1")
+
+    def test_deaths_while_blocked_are_not_double_counted(self, clock):
+        quarantine = Quarantine(death_threshold=2, clock=clock)
+        quarantine.record_death("k1")
+        quarantine.record_death("k1")
+        assert quarantine.record_death("k1") is False   # already held
+
+    def test_on_quarantine_callback(self, clock):
+        seen = []
+        quarantine = Quarantine(death_threshold=1, clock=clock,
+                                on_quarantine=seen.append)
+        quarantine.record_death("bad-hash")
+        assert seen == ["bad-hash"]
+
+    def test_snapshot_partitions_held_and_probation(self, clock):
+        quarantine = Quarantine(death_threshold=2, clock=clock)
+        quarantine.record_death("held-key")
+        quarantine.record_death("held-key")
+        quarantine.record_death("probation-key")
+        snap = quarantine.snapshot()
+        assert snap["quarantined"] == ["held-key"]
+        assert snap["probation"] == {"probation-key": 1}
+
+    def test_rejects_bad_threshold(self, clock):
+        with pytest.raises(ValueError):
+            Quarantine(death_threshold=0, clock=clock)

@@ -1,0 +1,147 @@
+"""Durable verdict cache (corruption-tolerant warm start) + single-flight."""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.cache import SingleFlight, VerdictCache
+
+
+ROW = {"verdicts": {"none": True, "specasan": False}, "gadget_count": 1,
+       "tier": "static"}
+
+
+class TestVerdictCache:
+    def test_round_trip(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.put("k1", ROW)
+        assert "k1" in cache
+        assert cache.get("k1") == ROW
+        assert len(cache) == 1
+
+    def test_warm_start_from_disk(self, tmp_path):
+        VerdictCache(str(tmp_path)).put("k1", ROW)
+        reloaded = VerdictCache(str(tmp_path))
+        assert reloaded.get("k1") == ROW
+        assert reloaded.rejected == 0
+
+    def test_later_records_win(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.put("k1", ROW)
+        newer = dict(ROW, gadget_count=9)
+        cache.put("k1", newer)
+        assert VerdictCache(str(tmp_path)).get("k1") == newer
+
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.put("good", ROW)
+        with open(cache.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"schema": 1, "key": "forged", "row": {}, '
+                         '"sha256": "0000"}\n')
+        reloaded = VerdictCache(str(tmp_path))
+        assert reloaded.get("good") == ROW
+        assert reloaded.get("forged") is None
+        assert reloaded.rejected == 2
+
+    def test_torn_tail_is_healed_not_fatal(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.put("k1", ROW)
+        with open(cache.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "key": "torn"')   # crash mid-append
+        reloaded = VerdictCache(str(tmp_path))
+        assert reloaded.get("k1") == ROW
+        assert reloaded.rejected == 1
+        reloaded.put("k2", ROW)
+        again = VerdictCache(str(tmp_path))
+        assert again.get("k1") == ROW and again.get("k2") == ROW
+
+    def test_stale_schema_recomputed(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.put("k1", ROW)
+        with open(cache.path, encoding="utf-8") as handle:
+            record = json.loads(handle.readline())
+        record["schema"] = 0
+        with open(cache.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        reloaded = VerdictCache(str(tmp_path))
+        assert reloaded.get("k1") is None
+        assert reloaded.rejected == 1
+
+    def test_missing_file_is_empty_cache(self, tmp_path):
+        cache = VerdictCache(str(tmp_path / "fresh"))
+        assert len(cache) == 0
+        assert os.path.isdir(str(tmp_path / "fresh"))
+
+
+class TestSingleFlight:
+    def test_leader_and_followers_share_one_result(self):
+        async def scenario():
+            flights = SingleFlight()
+            future, leader = flights.begin("k")
+            assert leader
+            follower_future, follower = flights.begin("k")
+            assert not follower
+            assert follower_future is future
+            flights.resolve("k", result={"answer": 42})
+            return await follower_future
+
+        assert asyncio.run(scenario()) == {"answer": 42}
+
+    def test_leader_error_propagates_to_followers(self):
+        async def scenario():
+            flights = SingleFlight()
+            _, leader = flights.begin("k")
+            assert leader
+            follower_future, _ = flights.begin("k")
+            flights.resolve(
+                "k", error=ServiceError("pool died", kind="worker-lost"))
+            with pytest.raises(ServiceError) as err:
+                await follower_future
+            return err.value.kind
+
+        assert asyncio.run(scenario()) == "worker-lost"
+
+    def test_new_flight_after_resolution(self):
+        async def scenario():
+            flights = SingleFlight()
+            flights.begin("k")
+            flights.resolve("k", result={})
+            _, leader = flights.begin("k")
+            flights.resolve("k", result={})
+            return leader
+
+        assert asyncio.run(scenario()) is True
+
+    def test_abandon_all_fails_everything_in_flight(self):
+        async def scenario():
+            flights = SingleFlight()
+            f1, _ = flights.begin("a")
+            f2, _ = flights.begin("b")
+            cut = flights.abandon_all(
+                ServiceError("drained", kind="cancelled"))
+            kinds = []
+            for future in (f1, f2):
+                try:
+                    await future
+                except ServiceError as exc:
+                    kinds.append(exc.kind)
+            return cut, kinds, flights.in_flight
+
+        cut, kinds, remaining = asyncio.run(scenario())
+        assert cut == 2
+        assert kinds == ["cancelled", "cancelled"]
+        assert remaining == 0
+
+    def test_in_flight_counts_only_pending(self):
+        async def scenario():
+            flights = SingleFlight()
+            flights.begin("a")
+            flights.begin("b")
+            flights.resolve("a", result={})
+            return flights.in_flight
+
+        assert asyncio.run(scenario()) == 1

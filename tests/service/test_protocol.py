@@ -1,0 +1,134 @@
+"""Protocol layer: validation is total and every failure is typed."""
+
+import json
+
+import pytest
+
+from repro.config import DefenseKind
+from repro.errors import ServiceError
+from repro.service.protocol import (MAX_REQUEST_BYTES, PROTOCOL_VERSION,
+                                    Request, content_key, encode,
+                                    error_response, ok_response,
+                                    parse_request)
+
+
+def _line(**fields) -> str:
+    payload = {"id": "r1", "op": "lint", "witness": "pht"}
+    payload.update(fields)
+    for key in [k for k, v in payload.items() if v is None]:
+        del payload[key]
+    return json.dumps(payload)
+
+
+class TestParseRequest:
+    def test_minimal_witness_request(self):
+        request = parse_request(_line())
+        assert request.id == "r1"
+        assert request.op == "lint"
+        assert request.witness == "pht"
+        assert request.defense is DefenseKind.SPECASAN
+        assert request.deadline_s is None
+
+    def test_full_request_round_trip(self):
+        request = parse_request(_line(
+            witness=None, source="NOP", defense="stt",
+            secret_ranges=[[16, 32], [64, 80]], confirm=True,
+            deadline_s=2.5))
+        assert request.source == "NOP"
+        assert request.defense is DefenseKind.STT
+        assert request.secret_ranges == ((16, 32), (64, 80))
+        assert request.confirm is True
+        assert request.deadline_s == 2.5
+
+    def test_integer_id_is_stringified(self):
+        assert parse_request(_line(id=7)).id == "7"
+
+    @pytest.mark.parametrize("line,kind", [
+        ("{not json", "malformed"),
+        ("[1, 2]", "malformed"),
+        (_line(v=99), "unsupported"),
+        (_line(op="destroy"), "unsupported"),
+        (_line(chaos="segfault"), "unsupported"),
+        (_line(witness=None), "malformed"),                 # no subject
+        (_line(source="NOP"), "malformed"),                 # both subjects
+        (_line(defense="asan"), "malformed"),
+        (_line(secret_ranges=[[5]]), "malformed"),
+        (_line(secret_ranges=[[9, 3]]), "malformed"),
+        (_line(secret_ranges="nope"), "malformed"),
+        (_line(confirm="yes"), "malformed"),
+        (_line(deadline_s=-1), "malformed"),
+        (_line(deadline_s=True), "malformed"),
+    ])
+    def test_bad_input_is_typed(self, line, kind):
+        with pytest.raises(ServiceError) as err:
+            parse_request(line)
+        assert err.value.kind == kind
+
+    def test_oversize_checked_before_parsing(self):
+        huge = _line(source="A" * 512, witness=None)
+        with pytest.raises(ServiceError) as err:
+            parse_request(huge, max_bytes=256)
+        assert err.value.kind == "oversize"
+        parse_request(huge, max_bytes=MAX_REQUEST_BYTES)
+
+    def test_ping_needs_no_subject(self):
+        request = parse_request(json.dumps({"op": "ping"}))
+        assert request.op == "ping"
+        assert request.id == ""
+
+
+class TestContentKey:
+    def test_same_computation_same_key(self):
+        a = parse_request(_line())
+        b = parse_request(_line(id="other-id", deadline_s=9.0))
+        assert content_key(a) == content_key(b)
+
+    @pytest.mark.parametrize("mutation", [
+        {"witness": "stl"},
+        {"defense": "none"},
+        {"confirm": True},
+        {"secret_ranges": [[1, 2]]},
+        {"chaos": "die"},
+    ])
+    def test_computation_changing_fields_change_key(self, mutation):
+        base = parse_request(_line())
+        changed = parse_request(_line(**mutation))
+        assert content_key(base) != content_key(changed)
+
+    def test_source_and_witness_with_same_text_differ(self):
+        src = parse_request(_line(witness=None, source="pht"))
+        wit = parse_request(_line())
+        assert content_key(src) != content_key(wit)
+
+
+class TestResponses:
+    def test_ok_response_records_tier(self):
+        response = ok_response("r1", tier="static", verdicts={"none": True},
+                               gadgets=[], degraded=True,
+                               degraded_reason="dynamic pool open")
+        assert response["ok"] is True
+        assert response["tier"] == "static"
+        assert response["degraded"] is True
+        assert response["degraded_reason"] == "dynamic pool open"
+        assert response["v"] == PROTOCOL_VERSION
+
+    def test_error_response_carries_kind_and_retryability(self):
+        response = error_response(
+            "r1", ServiceError("queue full", kind="overloaded"))
+        assert response["ok"] is False
+        assert response["error"]["kind"] == "overloaded"
+        assert response["error"]["retryable"] is True
+        permanent = error_response(
+            "r2", ServiceError("bad", kind="malformed"))
+        assert permanent["error"]["retryable"] is False
+
+    def test_encode_is_one_line(self):
+        line = encode(ok_response("x", tier="cache", verdicts={},
+                                  gadgets=[]))
+        assert line.endswith("\n")
+        assert "\n" not in line[:-1]
+        assert json.loads(line)["tier"] == "cache"
+
+    def test_request_subject_prefers_witness(self):
+        assert Request(id="a", op="lint", witness="pht").subject == "pht"
+        assert Request(id="a", op="lint", source="NOP").subject == "NOP"

@@ -1,0 +1,244 @@
+"""End-to-end service tests over real TCP and real worker subprocesses."""
+
+import asyncio
+import json
+import os
+import sys
+
+from repro.service.__main__ import CLEAN_SOURCE, _Client
+from repro.service.server import ServiceConfig, SpecLintService
+
+
+def config_for(tmp_path, **overrides) -> ServiceConfig:
+    base = dict(
+        state_dir=str(tmp_path / "state"), max_queue=8, max_per_client=4,
+        static_workers=1, dynamic_workers=1, default_deadline_s=30.0,
+        max_deadline_s=60.0, drain_timeout_s=5.0, max_restarts=1,
+        stall_timeout_s=5.0, breaker_threshold=5, breaker_reset_s=0.5,
+        quarantine_deaths=5, max_confirm_cycles=20_000)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+#: Worker argv that dies instantly without importing anything heavy —
+#: stands in for a dead/sick pool in the degradation tests.
+def crashing_argv(paths, allow_chaos):
+    return [sys.executable, "-c", "raise SystemExit(70)"]
+
+
+async def start_service(config, **kwargs) -> SpecLintService:
+    service = SpecLintService(config, **kwargs)
+    await service.start()
+    assert service.port is not None
+    return service
+
+
+async def stop_service(service: SpecLintService) -> dict:
+    service.request_drain()
+    await asyncio.wait_for(service.wait_drained(), 30.0)
+    return service.shutdown_report or {}
+
+
+class TestLintEndToEnd:
+    def test_static_verdict_cache_and_warm_restart(self, tmp_path):
+        async def scenario():
+            config = config_for(tmp_path)
+            service = await start_service(config)
+            client = await _Client.connect(service.port)
+            first = await client.request(
+                {"id": "r1", "op": "lint", "witness": "pht"})
+            repeat = await client.request(
+                {"id": "r2", "op": "lint", "witness": "pht"})
+            source = await client.request(
+                {"id": "r3", "op": "lint", "source": CLEAN_SOURCE,
+                 "secret_ranges": [[0x4100, 0x4110]]})
+            client.close()
+            report = await stop_service(service)
+
+            # Warm restart over the same state dir: the verdict survives.
+            service2 = await start_service(config)
+            client2 = await _Client.connect(service2.port)
+            warm = await client2.request(
+                {"id": "r4", "op": "lint", "witness": "pht"})
+            client2.close()
+            await stop_service(service2)
+            return first, repeat, source, warm, report
+
+        first, repeat, source, warm, report = asyncio.run(scenario())
+        assert first["ok"] is True
+        assert first["tier"] == "static"
+        assert first["cached"] is False
+        assert first["verdicts"]["none"] is True
+        assert first["gadgets"], "witness must expose a gadget"
+        assert repeat["cached"] is True
+        assert source["ok"] is True and source["gadgets"] == []
+        assert warm["cached"] is True, "restart must serve from cache"
+        assert report["status"] == "drained"
+        assert report["stats"]["service"]["cache"]["hits"] >= 1
+
+    def test_ping_and_stats_are_inline(self, tmp_path):
+        async def scenario():
+            service = await start_service(config_for(tmp_path))
+            client = await _Client.connect(service.port)
+            pong = await client.request({"id": "p", "op": "ping"})
+            stats = await client.request({"id": "s", "op": "stats"})
+            client.close()
+            await stop_service(service)
+            return pong, stats
+
+        pong, stats = asyncio.run(scenario())
+        assert pong["pong"] is True
+        assert pong["health"]["draining"] is False
+        assert {"admission", "pools", "cache"} <= set(pong["health"])
+        assert "service" in stats["stats"]
+
+
+class TestDegradationLadder:
+    def test_dynamic_pool_death_degrades_to_static_tier(self, tmp_path):
+        """Kill the dynamic pool mid-request: the confirm=True request is
+        still served, at the static tier, with the downgrade recorded."""
+        async def scenario():
+            service = await start_service(config_for(tmp_path))
+            service.dynamic_pool.worker_argv = crashing_argv
+            client = await _Client.connect(service.port)
+            response = await client.request(
+                {"id": "d1", "op": "lint", "witness": "pht",
+                 "confirm": True, "defense": "none"}, timeout=60.0)
+            client.close()
+            report = await stop_service(service)
+            return response, report
+
+        response, report = asyncio.run(scenario())
+        assert response["ok"] is True
+        assert response["tier"] == "static"
+        assert response["degraded"] is True
+        assert "lost" in response["degraded_reason"]
+        assert "dynamic" not in response
+        assert response["verdicts"]["none"] is True
+        stats = report["stats"]["service"]
+        assert stats["workers"]["deaths"] >= 2
+        assert stats["tier"]["degraded"] == 1
+
+    def test_both_pools_down_serves_cache_tier(self, tmp_path):
+        """With every pool dead, previously computed content is still
+        served — at the cache tier, marked degraded."""
+        async def scenario():
+            config = config_for(tmp_path)
+            service = await start_service(config)
+            client = await _Client.connect(service.port)
+            seeded = await client.request(
+                {"id": "s1", "op": "lint", "witness": "pht"})
+            client.close()
+            await stop_service(service)
+
+            service2 = await start_service(config)
+            service2.static_pool.worker_argv = crashing_argv
+            service2.dynamic_pool.worker_argv = crashing_argv
+            client2 = await _Client.connect(service2.port)
+            # The exact key is cached: served before any pool is touched.
+            cached = await client2.request(
+                {"id": "s2", "op": "lint", "witness": "pht"})
+            # confirm=True is a different key (same defense as the seed,
+            # so the static variant of the key matches the cached entry);
+            # dynamic and static both die, so the ladder lands on the
+            # cached static verdict.
+            degraded = await client2.request(
+                {"id": "s3", "op": "lint", "witness": "pht",
+                 "confirm": True}, timeout=60.0)
+            # Never-computed content has no rung left: typed shed.
+            shed = await client2.request(
+                {"id": "s4", "op": "lint", "witness": "stl"}, timeout=60.0)
+            client2.close()
+            await stop_service(service2)
+            return seeded, cached, degraded, shed
+
+        seeded, cached, degraded, shed = asyncio.run(scenario())
+        assert seeded["ok"] is True
+        assert cached["ok"] is True and cached["cached"] is True
+        assert degraded["ok"] is True
+        assert degraded["tier"] == "cache"
+        assert degraded["degraded"] is True
+        assert shed["ok"] is False
+        assert shed["error"]["kind"] == "degraded-unavailable"
+        assert shed["error"]["retryable"] is True
+
+
+class TestPoisonQuarantine:
+    def test_poison_program_is_quarantined_by_content_hash(self, tmp_path):
+        async def scenario():
+            config = config_for(tmp_path, allow_chaos=True,
+                                quarantine_deaths=2, max_restarts=0)
+            service = await start_service(config)
+            client = await _Client.connect(service.port)
+            poison = {"op": "lint", "witness": "pht", "chaos": "die"}
+            first = await client.request(dict(poison, id="p1"),
+                                         timeout=60.0)
+            second = await client.request(dict(poison, id="p2"),
+                                          timeout=60.0)
+            third = await client.request(dict(poison, id="p3"))
+            # A different program is unaffected by the quarantine.
+            healthy = await client.request(
+                {"id": "h1", "op": "lint", "witness": "pht"}, timeout=60.0)
+            client.close()
+            report = await stop_service(service)
+            return first, second, third, healthy, report
+
+        first, second, third, healthy, report = asyncio.run(scenario())
+        assert first["ok"] is False
+        assert first["error"]["kind"] in {"worker-lost",
+                                          "degraded-unavailable"}
+        assert second["ok"] is False
+        assert second["error"]["kind"] == "quarantined"
+        assert third["error"]["kind"] == "quarantined"
+        assert healthy["ok"] is True
+        stats = report["stats"]["service"]
+        assert stats["workers"]["quarantined_hashes"] == 1
+        assert report["quarantine"]["quarantined"], \
+            "shutdown report lists the poisoned hash"
+
+
+class TestDrainInvariant:
+    def test_every_accepted_request_resolves_under_drain(self, tmp_path):
+        async def scenario():
+            config = config_for(tmp_path, static_workers=1,
+                                drain_timeout_s=0.2)
+            service = await start_service(config)
+            client = await _Client.connect(service.port)
+            subjects = ["pht", "stl", "btb"]
+            for i, witness in enumerate(subjects):
+                await client.send({"id": f"q{i}", "op": "lint",
+                                   "witness": witness})
+            await asyncio.sleep(0.05)
+            service.request_drain()
+            responses = await client.collect(len(subjects), timeout=60.0)
+            late = await client.request(
+                {"id": "late", "op": "lint", "witness": "rsb"})
+            client.close()
+            await asyncio.wait_for(service.wait_drained(), 30.0)
+            return responses, late, service.shutdown_report
+
+        responses, late, report = asyncio.run(scenario())
+        assert len(responses) == 3
+        for response in responses:
+            assert response.get("ok") is True or \
+                response["error"]["kind"] in {"cancelled", "deadline"}
+        cut = [r for r in responses if not r.get("ok")]
+        assert cut, "0.2s drain budget must cut at least one queued lint"
+        assert late["error"]["kind"] == "draining"
+        assert report["status"] == "cut"
+        assert report["stats"]["service"]["lifecycle"][
+            "cancelled_at_drain"] >= 1
+
+    def test_shutdown_report_file_is_written(self, tmp_path):
+        async def scenario():
+            config = config_for(tmp_path)
+            service = await start_service(config)
+            await stop_service(service)
+            return config.state_dir
+
+        state_dir = asyncio.run(scenario())
+        path = os.path.join(state_dir, "shutdown-report.json")
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["status"] == "drained"
+        assert "stats" in report and "admission" in report

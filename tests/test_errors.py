@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import (
+    SERVICE_ERROR_KINDS,
     AssemblerError,
     ConfigError,
     DeadlockError,
@@ -10,6 +11,7 @@ from repro.errors import (
     LivelockError,
     MemoryFault,
     ReproError,
+    ServiceError,
     SimulationError,
     TagCheckFault,
 )
@@ -25,13 +27,15 @@ ALL_ERRORS = [
     (LivelockError, (30_000,), {"distinct_pcs": (0x40, 0x44)}),
     (InvariantViolation, ("rob-commit-order", "out of order"),
      {"structure": "rob"}),
+    (ServiceError, ("queue full",), {"kind": "overloaded"}),
 ]
 
 
 class TestHierarchy:
     @pytest.mark.parametrize("cls", [
         ConfigError, AssemblerError, SimulationError, MemoryFault,
-        TagCheckFault, DeadlockError, LivelockError, InvariantViolation])
+        TagCheckFault, DeadlockError, LivelockError, InvariantViolation,
+        ServiceError])
     def test_everything_derives_from_repro_error(self, cls):
         assert issubclass(cls, ReproError)
 
@@ -113,3 +117,31 @@ class TestMessages:
         # used ("rob-commit-order" → "rob").
         error = InvariantViolation("rob-commit-order", "out of order")
         assert error.structure == "rob"
+
+
+class TestServiceError:
+    @pytest.mark.parametrize("kind", sorted(SERVICE_ERROR_KINDS))
+    def test_every_kind_constructs_and_renders(self, kind):
+        error = ServiceError("detail", kind=kind)
+        assert error.kind == kind
+        assert f"[{kind}]" in str(error) and "detail" in str(error)
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceError("nope", kind="made-up")
+
+    def test_retryable_split_covers_every_kind(self):
+        # Every kind is deliberately classified: retryable load/lifecycle
+        # rejections vs. permanent request defects.
+        assert ServiceError.RETRYABLE <= SERVICE_ERROR_KINDS
+        permanent = SERVICE_ERROR_KINDS - ServiceError.RETRYABLE
+        assert permanent == {"malformed", "oversize", "unsupported",
+                             "invalid-program", "quarantined"}
+
+    @pytest.mark.parametrize("kind,expected", [
+        ("overloaded", True), ("draining", True), ("deadline", True),
+        ("worker-lost", True), ("malformed", False),
+        ("quarantined", False), ("invalid-program", False),
+    ])
+    def test_retryable_hint(self, kind, expected):
+        assert ServiceError("x", kind=kind).retryable is expected
