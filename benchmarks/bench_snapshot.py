@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Perf trajectory snapshot: the repo's committed performance baseline.
+
+Measures three throughput/latency axes on fixed, seed-pinned workloads and
+emits one JSON document in the stable ``repro-bench/1`` schema:
+
+- **cells/sec** — campaign cells measured end-to-end in-process
+  (``run_cell`` on small fixed SPEC cells across defenses);
+- **cycles/sec** — simulated cycles per wall second on fixed SPEC
+  profiles under SpecASan (the simulator kernel's figure of merit);
+- **service latency** — request p50/p95/p99 of a live spec-lint service
+  under a synthetic witness-lint load (cache-hit and worker-run mix),
+  read back from the ``service.latency.request_ms`` histogram.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --out BENCH_pr8.json
+    PYTHONPATH=src python benchmarks/bench_snapshot.py \
+        --out /tmp/BENCH_new.json --baseline BENCH_pr8.json
+
+``--baseline`` compares the fresh snapshot against a committed one and
+exits nonzero on schema violations or a cells/sec regression beyond
+``--tolerance`` (default 30%) — the CI ``bench-snapshot`` job's gate.
+Numbers are machine-dependent; the gate is deliberately loose so only
+step-change regressions fail, while the committed trajectory of
+BENCH_*.json files records the trend PR over PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+SCHEMA = "repro-bench/1"
+
+#: Fixed workloads: small enough for CI, fixed seeds for comparability.
+CELL_BENCHMARKS = ("505.mcf_r", "502.gcc_r")
+CELL_DEFENSES = ("none", "specasan")
+CYCLE_PROFILES = ("505.mcf_r", "520.omnetpp_r")
+SERVICE_WITNESSES = ("pht", "stl", "btb", "rsb")
+
+
+# ----------------------------------------------------------------------
+# axis 1: campaign cells/sec
+# ----------------------------------------------------------------------
+
+def bench_cells(quick: bool) -> dict:
+    from repro.campaign.cells import CellSpec
+    from repro.campaign.worker import run_cell
+
+    benchmarks = CELL_BENCHMARKS[:1] if quick else CELL_BENCHMARKS
+    cells = [CellSpec(kind="spec", benchmark=bench, defense=defense,
+                      target_instructions=300, warm_runs=0)
+             for bench in benchmarks for defense in CELL_DEFENSES]
+    run_cell(cells[0])   # warm imports and caches off the clock
+    total_cycles = 0
+    start = time.monotonic()
+    for cell in cells:
+        total_cycles += run_cell(cell)["cycles"]
+    wall_s = time.monotonic() - start
+    return {"cells": len(cells), "wall_s": round(wall_s, 3),
+            "simulated_cycles": total_cycles,
+            "cells_per_sec": round(len(cells) / wall_s, 3)}
+
+
+# ----------------------------------------------------------------------
+# axis 2: simulated cycles/sec
+# ----------------------------------------------------------------------
+
+def bench_cycles(quick: bool) -> dict:
+    from repro.config import CORTEX_A76, DefenseKind
+    from repro.system import build_system
+    from repro.workloads import SPEC_BY_NAME
+    from repro.workloads.generator import generate
+
+    config = CORTEX_A76.with_defense(DefenseKind.SPECASAN)
+    target = 1_000 if quick else 3_000
+    profiles = CYCLE_PROFILES[:1] if quick else CYCLE_PROFILES
+    per_profile = {}
+    total_cycles = 0
+    total_wall = 0.0
+    for name in profiles:
+        program = generate(SPEC_BY_NAME[name], seed=0,
+                           target_instructions=target,
+                           mte_instrumented=True).program
+        system = build_system(config)
+        core = system.prepare(program)
+        start = time.monotonic()
+        core.run()
+        wall_s = time.monotonic() - start
+        cycles = system.result().cycles
+        per_profile[name] = {"cycles": cycles, "wall_s": round(wall_s, 3),
+                             "cycles_per_sec": round(cycles / wall_s, 1)}
+        total_cycles += cycles
+        total_wall += wall_s
+    return {"profiles": per_profile,
+            "simulated_cycles": total_cycles,
+            "wall_s": round(total_wall, 3),
+            "cycles_per_sec": round(total_cycles / total_wall, 1)}
+
+
+# ----------------------------------------------------------------------
+# axis 3: service request latency under synthetic load
+# ----------------------------------------------------------------------
+
+async def _service_load(quick: bool) -> dict:
+    from repro.service.server import ServiceConfig, SpecLintService
+
+    witnesses = SERVICE_WITNESSES[:2] if quick else SERVICE_WITNESSES
+    repeats = 2 if quick else 4
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as state_dir:
+        config = ServiceConfig(
+            state_dir=state_dir, max_queue=32, max_per_client=32,
+            static_workers=2, dynamic_workers=1,
+            default_deadline_s=60.0, max_deadline_s=120.0,
+            drain_timeout_s=5.0, span_log=False)
+        service = SpecLintService(config)
+        await service.start()
+        assert service.port is not None
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", service.port)
+
+        async def request(payload: dict) -> dict:
+            writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), 120.0)
+            return json.loads(line.decode("utf-8"))
+
+        served = 0
+        # Round 1 computes fresh (worker runs); later rounds hit cache —
+        # the synthetic mix a steady-state service actually sees.
+        for round_no in range(1 + repeats):
+            for witness in witnesses:
+                response = await request(
+                    {"id": f"r{round_no}-{witness}", "op": "lint",
+                     "witness": witness})
+                if response.get("ok"):
+                    served += 1
+        hist = service.stats.request_ms
+        snapshot = {
+            "requests": served,
+            "p50_ms": round(hist.p50, 3),
+            "p95_ms": round(hist.p95, 3),
+            "p99_ms": round(hist.p99, 3),
+            "mean_ms": round(hist.mean, 3),
+            "observed": int(hist.count),
+        }
+        writer.close()
+        service.request_drain()
+        await asyncio.wait_for(service.wait_drained(), 30.0)
+        return snapshot
+
+
+def bench_service(quick: bool) -> dict:
+    return asyncio.run(_service_load(quick))
+
+
+# ----------------------------------------------------------------------
+# schema + regression gate
+# ----------------------------------------------------------------------
+
+def validate(doc: dict) -> List[str]:
+    """Schema errors for one snapshot document (empty = valid)."""
+    errors = []
+
+    def positive(path: str, value) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value <= 0:
+            errors.append(f"{path} must be a positive number, got {value!r}")
+
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    cells = doc.get("cells", {})
+    positive("cells.cells_per_sec", cells.get("cells_per_sec"))
+    positive("cells.cells", cells.get("cells"))
+    cycles = doc.get("cycles", {})
+    positive("cycles.cycles_per_sec", cycles.get("cycles_per_sec"))
+    positive("cycles.simulated_cycles", cycles.get("simulated_cycles"))
+    service = doc.get("service", {})
+    positive("service.requests", service.get("requests"))
+    for key in ("p50_ms", "p95_ms", "p99_ms"):
+        positive(f"service.{key}", service.get(key))
+    if service.get("p50_ms", 0) > service.get("p99_ms", 0):
+        errors.append("service.p50_ms exceeds service.p99_ms")
+    return errors
+
+
+def compare(doc: dict, baseline: dict, tolerance: float) -> List[str]:
+    """Regression errors vs a committed baseline (empty = within gate)."""
+    errors = []
+    new = doc.get("cells", {}).get("cells_per_sec", 0.0)
+    old = baseline.get("cells", {}).get("cells_per_sec", 0.0)
+    if old > 0 and new < old * (1.0 - tolerance):
+        errors.append(
+            f"cells/sec regressed beyond {tolerance:.0%}: "
+            f"{new:.3f} < {old:.3f} * {1.0 - tolerance:.2f}")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the perf snapshot and emit BENCH_*.json.")
+    parser.add_argument("--out", required=True,
+                        help="where to write the snapshot JSON")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_*.json to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed cells/sec regression fraction "
+                             "(default 0.30)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (local iteration)")
+    parser.add_argument("--label", default="",
+                        help="free-form snapshot label (e.g. pr8)")
+    args = parser.parse_args(argv)
+
+    print("bench: campaign cells/sec ...", flush=True)
+    cells = bench_cells(args.quick)
+    print(f"  {cells['cells_per_sec']} cells/s "
+          f"({cells['cells']} cells in {cells['wall_s']}s)")
+    print("bench: simulated cycles/sec ...", flush=True)
+    cycles = bench_cycles(args.quick)
+    print(f"  {cycles['cycles_per_sec']} cycles/s "
+          f"({cycles['simulated_cycles']} cycles in {cycles['wall_s']}s)")
+    print("bench: service latency under synthetic load ...", flush=True)
+    service = bench_service(args.quick)
+    print(f"  p50={service['p50_ms']}ms p95={service['p95_ms']}ms "
+          f"p99={service['p99_ms']}ms over {service['requests']} requests")
+
+    doc = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "quick": args.quick,
+        "cells": cells,
+        "cycles": cycles,
+        "service": service,
+        "env": {"python": platform.python_version(),
+                "implementation": platform.python_implementation(),
+                "machine": platform.machine()},
+    }
+    errors = validate(doc)
+    if errors:
+        for error in errors:
+            print(f"SCHEMA FAIL: {error}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        base_errors = validate(baseline)
+        if base_errors:
+            for error in base_errors:
+                print(f"BASELINE SCHEMA FAIL: {error}", file=sys.stderr)
+            return 1
+        regressions = compare(doc, baseline, args.tolerance)
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION: {regression}", file=sys.stderr)
+            return 1
+        print(f"gate ok: within {args.tolerance:.0%} of "
+              f"{os.path.basename(args.baseline)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

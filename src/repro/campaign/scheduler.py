@@ -44,9 +44,28 @@ from typing import Callable, Dict, List, Optional
 from repro.campaign import pool
 from repro.campaign.cells import (CampaignConfig, CellSpec, rows_from_records)
 from repro.campaign.pool import AdaptiveWait, WorkerExit, WorkerProcess
-from repro.campaign.store import CorruptRecord, ResultStore
+from repro.campaign.store import CorruptRecord, ResultStore, atomic_write
 from repro.config import DefenseKind
 from repro.eval.experiments import ExperimentRow, render_rows
+from repro.telemetry.obs import (SPAN_CHECKPOINT_RESTORE, FlightRecorder,
+                                 SpanRecorder, new_trace_id)
+from repro.telemetry.prometheus import render_prometheus
+from repro.telemetry.registry import StatsRegistry
+
+#: Span log + flight-recorder dump + metrics snapshots in the run dir.
+SPANS_LOG = "spans.jsonl"
+FLIGHT_DUMP = "flight-recorder.json"
+METRICS_JSON = "metrics.json"
+METRICS_PROM = "metrics.prom"
+
+#: Worker-reported phase -> span name for cell-attempt child spans.
+_PHASE_SPANS = (("generate_ms", "workload-generate"),
+                ("restore_ms", SPAN_CHECKPOINT_RESTORE),
+                ("warm_ms", "warm-up"),
+                ("run_ms", "simulate"),
+                ("synthesize_ms", "witness-synthesize"),
+                ("plan_ms", "repair-plan"),
+                ("measure_ms", "repair-measure"))
 
 #: Backwards-compatible alias (the CLI and older tests import it from here).
 _worker_env = pool.worker_env
@@ -88,6 +107,7 @@ class _ActiveWorker:
     cell: CellSpec
     state: _PendingCell
     worker: WorkerProcess
+    started_at: float = field(default_factory=time.monotonic)
 
 
 @dataclass
@@ -171,18 +191,40 @@ class CampaignScheduler:
     def __init__(self, config: CampaignConfig, run_dir: str, *,
                  progress: Optional[Callable[[str], None]] = None,
                  worker_argv: Optional[Callable[..., List[str]]] = None,
-                 poll_interval_s: float = 0.02):
+                 poll_interval_s: float = 0.02,
+                 metrics_interval_s: float = 5.0):
         self.config = config
         self.run_dir = run_dir
         self.store = ResultStore(run_dir)
         self.progress = progress or (lambda message: None)
         self.worker_argv = worker_argv
         self.poll_interval_s = poll_interval_s
+        self.metrics_interval_s = metrics_interval_s
         self._interrupted = False
         # Jitter must be deterministic per campaign seed so two runs of the
         # same config retry on the same schedule (results never depend on
         # jitter, only latency does).
         self._rng = random.Random(config.seed ^ 0x5EED_CA3B)
+        # Observability: one trace ID per cell (stable across attempts),
+        # cell-attempt spans in the run dir, a flight recorder mirrored
+        # into the campaign.* metrics scope dumped periodically.
+        self.flight = FlightRecorder()
+        self.spans = SpanRecorder(os.path.join(run_dir, SPANS_LOG),
+                                  flight=self.flight)
+        self._traces: Dict[str, str] = {}
+        self.registry = StatsRegistry()
+        scope = self.registry.scope("campaign")
+        self._m_launched = scope.scalar(
+            "attempts_launched", "worker attempts started")
+        self._m_completed = scope.scalar(
+            "cells_completed", "cells measured to a durable row")
+        self._m_retried = scope.scalar(
+            "attempts_retried", "failed attempts that were rescheduled")
+        self._m_failed = scope.scalar(
+            "cells_failed", "cells failed permanently (retries exhausted)")
+        self._m_cell_ms = scope.latency(
+            "cell_latency_ms", "wall latency of successful cell attempts")
+        self._metrics_dumped_at = 0.0
 
     # ------------------------------------------------------------------
     # launch plumbing
@@ -216,11 +258,19 @@ class CampaignScheduler:
                      "--checkpoint-keep", str(self.config.checkpoint_keep)]
         if self.config.share_warm:
             argv += ["--warm-dir", self.store.work_dir]
+        trace = self._traces.get(cell.cell_id, "")
+        if trace:
+            argv += ["--trace-id", trace]
         return argv
+
+    def _trace_of(self, cell: CellSpec) -> str:
+        """The cell's trace ID — minted once, stable across retries."""
+        return self._traces.setdefault(cell.cell_id, new_trace_id())
 
     def _launch(self, state: _PendingCell) -> _ActiveWorker:
         cell, attempt = state.cell, state.attempts
         reseed = state.reseed  # bumped per *typed* failure, not per attempt
+        trace = self._trace_of(cell)
         paths = self._paths(cell, attempt)
         with open(paths["spec"], "w", encoding="utf-8") as handle:
             json.dump(cell.to_dict(), handle)
@@ -236,6 +286,9 @@ class CampaignScheduler:
                              log_path=paths["log"],
                              timeout_s=cell.timeout_s,
                              stall_timeout_s=self.config.stall_timeout_s)
+        self._m_launched.inc()
+        self.flight.record("cell-launch", trace=trace, cell=cell.cell_id,
+                           attempt=attempt, pid=worker.pid)
         self.progress(f"cell {cell.cell_id}: attempt {attempt} started "
                       f"(pid {worker.pid}, reseed {reseed})")
         return _ActiveWorker(cell=cell, state=state, worker=worker)
@@ -245,15 +298,34 @@ class CampaignScheduler:
     # ------------------------------------------------------------------
 
     def _record_success(self, worker: _ActiveWorker, outcome: dict) -> None:
+        trace = self._trace_of(worker.cell)
         self.store.append({
             "cell_id": worker.cell.cell_id,
             "status": "ok",
             "attempt": worker.state.attempts,
             "reseed": outcome.get("reseed", worker.state.reseed),
+            "trace": trace,
             "cell": worker.cell.to_dict(),
             "row": outcome["row"],
         })
+        self._m_completed.inc()
+        self._m_cell_ms.observe(
+            (time.monotonic() - worker.started_at) * 1000.0)
         row = outcome["row"]
+        timings = outcome.get("timings", {})
+        t0 = self.spans.at(worker.started_at)
+        root = self.spans.record(
+            trace, "cell-attempt", t0_ms=t0,
+            dur_ms=self.spans.now() - t0, cell=worker.cell.cell_id,
+            attempt=worker.state.attempts)
+        cursor = t0
+        for key, name in _PHASE_SPANS:
+            phase_ms = float(timings.get(key, 0.0))
+            if phase_ms <= 0.0:
+                continue
+            self.spans.record(trace, name, parent_id=root.span_id,
+                              t0_ms=cursor, dur_ms=phase_ms)
+            cursor += phase_ms
         notes = ""
         if row.get("resumed_cycle") is not None:
             notes += f", resumed from cycle {row['resumed_cycle']}"
@@ -276,6 +348,15 @@ class CampaignScheduler:
         state = worker.state
         state.failures.append(failure)
         state.attempts += 1
+        trace = self._trace_of(worker.cell)
+        t0 = self.spans.at(worker.started_at)
+        self.spans.record(
+            trace, "cell-attempt", t0_ms=t0, dur_ms=self.spans.now() - t0,
+            status="error", cell=worker.cell.cell_id,
+            attempt=failure.attempt, kind=failure.kind)
+        self.flight.record("cell-failure", trace=trace,
+                           cell=worker.cell.cell_id, kind=failure.kind,
+                           attempt=failure.attempt)
         if failure.kind == "typed":
             # Deterministic simulation failure: perturb the MTE seed (the
             # run_resilient convention).  The old checkpoints are now
@@ -286,10 +367,11 @@ class CampaignScheduler:
         cell_id = worker.cell.cell_id
         if state.attempts > self.config.max_retries:
             failed[cell_id] = state.failures
+            self._m_failed.inc()
             # Durable trace of the exhausted cell: resume retries it, and
             # the retry history survives for the failure report.
             self.store.append({
-                "cell_id": cell_id, "status": "failed",
+                "cell_id": cell_id, "status": "failed", "trace": trace,
                 "cell": worker.cell.to_dict(),
                 "failures": [f.to_dict() for f in state.failures],
             })
@@ -298,6 +380,7 @@ class CampaignScheduler:
                 f"{state.attempts} attempts ({failure.kind}: "
                 f"{failure.error})")
             return
+        self._m_retried.inc()
         delay = (self.config.backoff_base_s * (2 ** (state.attempts - 1))
                  + self._rng.uniform(0, self.config.backoff_jitter_s))
         state.eligible_at = time.monotonic() + delay
@@ -371,6 +454,9 @@ class CampaignScheduler:
                                              self._as_failure(worker, exit),
                                              pending, failed)
                 active = still_active
+                if now - self._metrics_dumped_at >= self.metrics_interval_s:
+                    self.dump_metrics()
+                    self._metrics_dumped_at = now
                 if pending or active:
                     wait.sleep(active=bool(active))
 
@@ -388,7 +474,21 @@ class CampaignScheduler:
                                   corrupt=corrupt, skipped=skipped,
                                   interrupted=self._interrupted)
         self.store.write_report(outcome.report())
+        self.dump_metrics()
+        atomic_write(os.path.join(self.run_dir, FLIGHT_DUMP),
+                     json.dumps(self.flight.dump(), indent=2,
+                                sort_keys=True))
+        self.spans.close()
         return outcome
+
+    def dump_metrics(self) -> None:
+        """Snapshot the ``campaign.*`` registry into the run dir, both as
+        a JSON dump and as Prometheus text exposition."""
+        atomic_write(os.path.join(self.run_dir, METRICS_JSON),
+                     json.dumps(self.registry.dump(), indent=2,
+                                sort_keys=True))
+        atomic_write(os.path.join(self.run_dir, METRICS_PROM),
+                     render_prometheus(self.registry))
 
     # ------------------------------------------------------------------
     # graceful interrupt

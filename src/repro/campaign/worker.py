@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import sys
+import time
 import traceback
 from dataclasses import dataclass
 from typing import List, Optional
@@ -174,12 +175,14 @@ def _shared_warm_state(cell: CellSpec, reseed: int, programs,
 
 def _run_spec_cell(cell: CellSpec, reseed: int,
                    heartbeat: Optional[Heartbeat],
-                   plan: CheckpointPlan) -> dict:
+                   plan: CheckpointPlan, timings: dict) -> dict:
     profile = SPEC_BY_NAME[cell.benchmark]
+    t_mark = time.monotonic()
     program = generate(
         profile, seed=cell.seed,
         target_instructions=cell.target_instructions,
         mte_instrumented=cell.defense_kind.uses_specasan).program
+    generate_ms = (time.monotonic() - t_mark) * 1000.0
     config = system_config(cell, reseed)
     stats = CheckpointStats() if plan.active else None
     manager = (CheckpointManager(plan.stem, keep=plan.keep, stats=stats)
@@ -188,10 +191,13 @@ def _run_spec_cell(cell: CellSpec, reseed: int,
 
     system = build_system(config)
     system.checkpoint_stats = stats
+    t_mark = time.monotonic()
     resumed, dirty = _resume(manager, system, program, degradations)
+    restore_ms = (time.monotonic() - t_mark) * 1000.0
     if dirty:
         system = build_system(config)
         system.checkpoint_stats = stats
+    t_mark = time.monotonic()
     if resumed is not None:
         origin = "checkpoint"
         core = system.core
@@ -209,11 +215,14 @@ def _run_spec_cell(cell: CellSpec, reseed: int,
             warm_core.run()
         core = system.prepare(program)
         origin = "local" if cell.warm_runs else "cold"
+    warm_ms = (time.monotonic() - t_mark) * 1000.0
     core.heartbeat = heartbeat
     if manager is not None:
         core.checkpoint_hook = CheckpointHook(manager, system, program,
                                               interval=plan.interval)
+    t_mark = time.monotonic()
     core.run()
+    run_ms = (time.monotonic() - t_mark) * 1000.0
     result = system.result()
     if result.fault is not None:
         raise ReproError(
@@ -226,6 +235,9 @@ def _run_spec_cell(cell: CellSpec, reseed: int,
         "halted": result.halted,
         "stats": system.stats_registry().dump(),
     }
+    timings.update(generate_ms=round(generate_ms, 3),
+                   restore_ms=round(restore_ms, 3),
+                   warm_ms=round(warm_ms, 3), run_ms=round(run_ms, 3))
     if plan.active:
         row["warm"] = origin
         row["degradations"] = degradations
@@ -254,9 +266,10 @@ def _produce_parsec_warm(warm_config, programs, warm_runs: int,
 
 def _run_parsec_cell(cell: CellSpec, reseed: int,
                      heartbeat: Optional[Heartbeat],
-                     plan: CheckpointPlan) -> dict:
+                     plan: CheckpointPlan, timings: dict) -> dict:
     spec = PARSEC_BY_NAME[cell.benchmark]
     instrumented = cell.defense_kind.uses_specasan
+    t_mark = time.monotonic()
     programs = [generate(
         spec.profile, seed=cell.seed + t * 101,
         target_instructions=cell.target_instructions,
@@ -266,6 +279,7 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
         shared_store_fraction=spec.shared_store_fraction,
         mte_instrumented=instrumented).program
         for t in range(cell.num_threads)]
+    generate_ms = (time.monotonic() - t_mark) * 1000.0
     config = system_config(cell, reseed)
     stats = CheckpointStats() if plan.active else None
     manager = (CheckpointManager(plan.stem, keep=plan.keep, stats=stats)
@@ -275,12 +289,15 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
     system = MulticoreSystem(config)
     system.heartbeat = heartbeat
     system.checkpoint_stats = stats
+    t_mark = time.monotonic()
     resumed, dirty = _resume(manager, system, programs, degradations)
+    restore_ms = (time.monotonic() - t_mark) * 1000.0
     if dirty:
         system = MulticoreSystem(config)
         system.heartbeat = heartbeat
         system.checkpoint_stats = stats
     origin = "checkpoint"
+    t_mark = time.monotonic()
     if resumed is None:
         if plan.share_warm and cell.warm_runs > 0:
             system.prepare(programs)
@@ -296,10 +313,13 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
                 system.run_prepared(config.core.max_cycles)
             system.prepare(programs)
             origin = "local" if cell.warm_runs else "cold"
+    warm_ms = (time.monotonic() - t_mark) * 1000.0
     if manager is not None:
         system.checkpoint_hook = CheckpointHook(manager, system, programs,
                                                 interval=plan.interval)
+    t_mark = time.monotonic()
     system.run_prepared(config.core.max_cycles)
+    run_ms = (time.monotonic() - t_mark) * 1000.0
     result = system.result()
     if any(result.faults):
         raise ReproError(f"{cell.benchmark} faulted under {cell.defense}")
@@ -311,6 +331,9 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
         "halted": True,
         "stats": system.stats_registry().dump(),
     }
+    timings.update(generate_ms=round(generate_ms, 3),
+                   restore_ms=round(restore_ms, 3),
+                   warm_ms=round(warm_ms, 3), run_ms=round(run_ms, 3))
     if plan.active:
         row["warm"] = origin
         row["degradations"] = degradations
@@ -320,7 +343,8 @@ def _run_parsec_cell(cell: CellSpec, reseed: int,
 
 
 def _run_repair_cell(cell: CellSpec, reseed: int,
-                     heartbeat: Optional[Heartbeat]) -> dict:
+                     heartbeat: Optional[Heartbeat],
+                     timings: dict) -> dict:
     """Synthesize the witness, repair it, and measure per-fix overhead.
 
     ``cell.benchmark`` is a witness subject (``pht/same-key``); the cell
@@ -336,20 +360,26 @@ def _run_repair_cell(cell: CellSpec, reseed: int,
     kind_name, _, variant = cell.benchmark.partition("/")
     kind = witness_kind(kind_name)
     residual = variant != variant_name(kind, residual=False)
+    t_mark = time.monotonic()
     witness = synthesize(kind, residual=residual)
+    synthesize_ms = (time.monotonic() - t_mark) * 1000.0
     if heartbeat is not None:
         heartbeat.beat(1)
     config = system_config(cell, reseed)
+    t_mark = time.monotonic()
     result = repair_mod.plan(witness.attack.builder_program,
                              secret_ranges_of(witness.attack),
                              defense=cell.defense_kind)
+    plan_ms = (time.monotonic() - t_mark) * 1000.0
     if heartbeat is not None:
         heartbeat.beat(2)
+    t_mark = time.monotonic()
     registry = repair_mod.measure_overhead(result, subject=witness.subject,
                                            config=config)
     after = run_attack_program(
         dc_replace(witness.attack, builder_program=result.repaired),
         cell.defense_kind, config)
+    measure_ms = (time.monotonic() - t_mark) * 1000.0
     if after.leaked:
         raise ReproError(
             f"{cell.benchmark} still leaks under {cell.defense} "
@@ -358,6 +388,9 @@ def _run_repair_cell(cell: CellSpec, reseed: int,
     baseline = int(registry.get(f"{prefix}.baseline_cycles").value)
     repaired = (int(registry.get(f"{prefix}.repaired_cycles").value)
                 if result.fixes else baseline)
+    timings.update(synthesize_ms=round(synthesize_ms, 3),
+                   plan_ms=round(plan_ms, 3),
+                   measure_ms=round(measure_ms, 3))
     return {
         "cycles": repaired,
         "baseline_cycles": baseline,
@@ -373,19 +406,28 @@ def _run_repair_cell(cell: CellSpec, reseed: int,
 
 def run_cell(cell: CellSpec, reseed: int = 0,
              heartbeat: Optional[Heartbeat] = None,
-             checkpointing: Optional[CheckpointPlan] = None) -> dict:
+             checkpointing: Optional[CheckpointPlan] = None,
+             timings: Optional[dict] = None) -> dict:
     """Measure one cell; returns the row payload or raises ReproError.
 
     ``checkpointing`` (default: fully disabled) controls mid-cell
     generation checkpoints and shared warm-state reuse; repair cells have
     no long simulation loop of the right shape and ignore it.
+
+    ``timings`` is an optional out-dict collecting wall-clock phase
+    durations (``generate_ms`` / ``warm_ms`` / ``run_ms`` /
+    ``restore_ms``, repair: ``synthesize_ms`` / ``plan_ms`` /
+    ``measure_ms``).  They ride the outcome *envelope*, never the row —
+    row payloads stay deterministic, the property resume byte-identity
+    is built on.
     """
     plan = checkpointing if checkpointing is not None else CheckpointPlan()
+    phases = timings if timings is not None else {}
     if cell.kind == "spec":
-        return _run_spec_cell(cell, reseed, heartbeat, plan)
+        return _run_spec_cell(cell, reseed, heartbeat, plan, phases)
     if cell.kind == "repair":
-        return _run_repair_cell(cell, reseed, heartbeat)
-    return _run_parsec_cell(cell, reseed, heartbeat, plan)
+        return _run_repair_cell(cell, reseed, heartbeat, phases)
+    return _run_parsec_cell(cell, reseed, heartbeat, plan, phases)
 
 
 def main(argv=None) -> int:
@@ -410,6 +452,9 @@ def main(argv=None) -> int:
     parser.add_argument("--warm-dir", default="",
                         help="shared warm-checkpoint directory "
                              "(empty disables warm sharing)")
+    parser.add_argument("--trace-id", default="",
+                        help="campaign-minted trace ID echoed in the "
+                             "outcome (cell-scoped span correlation)")
     args = parser.parse_args(argv)
 
     with open(args.spec, encoding="utf-8") as handle:
@@ -423,9 +468,12 @@ def main(argv=None) -> int:
 
     base = {"cell_id": cell.cell_id, "attempt": args.attempt,
             "reseed": args.reseed}
+    if args.trace_id:
+        base["trace"] = args.trace_id
+    timings: dict = {}
     try:
         row = run_cell(cell, reseed=args.reseed, heartbeat=heartbeat,
-                       checkpointing=plan)
+                       checkpointing=plan, timings=timings)
     except ReproError as exc:
         atomic_write(args.out, json.dumps({
             **base, "status": "failed",
@@ -437,7 +485,8 @@ def main(argv=None) -> int:
             "error_type": type(exc).__name__, "error": str(exc),
             "traceback": traceback.format_exc()}))
         return 1
-    atomic_write(args.out, json.dumps({**base, "status": "ok", "row": row}))
+    atomic_write(args.out, json.dumps(
+        {**base, "status": "ok", "row": row, "timings": timings}))
     return 0
 
 

@@ -18,10 +18,19 @@ class ReproError(Exception):
             error is re-raised — earlier failures are diagnostic signal, not
             noise, and campaign logs must show all of them.  Empty for errors
             raised outside a retry loop.
+        flight: the tail of the process's
+            :class:`~repro.telemetry.obs.FlightRecorder` — the last N
+            spans/events before the failure — attached by the layer that
+            owns the recorder (service front end, campaign scheduler) so a
+            post-mortem carries recent history without verbose tracing
+            enabled.  A tuple of plain event dicts; empty when no recorder
+            was in scope.
     """
 
     #: Per-attempt failure messages accumulated by a retry harness.
     failures: tuple = ()
+    #: Flight-recorder tail (recent event dicts) attached at raise time.
+    flight: tuple = ()
 
 
 class ConfigError(ReproError):

@@ -179,6 +179,28 @@ async def _selftest(state_dir: str) -> bool:
                  scope.get("lifecycle", {}).get("completed", 0) >= 4,
                  json.dumps(scope.get("lifecycle"))[:200])
 
+    from repro.telemetry.obs import is_trace_id
+    checks.check("response carries a minted trace id",
+                 is_trace_id(r.get("trace", "")), json.dumps(r.get("trace")))
+    t = r3.get("timings", {})
+    parts = (t.get("queue_wait_ms", 0) + t.get("analysis_ms", 0)
+             + t.get("confirm_ms", 0) + t.get("other_ms", 0))
+    checks.check("timing parts sum to total",
+                 bool(t) and abs(parts - t.get("total_ms", -1)) < 0.01,
+                 json.dumps(t))
+    echo = await client.request(
+        {"id": "tr", "op": "lint", "witness": "pht", "trace": "feedface00"})
+    checks.check("client-supplied trace echoed",
+                 echo.get("trace") == "feedface00",
+                 json.dumps(echo.get("trace")))
+    prom = await client.request(
+        {"id": "pm", "op": "stats", "format": "prometheus"})
+    checks.check("prometheus exposition served",
+                 prom.get("format") == "prometheus"
+                 and "repro_service_latency_request_ms" in
+                 prom.get("stats_text", ""),
+                 json.dumps(prom)[:200])
+
     service.request_drain()
     await asyncio.wait_for(service.wait_drained(), 15.0)
     report_path = os.path.join(state_dir, "shutdown-report.json")
@@ -187,6 +209,11 @@ async def _selftest(state_dir: str) -> bool:
         report = json.load(handle)
     checks.check("clean drain", report.get("status") == "drained",
                  json.dumps(report.get("status")))
+    checks.check("span log written",
+                 os.path.exists(os.path.join(state_dir, "spans.jsonl")))
+    checks.check("flight recorder dumped at drain",
+                 os.path.exists(os.path.join(state_dir,
+                                             "flight-recorder.json")))
     client.close()
     return checks.ok
 

@@ -25,7 +25,12 @@ framing library, no third-party deps.  A request is a JSON object::
 Responses echo ``id`` and carry either ``"ok": true`` with the verdict
 payload (``tier``, ``degraded``, ``cached``, ``verdicts``, ``gadgets``,
 optional ``dynamic``) or ``"ok": false`` with a typed error object whose
-``kind`` is one of :data:`repro.errors.SERVICE_ERROR_KINDS`.
+``kind`` is one of :data:`repro.errors.SERVICE_ERROR_KINDS`.  Every lint
+response additionally carries the request's ``trace`` ID (client-supplied
+``trace`` field, or minted at admission) and — on success — a ``timings``
+breakdown (``queue_wait_ms`` / ``analysis_ms`` / ``confirm_ms`` /
+``other_ms``) whose parts sum to ``total_ms`` exactly.  The ``stats`` op
+accepts ``"format": "prometheus"`` for a text exposition snapshot.
 
 Every malformed input maps to a :class:`~repro.errors.ServiceError`, never
 an unhandled exception: the parse layer is the service's first bulkhead.
@@ -40,6 +45,7 @@ from typing import List, Optional, Tuple
 
 from repro.config import DefenseKind
 from repro.errors import ServiceError
+from repro.telemetry.obs import is_trace_id
 
 #: Protocol schema version, echoed in responses; requests may pin it.
 PROTOCOL_VERSION = 1
@@ -70,6 +76,12 @@ class Request:
     confirm: bool = False
     deadline_s: Optional[float] = None
     chaos: str = ""
+    #: Client-supplied trace ID; the server mints one when empty and
+    #: echoes it in the response either way.
+    trace: str = ""
+    #: ``stats`` op output format: ``json`` (registry dump) or
+    #: ``prometheus`` (text exposition snapshot).
+    fmt: str = "json"
 
     @property
     def subject(self) -> str:
@@ -143,30 +155,63 @@ def parse_request(line: str,
     chaos = data.get("chaos", "")
     _require(chaos == "" or chaos in CHAOS_MODES,
              f"unknown chaos mode {chaos!r}", kind="unsupported")
+    trace = data.get("trace", "")
+    _require(trace == "" or is_trace_id(trace),
+             f"trace must be a short lowercase hex id, got {trace!r}")
+    fmt = data.get("format", "json")
+    _require(fmt in ("json", "prometheus"),
+             f"unknown stats format {fmt!r}; have ['json', 'prometheus']",
+             kind="unsupported")
 
     return Request(
         id="" if request_id is None else str(request_id), op=op,
         source=source, witness=witness, defense=defense,
         secret_ranges=tuple(ranges), confirm=confirm,
         deadline_s=float(deadline_s) if deadline_s is not None else None,
-        chaos=chaos)
+        chaos=chaos, trace=trace, fmt=fmt)
 
 
 # ----------------------------------------------------------------------
 # responses
 # ----------------------------------------------------------------------
 
+def timing_breakdown(*, queue_wait_ms: float, analysis_ms: float,
+                     confirm_ms: float, total_ms: float) -> dict:
+    """The served-tier timing breakdown carried in every response.
+
+    The named parts never overlap; ``other_ms`` is the remainder (process
+    spawn, cache I/O, scheduling) so the parts always sum to the observed
+    ``total_ms`` exactly — the envelope invariant the tests assert.
+    """
+    queue_wait_ms = max(0.0, queue_wait_ms)
+    analysis_ms = max(0.0, analysis_ms)
+    confirm_ms = max(0.0, confirm_ms)
+    total_ms = max(total_ms, queue_wait_ms + analysis_ms + confirm_ms)
+    other_ms = total_ms - queue_wait_ms - analysis_ms - confirm_ms
+    return {"queue_wait_ms": round(queue_wait_ms, 3),
+            "analysis_ms": round(analysis_ms, 3),
+            "confirm_ms": round(confirm_ms, 3),
+            "other_ms": round(other_ms, 3),
+            "total_ms": round(queue_wait_ms + analysis_ms + confirm_ms
+                              + other_ms, 3)}
+
+
 def ok_response(request_id: str, *, tier: str, verdicts: dict,
                 gadgets: list, degraded: bool = False,
                 degraded_reason: str = "", cached: bool = False,
                 coalesced: bool = False, dynamic: Optional[dict] = None,
-                elapsed_s: float = 0.0) -> dict:
+                elapsed_s: float = 0.0, trace: str = "",
+                timings: Optional[dict] = None) -> dict:
     response = {
         "v": PROTOCOL_VERSION, "id": request_id, "ok": True,
         "tier": tier, "degraded": degraded, "cached": cached,
         "coalesced": coalesced, "verdicts": verdicts, "gadgets": gadgets,
         "elapsed_s": round(elapsed_s, 6),
     }
+    if trace:
+        response["trace"] = trace
+    if timings is not None:
+        response["timings"] = timings
     if degraded_reason:
         response["degraded_reason"] = degraded_reason
     if dynamic is not None:
@@ -174,12 +219,16 @@ def ok_response(request_id: str, *, tier: str, verdicts: dict,
     return response
 
 
-def error_response(request_id: str, error: ServiceError) -> dict:
-    return {
+def error_response(request_id: str, error: ServiceError,
+                   trace: str = "") -> dict:
+    response = {
         "v": PROTOCOL_VERSION, "id": request_id, "ok": False,
         "error": {"kind": error.kind, "message": str(error),
                   "retryable": error.retryable},
     }
+    if trace:
+        response["trace"] = trace
+    return response
 
 
 def pong_response(request_id: str, health: dict) -> dict:
@@ -187,7 +236,13 @@ def pong_response(request_id: str, health: dict) -> dict:
             "pong": True, "health": health}
 
 
-def stats_response(request_id: str, stats: dict) -> dict:
+def stats_response(request_id: str, stats,
+                   fmt: str = "json") -> dict:
+    """``stats`` op payload: a registry dump (``json``) or a Prometheus
+    text exposition snapshot (``prometheus``)."""
+    if fmt == "prometheus":
+        return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
+                "format": "prometheus", "stats_text": stats}
     return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True,
             "stats": stats}
 

@@ -48,12 +48,21 @@ from repro.service.cache import SingleFlight, VerdictCache
 from repro.service.protocol import (MAX_REQUEST_BYTES, Request, content_key,
                                     encode, error_response, ok_response,
                                     parse_request, pong_response,
-                                    stats_response)
+                                    stats_response, timing_breakdown)
 from repro.service.supervisor import WorkerPool
+from repro.telemetry.obs import (SPAN_CACHE_LOOKUP, SPAN_CONFIRM,
+                                 SPAN_POOL_DISPATCH, SPAN_QUEUE_WAIT,
+                                 SPAN_STATIC_LINT, FlightRecorder, Span,
+                                 SpanRecorder, new_trace_id)
+from repro.telemetry.prometheus import render_prometheus
 from repro.telemetry.service import (TIER_CACHE, TIER_FULL, TIER_STATIC,
                                      ServiceStats)
 
 SHUTDOWN_REPORT = "shutdown-report.json"
+#: Request-scoped span log, appended to in the state dir.
+SPANS_LOG = "spans.jsonl"
+#: Flight-recorder dump written next to the shutdown report at drain.
+FLIGHT_DUMP = "flight-recorder.json"
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,10 @@ class ServiceConfig:
     breaker_reset_s: float = 5.0
     quarantine_deaths: int = 2
     max_confirm_cycles: int = 200_000
+    #: Flight-recorder ring capacity (events kept per process).
+    flight_capacity: int = 256
+    #: Write the request span log (spans.jsonl in the state dir).
+    span_log: bool = True
 
 
 @dataclass
@@ -88,7 +101,16 @@ class _Work:
     request: Request
     future: "asyncio.Future[dict]"
     deadline: float                     # absolute, time.monotonic scale
+    trace: str = ""                     # request-scoped trace ID
     admitted_at: float = field(default_factory=time.monotonic)
+
+
+@dataclass
+class _TraceCtx:
+    """Span-recording context threaded through one request's ladder."""
+
+    trace: str
+    root: str                           # span id of the request root span
 
 
 def _peek_id(text: str) -> str:
@@ -111,25 +133,33 @@ class SpecLintService:
         self.config = config
         self.stats = stats if stats is not None else ServiceStats()
         os.makedirs(config.state_dir, exist_ok=True)
+        self.flight = FlightRecorder(capacity=config.flight_capacity)
+        self.spans = SpanRecorder(
+            os.path.join(config.state_dir, SPANS_LOG)
+            if config.span_log else None,
+            flight=self.flight)
         self.cache = VerdictCache(config.state_dir)
         self.flights = SingleFlight()
         self.admission = AdmissionController(
             max_queue=config.max_queue,
             max_per_client=config.max_per_client)
         self.quarantine = Quarantine(
-            death_threshold=config.quarantine_deaths)
+            death_threshold=config.quarantine_deaths,
+            on_quarantine=lambda key: self.flight.record(
+                "quarantine", key=key))
         work_dir = os.path.join(config.state_dir, "work")
         pool_kwargs = dict(
             stats=self.stats, quarantine=self.quarantine,
             max_restarts=config.max_restarts,
             stall_timeout_s=config.stall_timeout_s,
-            allow_chaos=config.allow_chaos, worker_argv=worker_argv)
+            allow_chaos=config.allow_chaos, worker_argv=worker_argv,
+            flight=self.flight)
         self.static_pool = WorkerPool(
             "static", work_dir, size=config.static_workers,
-            breaker=self._breaker(), **pool_kwargs)
+            breaker=self._breaker("static"), **pool_kwargs)
         self.dynamic_pool = WorkerPool(
             "dynamic", work_dir, size=config.dynamic_workers,
-            breaker=self._breaker(), **pool_kwargs)
+            breaker=self._breaker("dynamic"), **pool_kwargs)
         self.draining = False
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -139,11 +169,15 @@ class SpecLintService:
         self._conn_seq = itertools.count()
         self.shutdown_report: Optional[dict] = None
 
-    def _breaker(self) -> CircuitBreaker:
+    def _breaker(self, pool_name: str) -> CircuitBreaker:
+        def on_open() -> None:
+            self.stats.breaker_opens.inc()
+            self.flight.record("breaker-open", pool=pool_name)
+
         return CircuitBreaker(
             failure_threshold=self.config.breaker_threshold,
             reset_timeout_s=self.config.breaker_reset_s,
-            on_open=self.stats.breaker_opens.inc)
+            on_open=on_open)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -223,9 +257,16 @@ class SpecLintService:
                       self.dynamic_pool.snapshot()],
             "quarantine": self.quarantine.snapshot(),
             "stats": self.stats.dump(),
+            "flight": {"recorded": self.flight.recorded,
+                       "dropped": self.flight.dropped,
+                       "dump": FLIGHT_DUMP},
         }
+        atomic_write(os.path.join(self.config.state_dir, FLIGHT_DUMP),
+                     json.dumps(self.flight.dump(), indent=2,
+                                sort_keys=True))
         atomic_write(os.path.join(self.config.state_dir, SHUTDOWN_REPORT),
                      json.dumps(report, indent=2, sort_keys=True))
+        self.spans.close()
         self.shutdown_report = report
         if self._server is not None:
             self._server.close()
@@ -306,21 +347,30 @@ class SpecLintService:
             await send(pong_response(request.id, self.health()))
             return
         if request.op == "stats":
-            await send(stats_response(request.id, self.stats.dump()))
+            if request.fmt == "prometheus":
+                await send(stats_response(
+                    request.id, render_prometheus(self.stats.registry),
+                    fmt="prometheus"))
+            else:
+                await send(stats_response(request.id, self.stats.dump()))
             return
 
+        trace = request.trace or new_trace_id()
         budget = min(request.deadline_s
                      if request.deadline_s is not None
                      else self.config.default_deadline_s,
                      self.config.max_deadline_s)
         work = _Work(client_id=client_id, request=request,
                      future=asyncio.get_running_loop().create_future(),
-                     deadline=time.monotonic() + budget)
+                     deadline=time.monotonic() + budget, trace=trace)
         try:
             self.admission.admit(client_id, work)
         except ServiceError as exc:
             self.stats.reject(exc.kind)
-            await send(error_response(request.id, exc))
+            self.flight.record("shed", kind=exc.kind, trace=trace,
+                               client=client_id)
+            exc.flight = tuple(self.flight.tail())
+            await send(error_response(request.id, exc, trace=trace))
             return
         self.stats.accepted.inc()
         await send(await work.future)
@@ -344,7 +394,7 @@ class SpecLintService:
                 self._finish(work, error_response(
                     work.request.id,
                     ServiceError("request cut by drain timeout",
-                                 kind="cancelled")))
+                                 kind="cancelled"), trace=work.trace))
                 self.stats.cancelled_at_drain.inc()
                 self.stats.errored.inc()
                 raise
@@ -352,20 +402,41 @@ class SpecLintService:
                 response = error_response(
                     work.request.id,
                     ServiceError(f"internal dispatch failure: {exc}",
-                                 kind="worker-lost"))
+                                 kind="worker-lost"), trace=work.trace)
                 self.stats.errored.inc()
             self._finish(work, response)
 
     async def _serve(self, work: _Work) -> dict:
         request = work.request
         start = time.monotonic()
+        queue_wait_ms = max(0.0, (start - work.admitted_at) * 1000.0)
         key = content_key(request)
+        ctx = _TraceCtx(trace=work.trace, root=new_trace_id())
+        self.spans.record(
+            work.trace, SPAN_QUEUE_WAIT, parent_id=ctx.root,
+            t0_ms=self.spans.at(work.admitted_at), dur_ms=queue_wait_ms,
+            client=work.client_id)
         try:
-            result = await self._lint(request, key, work.deadline)
+            result = await self._lint(request, key, work.deadline, ctx)
         except ServiceError as exc:
             self.stats.errored.inc()
-            return error_response(request.id, exc)
+            self.flight.record("request-error", trace=work.trace,
+                               kind=exc.kind, key=key)
+            exc.flight = tuple(self.flight.tail())
+            self._emit_root(ctx, work, status="error", error=exc.kind)
+            return error_response(request.id, exc, trace=work.trace)
         row = result["row"]
+        end = time.monotonic()
+        worker_timings = row.get("timings", {}) if not result["cached"] \
+            else {}
+        timings = timing_breakdown(
+            queue_wait_ms=queue_wait_ms,
+            analysis_ms=float(worker_timings.get("analysis_ms", 0.0)),
+            confirm_ms=float(worker_timings.get("confirm_ms", 0.0)),
+            total_ms=(end - work.admitted_at) * 1000.0)
+        self.stats.observe_timings(timings)
+        self._emit_root(ctx, work, tier=result["tier"],
+                        cached=result["cached"])
         self.stats.completed.inc()
         self.stats.serve(result["tier"], degraded=result["degraded"])
         return ok_response(
@@ -377,14 +448,28 @@ class SpecLintService:
             cached=result["cached"],
             coalesced=result.get("coalesced", False),
             dynamic=row.get("dynamic"),
-            elapsed_s=time.monotonic() - start)
+            elapsed_s=end - start, trace=work.trace, timings=timings)
+
+    def _emit_root(self, ctx: _TraceCtx, work: _Work,
+                   status: str = "ok", **attrs) -> None:
+        """Close the request root span (its id was pre-minted so child
+        spans recorded during the ladder already link to it)."""
+        attrs.setdefault("op", work.request.op)
+        t0 = self.spans.at(work.admitted_at)
+        self.spans.emit(Span(
+            trace_id=work.trace, span_id=ctx.root, parent_id="",
+            name="request", t0_ms=t0, dur_ms=self.spans.now() - t0,
+            status=status, attrs=attrs))
 
     # -- the ladder ----------------------------------------------------------
 
-    async def _lint(self, request: Request, key: str,
-                    deadline: float) -> dict:
+    async def _lint(self, request: Request, key: str, deadline: float,
+                    ctx: _TraceCtx) -> dict:
         """Cache → single-flight → compute; returns the serve record."""
-        row = self.cache.get(key)
+        with self.spans.span(ctx.trace, SPAN_CACHE_LOOKUP,
+                             parent_id=ctx.root, key=key) as lookup:
+            row = self.cache.get(key)
+            lookup.annotate(hit=row is not None)
         if row is not None:
             self.stats.cache_hits.inc()
             return {"row": row, "tier": row.get("tier", TIER_STATIC),
@@ -397,28 +482,53 @@ class SpecLintService:
             result = await future   # leader's ServiceError propagates
             return {**result, "coalesced": True}
         try:
-            result = await self._compute(request, key, deadline)
+            result = await self._compute(request, key, deadline, ctx)
         except BaseException as exc:
             self.flights.resolve(key, error=exc)
             raise
         self.flights.resolve(key, result=result)
         return result
 
-    async def _compute(self, request: Request, key: str,
-                       deadline: float) -> dict:
+    async def _submit(self, pool: WorkerPool, job: dict, key: str,
+                      deadline: float, ctx: _TraceCtx) -> dict:
+        """One pool submission wrapped in a ``pool-dispatch`` span, with
+        the worker-reported phase durations re-based as child spans."""
+        with self.spans.span(ctx.trace, SPAN_POOL_DISPATCH,
+                             parent_id=ctx.root, pool=pool.name,
+                             key=key) as dispatch:
+            row = dict(await pool.submit(job, key=key, deadline=deadline))
+        timings = row.get("timings", {})
+        now = self.spans.now()
+        analysis_ms = float(timings.get("analysis_ms", 0.0))
+        confirm_ms = float(timings.get("confirm_ms", 0.0))
+        if analysis_ms > 0.0:
+            self.spans.record(
+                ctx.trace, SPAN_STATIC_LINT,
+                parent_id=dispatch.span_id,
+                t0_ms=now - analysis_ms - confirm_ms,
+                dur_ms=analysis_ms, pool=pool.name)
+        if confirm_ms > 0.0:
+            self.spans.record(
+                ctx.trace, SPAN_CONFIRM, parent_id=dispatch.span_id,
+                t0_ms=now - confirm_ms, dur_ms=confirm_ms,
+                pool=pool.name)
+        return row
+
+    async def _compute(self, request: Request, key: str, deadline: float,
+                       ctx: _TraceCtx) -> dict:
         if self.quarantine.blocked(key):
             raise ServiceError(
                 f"content hash {key} is quarantined as a poison program",
                 kind="quarantined")
-        job = self._job_of(request)
+        job = self._job_of(request, ctx.trace)
         reasons: List[str] = []
 
         # Rung 1: full static+dynamic.
         if request.confirm:
             if self.dynamic_pool.healthy:
                 try:
-                    row = dict(await self.dynamic_pool.submit(
-                        job, key=key, deadline=deadline))
+                    row = await self._submit(
+                        self.dynamic_pool, job, key, deadline, ctx)
                     row["tier"] = TIER_FULL
                     self.cache.put(key, row)
                     return {"row": row, "tier": TIER_FULL,
@@ -440,10 +550,14 @@ class SpecLintService:
         static_job["confirm"] = False
         if self.static_pool.healthy:
             try:
-                row = dict(await self.static_pool.submit(
-                    static_job, key=key, deadline=deadline))
+                row = await self._submit(
+                    self.static_pool, static_job, key, deadline, ctx)
                 row["tier"] = TIER_STATIC
                 self.cache.put(static_key, row)
+                if request.confirm:
+                    self.flight.record(
+                        "degrade", trace=ctx.trace, to=TIER_STATIC,
+                        reason="; ".join(reasons))
                 return {"row": row, "tier": TIER_STATIC,
                         "degraded": bool(request.confirm),
                         "degraded_reason": "; ".join(reasons),
@@ -459,6 +573,9 @@ class SpecLintService:
         for candidate in (key, static_key):
             row = self.cache.get(candidate)
             if row is not None:
+                self.flight.record(
+                    "degrade", trace=ctx.trace, to=TIER_CACHE,
+                    reason="; ".join(reasons))
                 return {"row": row, "tier": TIER_CACHE, "degraded": True,
                         "degraded_reason": "; ".join(reasons),
                         "cached": True}
@@ -469,12 +586,13 @@ class SpecLintService:
             + ("; ".join(reasons) or "no pool, no cached verdict"),
             kind="degraded-unavailable")
 
-    def _job_of(self, request: Request) -> dict:
+    def _job_of(self, request: Request, trace: str = "") -> dict:
         return {"source": request.source, "witness": request.witness,
                 "secret_ranges": [list(r) for r in request.secret_ranges],
                 "defense": request.defense.value,
                 "confirm": request.confirm, "chaos": request.chaos,
-                "max_cycles": self.config.max_confirm_cycles}
+                "max_cycles": self.config.max_confirm_cycles,
+                "trace": trace}
 
     # -- observability -------------------------------------------------------
 

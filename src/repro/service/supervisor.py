@@ -41,6 +41,7 @@ from repro.campaign.pool import AdaptiveWait, WorkerExit
 from repro.campaign.store import atomic_write
 from repro.errors import ServiceError
 from repro.service.breaker import CircuitBreaker, Quarantine
+from repro.telemetry.obs import FlightRecorder
 from repro.telemetry.service import ServiceStats
 
 #: Worker-exit kinds that count as deaths (environmental, retryable).
@@ -65,10 +66,12 @@ class WorkerPool:
                  quarantine: Optional[Quarantine] = None,
                  max_restarts: int = 1, backoff_base_s: float = 0.05,
                  stall_timeout_s: float = 20.0, allow_chaos: bool = False,
-                 worker_argv: Optional[Callable[..., List[str]]] = None):
+                 worker_argv: Optional[Callable[..., List[str]]] = None,
+                 flight: Optional[FlightRecorder] = None):
         self.name = name
         self.work_dir = work_dir
         self.stats = stats
+        self.flight = flight
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.quarantine = quarantine
         self.max_restarts = max_restarts
@@ -148,6 +151,11 @@ class WorkerPool:
             self.breaker.record_failure()
             if self.stats is not None:
                 self.stats.worker_deaths.inc()
+            if self.flight is not None:
+                self.flight.record(
+                    "worker-death", pool=self.name, kind=exit.kind,
+                    key=key, trace=job.get("trace", ""),
+                    attempt=deaths)
             if self.quarantine is not None \
                     and self.quarantine.record_death(key):
                 if self.stats is not None:
@@ -196,6 +204,11 @@ class WorkerPool:
                         if self.stats is not None \
                                 and exit.kind == pool.WALL_TIMEOUT:
                             self.stats.worker_reaped.inc()
+                        if self.flight is not None:
+                            self.flight.record(
+                                "worker-reap", pool=self.name,
+                                kind=exit.kind,
+                                trace=job.get("trace", ""))
                 if exit is not None:
                     return exit
                 await asyncio.sleep(wait.interval(active=False))

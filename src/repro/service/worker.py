@@ -125,6 +125,7 @@ def run_job(job: dict, heartbeat: Optional[Heartbeat] = None,
             heartbeat.beat(stage)
 
     beat(0)
+    t_start = time.monotonic()
     program, secret_ranges, attack = _subject_program(job)
     beat(1)
     problems = build_cfg(program).check_well_formed()
@@ -132,6 +133,7 @@ def run_job(job: dict, heartbeat: Optional[Heartbeat] = None,
     beat(2)
     verdicts = {defense.value: any(leaks_under(g, defense) for g in gadgets)
                 for defense in DefenseKind}
+    analysis_ms = (time.monotonic() - t_start) * 1000.0
     row: dict = {
         "verdicts": verdicts,
         "gadgets": [{"kind": g.kind.value, "source": g.source,
@@ -144,10 +146,17 @@ def run_job(job: dict, heartbeat: Optional[Heartbeat] = None,
         "sanitized": all(g.sanitized for g in gadgets),
         "cfg_problems": [f"{p.kind} @ {p.address:#x}" for p in problems],
     }
+    confirm_ms = 0.0
     if job.get("confirm"):
         defense = DefenseKind(job.get("defense", "specasan"))
+        t_confirm = time.monotonic()
         row["dynamic"] = _dynamic_confirm(program, attack, defense,
                                           job.get("max_cycles"), heartbeat)
+        confirm_ms = (time.monotonic() - t_confirm) * 1000.0
+    row["timings"] = {"analysis_ms": round(analysis_ms, 3),
+                      "confirm_ms": round(confirm_ms, 3)}
+    if job.get("trace"):
+        row["trace"] = job["trace"]
     beat(3)
     return row
 

@@ -9,19 +9,37 @@ Three layers, all optional and zero-overhead when unused:
   gem5 O3PipeView (Konata-compatible) and JSONL;
 - :mod:`repro.telemetry.occupancy` — ROB/IQ/LQ/SQ/MSHR/LFB occupancy
   histograms plus the speculation-shadow-length and restriction-delay
-  distributions behind the paper's Figure 8.
+  distributions behind the paper's Figure 8;
+- :mod:`repro.telemetry.obs` — the request-scoped observability plane:
+  trace IDs, typed spans with parent/child links (JSONL span logs), the
+  bounded always-on :class:`~repro.telemetry.obs.FlightRecorder`, and
+  collapsed-stack profiling output;
+- :mod:`repro.telemetry.prometheus` — Prometheus text-format exposition
+  snapshots over any :class:`~repro.telemetry.registry.StatsRegistry`.
 
-``python -m repro.telemetry`` renders traces and runs traced simulations;
-see :mod:`repro.telemetry.__main__`.
+``python -m repro.telemetry`` renders traces, runs traced simulations,
+and renders span logs (``--spans``); see :mod:`repro.telemetry.__main__`.
 """
 
+from repro.telemetry.obs import (
+    FlightRecorder,
+    Span,
+    SpanRecorder,
+    load_spans,
+    new_trace_id,
+    parse_spans,
+    render_span_tree,
+)
 from repro.telemetry.occupancy import OccupancyProfiler
+from repro.telemetry.prometheus import render_prometheus
 from repro.telemetry.registry import (
     CORE_FORMULAS,
     HIERARCHY_FORMULAS,
+    LATENCY_PERCENTILES,
     BoundScalar,
     Distribution,
     Formula,
+    LatencyHistogram,
     Scalar,
     StatsRegistry,
     core_registry,
@@ -51,19 +69,29 @@ __all__ = [
     "core_registry",
     "DEFENSE_EVENTS",
     "Distribution",
+    "FlightRecorder",
     "Formula",
     "HIERARCHY_FORMULAS",
     "hierarchy_registry",
+    "LATENCY_PERCENTILES",
+    "LatencyHistogram",
+    "load_spans",
     "load_trace",
+    "new_trace_id",
     "OccupancyProfiler",
     "parse_jsonl",
     "parse_o3pipeview",
+    "parse_spans",
     "PipelineTracer",
     "ratio",
+    "render_prometheus",
+    "render_span_tree",
     "render_stats_dump",
     "render_timeline",
     "render_trace_summary",
     "Scalar",
+    "Span",
+    "SpanRecorder",
     "StatsRegistry",
     "system_registry",
     "TICKS_PER_CYCLE",

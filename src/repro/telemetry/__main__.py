@@ -11,6 +11,13 @@ Run one attack PoC traced end to end (writes ``<out>.o3pipeview``,
     python -m repro.telemetry --run spectre-v1 --defense specasan --out /tmp/sv1
     python -m repro.telemetry --run spectre-v1 --profile   # cProfile the run
 
+``--profile --out X`` additionally writes ``X.prof`` (the raw cProfile
+dump) and ``X.collapsed`` (flamegraph-compatible collapsed stacks).
+
+Render a request/cell span log (service or campaign ``spans.jsonl``)::
+
+    python -m repro.telemetry --spans run/spans.jsonl [--trace-id ab12cd34...]
+
 Determinism guard (used by the CI ``telemetry-smoke`` job): run one traced
 simulation twice with the same seed, assert byte-identical trace output and
 that the trace's commit/squash counts reconcile exactly with CoreStats::
@@ -50,7 +57,8 @@ def _traced_system(defense, tracer, occupancy):
 
 
 def _run_traced_attack(attack_name: str, defense, tracer,
-                       occupancy, max_cycles=None, profile: bool = False):
+                       occupancy, max_cycles=None, profile: bool = False,
+                       profile_out: str = ""):
     """Run one attack PoC (first variant) on a traced system."""
     from repro.attacks import REGISTRY
     from repro.errors import DeadlockError, SimulationError
@@ -72,10 +80,19 @@ def _run_traced_attack(attack_name: str, defense, tracer,
     if profile:
         import cProfile
         import pstats
+        from repro.telemetry.obs import write_collapsed
         profiler = cProfile.Profile()
         profiler.runcall(measured)
         pstats.Stats(profiler, stream=sys.stderr).sort_stats(
             "cumulative").print_stats(25)
+        if profile_out:
+            prof_path = f"{profile_out}.prof"
+            collapsed_path = f"{profile_out}.collapsed"
+            profiler.dump_stats(prof_path)
+            frames = write_collapsed(profiler, collapsed_path)
+            print(f"wrote {prof_path} and {collapsed_path} "
+                  f"({frames} collapsed stacks — feed to flamegraph.pl "
+                  "or speedscope)", file=sys.stderr)
     else:
         measured()
     tracer.close()
@@ -160,7 +177,14 @@ def main(argv=None) -> int:
                         help="output prefix for --run trace/stats files")
     parser.add_argument("--max-cycles", type=int, default=None)
     parser.add_argument("--profile", action="store_true",
-                        help="run --run under cProfile (report on stderr)")
+                        help="run --run under cProfile (report on stderr; "
+                             "with --out also writes <out>.prof and "
+                             "flamegraph-compatible <out>.collapsed)")
+    parser.add_argument("--spans", metavar="SPANS_JSONL",
+                        help="render a span log (service/campaign "
+                             "spans.jsonl) as per-trace span trees")
+    parser.add_argument("--trace-id", default=None,
+                        help="with --spans: only render this trace")
     parser.add_argument("--selftest", action="store_true",
                         help="determinism + reconciliation guard (CI)")
     parser.add_argument("--seed", type=int, default=0)
@@ -173,6 +197,15 @@ def main(argv=None) -> int:
     if args.selftest:
         return _selftest(args)
 
+    if args.spans:
+        from repro.telemetry.obs import load_spans, render_span_tree
+        spans = load_spans(args.spans)
+        if not spans:
+            print(f"(no span records in {args.spans})")
+            return 0
+        print(render_span_tree(spans, trace_id=args.trace_id))
+        return 0
+
     if args.run:
         defense = _parse_defense(args.defense)
         if args.out:
@@ -184,7 +217,8 @@ def main(argv=None) -> int:
         occupancy = OccupancyProfiler()
         system, core = _run_traced_attack(
             args.run, defense, tracer, occupancy,
-            max_cycles=args.max_cycles, profile=args.profile)
+            max_cycles=args.max_cycles, profile=args.profile,
+            profile_out=args.out or "")
         if args.out:
             with open(jsonl_path, encoding="utf-8") as handle:
                 records, summary = parse_jsonl(handle)

@@ -1,0 +1,89 @@
+"""Prometheus text-format exposition over a :class:`StatsRegistry`.
+
+:func:`render_prometheus` snapshots a registry as the plain-text format
+(version 0.0.4) every Prometheus-compatible scraper consumes — no client
+library, no third-party deps:
+
+- :class:`~repro.telemetry.registry.Scalar` / ``BoundScalar`` /
+  ``Formula`` become gauges (the registry does not distinguish
+  monotonicity, and gauges are always safe to scrape);
+- :class:`~repro.telemetry.registry.Distribution` (and
+  ``LatencyHistogram``) become native histograms: cumulative
+  ``_bucket{le="..."}`` series from the fixed bucket bounds, plus
+  ``_sum`` and ``_count``.
+
+Dotted stat names map to the metric namespace by replacing every
+non-``[a-zA-Z0-9_]`` character with ``_`` (``service.tier.static`` →
+``repro_service_tier_static``), the standard flattening.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.telemetry.registry import Distribution, Formula, StatsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(dotted: str, namespace: str = "repro") -> str:
+    """``service.cache.hit-rate`` -> ``repro_service_cache_hit_rate``."""
+    flat = _NAME_RE.sub("_", dotted)
+    name = f"{namespace}_{flat}" if namespace else flat
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _histogram_lines(name: str, stat: Distribution,
+                     lines: List[str]) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for bucket, count in sorted(stat.buckets.items()):
+        cumulative += count
+        _, hi = stat.bucket_bounds(bucket)
+        lines.append(f'{name}_bucket{{le="{_fmt(hi)}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {stat.count}')
+    lines.append(f"{name}_sum {_fmt(stat.total)}")
+    lines.append(f"{name}_count {stat.count}")
+
+
+def render_prometheus(registry: StatsRegistry,
+                      namespace: str = "repro") -> str:
+    """One exposition snapshot of every stat in ``registry``."""
+    lines: List[str] = []
+    for dotted, stat in registry.items():
+        name = metric_name(dotted, namespace)
+        if stat.desc:
+            lines.append(f"# HELP {name} {_escape_help(stat.desc)}")
+        if isinstance(stat, Distribution):
+            _histogram_lines(name, stat, lines)
+            continue
+        lines.append(f"# TYPE {name} gauge")
+        try:
+            value = stat.value
+        except ZeroDivisionError:  # defensive: formulas should ratio()
+            value = None
+        if isinstance(stat, Formula) or isinstance(value, (int, float)) \
+                or value is None:
+            lines.append(f"{name} {_fmt(value)}")
+        else:   # non-numeric stat: expose presence, not the value
+            lines.append(f"{name} 1")
+    return "\n".join(lines) + "\n"

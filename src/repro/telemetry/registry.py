@@ -199,6 +199,29 @@ class Distribution(Stat):
         self.max = None
         self.buckets = {}
 
+    def percentile(self, q: float) -> float:
+        """Fixed-bucket percentile estimate (``q`` in [0, 1]).
+
+        Walks the histogram to the bucket holding the ``q``-quantile
+        sample and interpolates linearly inside it — the standard
+        fixed-bucket estimator.  The answer is clamped to the observed
+        min/max so tiny histograms never report impossible values.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0 or self.min is None or self.max is None:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for bucket, count in sorted(self.buckets.items()):
+            cumulative += count
+            if cumulative >= target:
+                lo, hi = self.bucket_bounds(bucket)
+                within = 1.0 - (cumulative - target) / count
+                estimate = lo + (hi - lo) * within
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
     def dump(self) -> dict:
         return {
             "count": self.count,
@@ -232,6 +255,45 @@ class Distribution(Stat):
         self.buckets = {int(k): v for k, v in state["buckets"]}
 
 
+#: Percentiles every latency surface reports (Figure-style p50/p95/p99).
+LATENCY_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+class LatencyHistogram(Distribution):
+    """A latency distribution in milliseconds with p50/p95/p99 estimation.
+
+    Log2 buckets by default — latency tails are long — and the dump adds
+    the fixed-percentile estimates the service metrics and the benchmark
+    snapshots serve.  ``observe`` is :meth:`Distribution.sample` under the
+    name the metrics world expects.
+    """
+
+    def __init__(self, name: str, desc: str = "", **kwargs):
+        kwargs.setdefault("log2_buckets", True)
+        super().__init__(name, desc, **kwargs)
+
+    def observe(self, latency_ms: float) -> None:
+        self.sample(max(0.0, latency_ms))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def dump(self) -> dict:
+        record = super().dump()
+        for q in LATENCY_PERCENTILES:
+            record[f"p{int(q * 100)}"] = self.percentile(q)
+        return record
+
+
 class Scope:
     """A dotted-prefix view of a registry: ``scope.scalar("x")`` registers
     ``prefix.x``.  Scopes nest (``scope.scope("commit")``)."""
@@ -257,6 +319,9 @@ class Scope:
 
     def distribution(self, name: str, desc: str = "", **kwargs) -> Distribution:
         return self.add(name, Distribution(name, desc, **kwargs))
+
+    def latency(self, name: str, desc: str = "", **kwargs) -> LatencyHistogram:
+        return self.add(name, LatencyHistogram(name, desc, **kwargs))
 
     def formula(self, name: str, fn, desc: str = "") -> Formula:
         return self.add(name, Formula(name, fn, desc))

@@ -79,6 +79,17 @@ class ServiceStats:
         self.cancelled_at_drain = lifecycle.scalar(
             "cancelled_at_drain", "in-flight requests cut by drain timeout")
 
+        latency = scope.scope("latency")
+        self.request_ms = latency.latency(
+            "request_ms", "end-to-end served-request latency (ms)")
+        self.queue_wait_ms = latency.latency(
+            "queue_wait_ms", "admission-to-dispatch queue wait (ms)")
+        self.analysis_ms = latency.latency(
+            "analysis_ms", "static-lint time inside the worker (ms)")
+        self.confirm_ms = latency.latency(
+            "confirm_ms", "simulator-confirmation time inside the "
+                          "worker (ms)")
+
     # -- formulas ------------------------------------------------------------
 
     def _rejected_total(self) -> float:
@@ -102,6 +113,14 @@ class ServiceStats:
         self.tier[tier].inc()
         if degraded:
             self.degraded.inc()
+
+    def observe_timings(self, timings: dict) -> None:
+        """Book one served request's envelope timing breakdown into the
+        ``service.latency.*`` histograms."""
+        self.request_ms.observe(timings.get("total_ms", 0.0))
+        self.queue_wait_ms.observe(timings.get("queue_wait_ms", 0.0))
+        self.analysis_ms.observe(timings.get("analysis_ms", 0.0))
+        self.confirm_ms.observe(timings.get("confirm_ms", 0.0))
 
     def dump(self) -> dict:
         return self.registry.dump()

@@ -1,0 +1,262 @@
+"""Tests for the observability plane primitives (repro.telemetry.obs)."""
+
+import json
+import time
+
+import pytest
+
+from repro.telemetry.obs import (FlightRecorder, Span, SpanRecorder,
+                                 collapsed_stacks, is_trace_id, load_spans,
+                                 new_trace_id, parse_spans, render_span_tree,
+                                 span_forest, write_collapsed)
+
+
+# ----------------------------------------------------------------------
+# trace IDs
+# ----------------------------------------------------------------------
+
+class TestTraceIds:
+    def test_fresh_ids_are_16_hex(self):
+        trace = new_trace_id()
+        assert len(trace) == 16
+        assert all(c in "0123456789abcdef" for c in trace)
+        assert is_trace_id(trace)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(256)}) == 256
+
+    def test_loose_validation(self):
+        assert is_trace_id("feedface00")
+        assert is_trace_id("ab-cd")
+        assert not is_trace_id("")
+        assert not is_trace_id("UPPER")
+        assert not is_trace_id("spaces here")
+        assert not is_trace_id("x" * 65)
+        assert not is_trace_id(123)
+
+
+# ----------------------------------------------------------------------
+# Span round-trip
+# ----------------------------------------------------------------------
+
+class TestSpan:
+    def test_dict_round_trip(self):
+        span = Span(trace_id="t" * 16, span_id="s" * 16, parent_id="",
+                    name="static-lint", t0_ms=12.5, dur_ms=3.125,
+                    status="ok", attrs={"pool": "static"})
+        record = span.to_dict()
+        assert record["kind"] == "span"
+        back = Span.from_dict(record)
+        assert back == span
+
+    def test_attrs_omitted_when_empty(self):
+        span = Span(trace_id="t", span_id="s", parent_id="", name="x",
+                    t0_ms=0.0, dur_ms=1.0)
+        assert "attrs" not in span.to_dict()
+
+
+# ----------------------------------------------------------------------
+# FlightRecorder ring semantics
+# ----------------------------------------------------------------------
+
+class TestFlightRecorder:
+    def test_bounded_ring_drops_oldest(self):
+        flight = FlightRecorder(capacity=4)
+        for i in range(10):
+            flight.record("tick", i=i)
+        assert flight.recorded == 10
+        assert flight.dropped == 6
+        kept = [e["i"] for e in flight.tail(100)]
+        assert kept == [6, 7, 8, 9]
+
+    def test_tail_returns_newest_n(self):
+        flight = FlightRecorder(capacity=16)
+        for i in range(8):
+            flight.record("tick", i=i)
+        assert [e["i"] for e in flight.tail(3)] == [5, 6, 7]
+
+    def test_events_carry_attrs_and_monotonic_seq(self):
+        flight = FlightRecorder(capacity=8)
+        entry = flight.record("shed", kind="backpressure", trace="ab12")
+        assert entry["event"] == "shed"
+        assert entry["trace"] == "ab12"
+        later = flight.record("shed")
+        assert later["seq"] > entry["seq"]
+
+    def test_dump_shape(self):
+        flight = FlightRecorder(capacity=2)
+        flight.record("a")
+        flight.record("b")
+        flight.record("c")
+        dump = flight.dump()
+        assert dump["capacity"] == 2
+        assert dump["recorded"] == 3
+        assert dump["dropped"] == 1
+        assert [e["event"] for e in dump["events"]] == ["b", "c"]
+        json.dumps(dump)   # must be JSON-serializable as-is
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# SpanRecorder
+# ----------------------------------------------------------------------
+
+class TestSpanRecorder:
+    def test_context_manager_measures_and_links(self):
+        spans = SpanRecorder()
+        with spans.span("trace1", "pool-dispatch", parent_id="root1",
+                        pool="static") as handle:
+            handle.annotate(queued=2)
+        assert spans.emitted == 1
+        span = spans.spans[0]
+        assert span.name == "pool-dispatch"
+        assert span.trace_id == "trace1"
+        assert span.parent_id == "root1"
+        assert span.attrs == {"pool": "static", "queued": 2}
+        assert span.dur_ms >= 0.0
+
+    def test_exception_marks_error_status(self):
+        spans = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with spans.span("trace1", "static-lint"):
+                raise RuntimeError("worker died")
+        span = spans.spans[0]
+        assert span.status == "error"
+        assert span.attrs["error"] == "worker died"
+
+    def test_post_hoc_record_clamps_negative_duration(self):
+        spans = SpanRecorder()
+        span = spans.record("trace1", "queue-wait", t0_ms=5.0, dur_ms=-1.0)
+        assert span.dur_ms == 0.0
+
+    def test_at_rebases_monotonic_seconds(self):
+        spans = SpanRecorder()
+        mark = time.monotonic()
+        rebased = spans.at(mark)
+        assert abs(rebased - spans.now()) < 100.0   # same clock, close by
+
+    def test_jsonl_file_append_and_load(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        spans = SpanRecorder(path)
+        spans.record("trace1", "queue-wait", t0_ms=0.0, dur_ms=1.5)
+        spans.record("trace1", "static-lint", t0_ms=1.5, dur_ms=2.0,
+                     status="error")
+        spans.close()
+        loaded = load_spans(path)
+        assert [s.name for s in loaded] == ["queue-wait", "static-lint"]
+        assert loaded[1].status == "error"
+
+    def test_mirrors_into_flight_recorder(self):
+        flight = FlightRecorder(capacity=8)
+        spans = SpanRecorder(flight=flight)
+        spans.record("trace1", "cache-lookup", t0_ms=0.0, dur_ms=0.5)
+        events = flight.tail()
+        assert events and events[-1]["event"] == "span"
+        assert events[-1]["trace"] == "trace1"
+
+
+# ----------------------------------------------------------------------
+# offline parse / forest / render
+# ----------------------------------------------------------------------
+
+def _forest_fixture():
+    """One trace: root request span with two children, one grandchild."""
+    return [
+        Span("tr1", "root0000", "", "request", 0.0, 10.0),
+        Span("tr1", "qw000000", "root0000", "queue-wait", 0.0, 1.0),
+        Span("tr1", "pd000000", "root0000", "pool-dispatch", 1.0, 9.0),
+        Span("tr1", "sl000000", "pd000000", "static-lint", 2.0, 4.0),
+        Span("tr2", "lone0000", "", "request", 5.0, 2.0),
+    ]
+
+
+class TestOffline:
+    def test_parse_skips_damaged_and_foreign_lines(self):
+        lines = [
+            json.dumps(Span("t", "a", "", "x", 0.0, 1.0).to_dict()),
+            '{"kind": "stats", "other": true}',
+            "{torn line",
+            "",
+        ]
+        spans = parse_spans(lines)
+        assert len(spans) == 1
+        assert spans[0].name == "x"
+
+    def test_forest_links_children_under_parents(self):
+        forest = span_forest(_forest_fixture())
+        assert set(forest) == {"tr1", "tr2"}
+        roots = forest["tr1"]
+        assert len(roots) == 1
+        root, kids = roots[0]
+        assert root.name == "request"
+        assert [k.name for k, _ in kids] == ["queue-wait", "pool-dispatch"]
+        dispatch_kids = kids[1][1]
+        assert [k.name for k, _ in dispatch_kids] == ["static-lint"]
+
+    def test_orphans_promote_to_roots(self):
+        spans = [Span("tr", "kid00000", "gone0000", "static-lint", 0.0, 1.0)]
+        forest = span_forest(spans)
+        assert forest["tr"][0][0].name == "static-lint"
+
+    def test_render_all_and_filtered(self):
+        spans = _forest_fixture()
+        text = render_span_tree(spans)
+        assert "trace tr1" in text and "trace tr2" in text
+        assert "static-lint" in text
+        only = render_span_tree(spans, trace_id="tr2")
+        assert "trace tr2" in only and "tr1" not in only
+        missing = render_span_tree(spans, trace_id="nope")
+        assert "no spans for trace" in missing
+
+
+# ----------------------------------------------------------------------
+# collapsed stacks
+# ----------------------------------------------------------------------
+
+def _busy(n):
+    return sum(i * i for i in range(n))
+
+
+def _outer(n):
+    return _busy(n) + _busy(n)
+
+
+class TestCollapsedStacks:
+    def test_real_profile_produces_stacks(self, tmp_path):
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.runcall(_outer, 20_000)
+        path = str(tmp_path / "out.collapsed")
+        count = write_collapsed(profiler, path, min_us=0)
+        assert count > 0
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == count
+        for line in lines:
+            stack, _, micros = line.rpartition(" ")
+            assert stack and int(micros) >= 0
+        assert any("_busy" in line for line in lines)
+        # the leaf frame's caller chain reaches the outer function
+        busy_line = next(line for line in lines if "_busy" in line)
+        assert "_outer" in busy_line
+
+    def test_min_us_filters_cheap_frames(self):
+        stats = {
+            ("f.py", 1, "cheap"): (1, 1, 0.0000001, 0.0000001, {}),
+            ("f.py", 2, "hot"): (1, 1, 0.5, 0.5, {}),
+        }
+        lines = collapsed_stacks(stats, min_us=10)
+        assert len(lines) == 1
+        assert "hot" in lines[0]
+
+    def test_cycle_guard_terminates(self):
+        a = ("f.py", 1, "a")
+        b = ("f.py", 2, "b")
+        stats = {
+            a: (1, 1, 0.01, 0.02, {b: (1, 1, 0.01, 0.02)}),
+            b: (1, 1, 0.01, 0.02, {a: (1, 1, 0.01, 0.02)}),
+        }
+        lines = collapsed_stacks(stats)
+        assert len(lines) == 2

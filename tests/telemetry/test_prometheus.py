@@ -1,0 +1,95 @@
+"""Latency histograms and the Prometheus text exposition."""
+
+import pytest
+
+from repro.telemetry.prometheus import metric_name, render_prometheus
+from repro.telemetry.registry import StatsRegistry
+
+
+def small_registry() -> StatsRegistry:
+    registry = StatsRegistry()
+    scope = registry.scope("service")
+    hits = scope.scalar("cache.hits", "verdicts served from cache")
+    hits.inc(3)
+    latency = scope.latency("latency.request_ms", "request latency (ms)")
+    for value in (1.0, 2.0, 4.0, 100.0):
+        latency.observe(value)
+    return registry
+
+
+class TestLatencyHistogram:
+    def test_percentiles_are_ordered_and_clamped(self):
+        registry = StatsRegistry()
+        hist = registry.scope("t").latency("ms")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.count == 100
+        assert 1.0 <= hist.p50 <= hist.p95 <= hist.p99 <= 100.0
+        assert hist.p50 == pytest.approx(50.0, rel=0.5)
+
+    def test_empty_histogram_reports_zero(self):
+        registry = StatsRegistry()
+        hist = registry.scope("t").latency("ms")
+        assert hist.p50 == hist.p95 == hist.p99 == 0.0
+
+    def test_negative_observations_clamp_to_zero(self):
+        registry = StatsRegistry()
+        hist = registry.scope("t").latency("ms")
+        hist.observe(-5.0)
+        assert hist.count == 1
+        assert hist.min == 0.0
+
+    def test_dump_carries_percentiles(self):
+        registry = StatsRegistry()
+        hist = registry.scope("t").latency("ms")
+        hist.observe(8.0)
+        dump = hist.dump()
+        assert {"p50", "p95", "p99", "count", "mean"} <= set(dump)
+
+    def test_percentile_rejects_out_of_range(self):
+        registry = StatsRegistry()
+        hist = registry.scope("t").latency("ms")
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+
+class TestMetricName:
+    def test_flattens_dots_and_dashes(self):
+        assert metric_name("service.cache.hit-rate") == \
+            "repro_service_cache_hit_rate"
+
+    def test_no_namespace(self):
+        assert metric_name("a.b", namespace="") == "a_b"
+
+    def test_leading_digit_is_escaped(self):
+        assert metric_name("505.mcf", namespace="")[0] == "_"
+
+
+class TestRenderPrometheus:
+    def test_gauge_lines(self):
+        text = render_prometheus(small_registry())
+        assert "# TYPE repro_service_cache_hits gauge" in text
+        assert "repro_service_cache_hits 3" in text
+        assert "# HELP repro_service_cache_hits verdicts served" in text
+
+    def test_histogram_lines_are_cumulative(self):
+        text = render_prometheus(small_registry())
+        name = "repro_service_latency_request_ms"
+        assert f"# TYPE {name} histogram" in text
+        assert f'{name}_bucket{{le="+Inf"}} 4' in text
+        assert f"{name}_count 4" in text
+        assert f"{name}_sum 107" in text
+        buckets = [line for line in text.splitlines()
+                   if line.startswith(f"{name}_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts), "bucket series must be cumulative"
+
+    def test_exposition_ends_with_newline(self):
+        assert render_prometheus(small_registry()).endswith("\n")
+
+    def test_formula_renders_as_gauge(self):
+        registry = StatsRegistry()
+        scope = registry.scope("x")
+        scope.formula("half", lambda: 0.5, "a ratio")
+        text = render_prometheus(registry)
+        assert "repro_x_half 0.5" in text
