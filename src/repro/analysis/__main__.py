@@ -31,7 +31,7 @@ from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from repro.analysis import repair as repair_mod
-from repro.analysis.cfg import build_cfg
+from repro.analysis.cfg import build_cfg, require_well_formed
 from repro.analysis.differential import (
     compare_matrices,
     compare_to_expected,
@@ -68,6 +68,39 @@ def _report(attacks: Optional[List[str]]) -> int:
     print(render_report(attacks))
     print()
     print(render_static(static_matrix(attacks)))
+    return 0
+
+
+def _report_file(path: str, secrets: List[str]) -> int:
+    """Static gadget report for one ``.s`` file (``--report FILE.s``).
+
+    Degenerate inputs — an empty program, unreachable victim code, flow
+    that falls off the end of the text — are refused with the CFG
+    diagnostics rather than reported as "no gadgets"
+    (:func:`~repro.analysis.cfg.require_well_formed`).
+    """
+    from repro.errors import AssemblerError
+    from repro.isa.assembler import assemble
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as err:
+        raise AnalysisError(f"cannot read {path}: {err}")
+    try:
+        program = assemble(source)
+    except AssemblerError as err:
+        raise AnalysisError(f"{path} does not assemble: {err}")
+    require_well_formed(program)
+    secret_ranges = [_parse_secret(s) for s in secrets]
+    gadgets = find_gadgets(program, secret_ranges)
+    print(f"{path}: {len(program.instructions)} instruction(s), "
+          f"{len(gadgets)} gadget(s)")
+    for gadget in gadgets:
+        print(f"  {gadget.render()}")
+        verdicts = ", ".join(
+            f"{d.value}={'leak' if leaks_under(gadget, d) else 'safe'}"
+            for d in DefenseKind)
+        print(f"    {verdicts}")
     return 0
 
 
@@ -265,9 +298,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.analysis",
         description="Static speculative-leakage analysis (spec-lint).")
     mode = parser.add_mutually_exclusive_group()
-    mode.add_argument("--report", action="store_true",
+    mode.add_argument("--report", nargs="?", const="", default=None,
+                      metavar="FILE.s",
                       help="print the gadget report and static matrix "
-                           "(default)")
+                           "(default); with FILE.s, lint that source "
+                           "file instead (use --secret for its secret "
+                           "ranges); degenerate programs are refused "
+                           "with CFG diagnostics (exit 2)")
     mode.add_argument("--differential", action="store_true",
                       help="also run the simulator and diff the matrices")
     mode.add_argument("--witness", action="store_true",
@@ -310,10 +347,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.repair:
             return _repair(args.repair, DEFENSE_NAMES[args.defense],
                            args.secret, args.emit)
+        if args.report:
+            return _report_file(args.report, args.secret)
+        return _report(args.attack)
     except AnalysisError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    return _report(args.attack)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.errors import AnalysisError
 from repro.isa.instructions import INSTR_BYTES, Instruction, Opcode
 from repro.isa.program import Program
 from repro.mte.tags import strip_tag
@@ -181,6 +182,32 @@ class CFG:
                     f"{term.render()} falls through past the end of the "
                     f"text segment"))
         return problems
+
+
+def require_well_formed(program: Program) -> CFG:
+    """Build the CFG and *demand* well-formedness (the CLI-facing gate).
+
+    :meth:`CFG.check_well_formed` is lint-severity — callers that can
+    produce a partial answer keep going.  Entry points that report to a
+    human (``--report FILE.s``, the service) must instead refuse: a
+    gadget report over a degenerate program ("no gadgets found" because
+    the victim code was unreachable, or because execution falls off the
+    end of the text) is indistinguishable from a clean bill of health.
+    Raises :class:`~repro.errors.AnalysisError` naming every problem
+    block address; the empty program (a ``.s`` file with only
+    directives) is converted from :func:`build_cfg`'s ``ValueError``
+    into the same typed error.
+    """
+    try:
+        cfg = build_cfg(program)
+    except ValueError as err:
+        raise AnalysisError(f"degenerate program: {err}")
+    problems = cfg.check_well_formed()
+    if problems:
+        detail = "; ".join(str(problem) for problem in problems)
+        raise AnalysisError(
+            f"degenerate program: {len(problems)} CFG problem(s): {detail}")
+    return cfg
 
 
 def build_cfg(program: Program,

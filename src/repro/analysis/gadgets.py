@@ -46,6 +46,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.analysis import hooks
 from repro.analysis.taint import TaintResult, analyze
 from repro.analysis.windows import EntryKind, Window, compute_windows
 from repro.config import CoreConfig, DefenseKind
@@ -147,7 +148,8 @@ def _window_gadget(taint: TaintResult, window: Window) -> Optional[Gadget]:
                 channels.add(Channel.CACHE)
             accesses.extend(load.secret_accesses)
         value = taint.contention.get(address)
-        if value is not None and value.secret:
+        if value is not None and value.secret \
+                and not hooks.injected("drop-contention-transmitter"):
             transmitters.append(address)
             channels.add(Channel.CONTENTION)
     if not transmitters:
@@ -280,4 +282,10 @@ def find_gadgets(program: Program,
     # CI) produce byte-identical reports.
     gadgets.sort(key=lambda g: (g.source, g.kind.value, g.entry,
                                 g.transmitters))
+    sink = hooks.coverage_sink()
+    if sink is not None:
+        for gadget in gadgets:
+            for defense in DefenseKind:
+                sink(hooks.verdict_feature(gadget.kind.value, defense.value,
+                                           leaks_under(gadget, defense)))
     return gadgets

@@ -35,6 +35,7 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis import hooks
 from repro.analysis.cfg import CFG, BasicBlock, build_cfg
 from repro.isa.instructions import FLAGS_REG, INSTR_BYTES, Instruction, Opcode
 from repro.isa.program import DataSegment, Program
@@ -490,4 +491,36 @@ def analyze(program: Program,
                         secret_ranges=ctx.secret_ranges)
     for index, state in in_states.items():
         _run_block(ctx, cfg.blocks[index], dict(state), facts)
+    sink = hooks.coverage_sink()
+    if sink is not None:
+        _emit_taint_coverage(facts, sink)
     return facts
+
+
+def _provenance(value: Value) -> str:
+    """A value's taint provenance label (``const`` when untainted)."""
+    flags = [name for name in ("attacker", "secret", "loaded", "stale")
+             if getattr(value, name)]
+    return "+".join(flags) if flags else "const"
+
+
+def _emit_taint_coverage(facts: TaintResult, sink) -> None:
+    """One ``taint:<provenance>:<transmitter>`` edge per tainted fact.
+
+    Emitted only from the final fact-recording pass (never inside the
+    fixpoint), and only when a sink is installed — the fuzzer's coverage
+    signal for "the dataflow moved taint somewhere new".
+    """
+    for fact in facts.loads.values():
+        if fact.address.secret or fact.address.stale:
+            sink(hooks.taint_feature(_provenance(fact.address), "cache"))
+    for store in facts.stores.values():
+        if store.data.secret or store.data.stale:
+            sink(hooks.taint_feature(_provenance(store.data), "store"))
+    for value in facts.contention.values():
+        if value.secret or value.stale:
+            sink(hooks.taint_feature(_provenance(value), "contention"))
+    for branch in facts.branches.values():
+        condition = branch.condition
+        if condition is not None and (condition.secret or condition.stale):
+            sink(hooks.taint_feature(_provenance(condition), "branch"))

@@ -33,6 +33,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
+from repro.analysis import hooks
 from repro.analysis.cfg import successors
 from repro.analysis.taint import TaintResult
 from repro.config import CoreConfig
@@ -85,7 +86,7 @@ def _window_body(program: Program, entry: int,
             continue
         visited.add(address)
         body.append(instr.address)
-        if instr.is_barrier:
+        if instr.is_barrier and not hooks.injected("drop-sb-cut"):
             cut = True
             continue
         if instr.op in (Opcode.BR, Opcode.BLR) or instr.is_return:
@@ -109,11 +110,15 @@ def compute_windows(taint: TaintResult,
                     if instr.is_call
                     and program.fetch(instr.address + INSTR_BYTES) is not None]
 
+    sink = hooks.coverage_sink()
+
     def emit(kind: EntryKind, source: int, entry: int) -> None:
         target = program.fetch(entry)
         if target is None:
             return
         body, cut = _window_body(program, entry, limit)
+        if sink is not None:
+            sink(hooks.window_feature(kind.value, len(body), cut))
         windows.append(Window(kind=kind, source=source, entry=entry,
                               body=body,
                               entry_is_bti=target.op is Opcode.BTI,

@@ -360,6 +360,16 @@ _BUILDERS = {
 }
 
 
+def build_witness_attack(kind: EntryKind, residual: bool) -> AttackProgram:
+    """The raw witness :class:`AttackProgram` for one (kind, variant).
+
+    Public entry for callers that want the builder output without the
+    synthesis pipeline's round-trip/analysis steps — the fuzz generator
+    uses the timing-fragile BTB/RSB/LFB builders as singleton templates.
+    """
+    return _BUILDERS[kind](residual)
+
+
 # -- synthesis pipeline -------------------------------------------------------
 
 

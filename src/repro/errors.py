@@ -290,3 +290,15 @@ class AnalysisError(ReproError):
     class) and by automatic repair (no sufficient fix exists for a gadget,
     or a repaired program failed re-verification).
     """
+
+
+class FuzzError(ReproError):
+    """The differential fuzzer could not complete a request.
+
+    Raised for harness-level failures — a generated candidate that fails
+    its assemble/disassemble round-trip, a corpus directory whose manifest
+    does not match the requested configuration, or a replay that diverges
+    from its recorded corpus.  Analyzer/simulator *disagreements* are never
+    exceptions: they are the fuzzer's product, triaged into minimized
+    regression records.
+    """

@@ -1,0 +1,27 @@
+"""spec-fuzz: a coverage-guided differential fuzzer for spec-lint.
+
+The analyzer and the cycle-level simulator must agree about which
+speculative accesses can leak — that agreement is the paper's security
+argument, and hand-written suites only check it on the Table-1 cells and
+the synthesized witnesses.  This package mass-generates speculative
+programs and uses *each tool as the other's oracle*:
+
+- :mod:`repro.fuzz.coverage` — the coverage signal: novel analyzer
+  shapes (speculation-window shape, taint-flow edge, gadget × defense
+  verdict) observed through the zero-overhead hooks in
+  :mod:`repro.analysis.hooks`;
+- :mod:`repro.fuzz.generator` — seeded, stream-disciplined template
+  synthesis over ``repro.isa`` (SpecDoctor's configure → transient-trigger
+  → secret-transmit → secret-receive structure), plus the mutation engine
+  that splices, flips, re-keys and stretches corpus entries;
+- :mod:`repro.fuzz.executor` — the differential loop: static verdicts vs
+  live simulator runs under a configurable defense set, with triage;
+- :mod:`repro.fuzz.minimize` — line-level ddmin over the ``.s`` text that
+  shrinks a disagreement to a minimized regression;
+- :mod:`repro.fuzz.corpus` — the durable, replayable corpus store
+  (campaign-style atomic writes + per-record checksums);
+- :mod:`repro.fuzz.campaign` — scale-out over the process-isolated
+  campaign pool, with crash-safe resume;
+- ``python -m repro.fuzz`` — the CLI (``--smoke`` / ``--selftest`` /
+  ``--campaign`` / ``--resume`` / ``--replay``).
+"""

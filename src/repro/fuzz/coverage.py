@@ -1,0 +1,61 @@
+"""The fuzzer's coverage signal: novel analyzer shapes.
+
+A :class:`CoverageMap` is the sink installed via
+:func:`repro.analysis.hooks.coverage` while the executor lints one
+candidate.  Features are the opaque strings the analyzer emits
+(``win:…`` window shapes, ``taint:…`` flow edges, ``verdict:…``
+gadget-class × defense pairs — see :mod:`repro.analysis.hooks` for the
+vocabulary).  Observations accumulate in a pending set; :meth:`commit`
+folds them into the global map and reports which were *new* — the
+novelty signal that admits a candidate into the corpus and marks it as a
+mutation parent.
+
+Everything here is deterministic and JSON-serializable so a same-seed
+re-run reproduces the exact frontier and shard maps merge exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+
+class CoverageMap:
+    """Feature → hit-count map with a pending per-candidate set."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self._pending: Set[str] = set()
+
+    # The hooks.CoverageSink callable.
+    def observe(self, feature: str) -> None:
+        self._pending.add(feature)
+
+    def commit(self) -> List[str]:
+        """Fold pending observations in; return the sorted new features."""
+        new = sorted(f for f in self._pending if f not in self.counts)
+        for feature in self._pending:
+            self.counts[feature] = self.counts.get(feature, 0) + 1
+        self._pending.clear()
+        return new
+
+    def discard(self) -> None:
+        """Drop pending observations without folding them in."""
+        self._pending.clear()
+
+    @property
+    def frontier(self) -> int:
+        """Number of distinct features ever observed."""
+        return len(self.counts)
+
+    def merge(self, other: "CoverageMap") -> None:
+        for feature, count in other.counts.items():
+            self.counts[feature] = self.counts.get(feature, 0) + count
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(sorted(self.counts.items()))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CoverageMap":
+        coverage = cls()
+        coverage.counts = {str(k): int(v) for k, v in data.items()}
+        return coverage

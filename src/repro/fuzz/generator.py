@@ -1,0 +1,603 @@
+"""Template-driven candidate synthesis and the mutation engine.
+
+Candidates follow SpecDoctor's four-step structure — *configure* (data
+segments, MTE-tagged secret placement, training tables), *transient
+trigger* (a mistrained branch, a late-address store, an uncommitted
+store), *secret transmit* (a secret-indexed probe touch or a
+secret-operand ``MUL``), *secret receive* (the shared probe array read
+back by the leak detector) — instantiated from parameterized section
+templates over :class:`~repro.isa.builder.ProgramBuilder`:
+
+===========  ======================================  ==================
+template     transient trigger                       knobs
+===========  ======================================  ==================
+pht          mistrained bounds check (Spectre v1)    residual, pad,
+                                                     barrier, flip,
+                                                     train_iters
+stl          store-to-load bypass (Spectre v4)       residual, pad,
+                                                     barrier
+sbb          store-buffer sampling (Fallout)         residual, pad
+benign       no secret at all (the control)          pad, flip
+contention   pht shape, ``MUL`` transmitter (SCC)    pht knobs
+btb/rsb/lfb  witness builders, singleton             residual
+===========  ======================================  ==================
+
+``pht``/``stl``/``sbb``/``benign`` sections are *spliceable*: up to two
+of them share one program (disjoint address arenas, suffixed labels),
+which is how the splice mutation crosses corpus entries.  ``contention``
+must stand alone — its oracle is the contention-event channel, and a
+cache-channel section in the same program would log events the cache
+oracle cannot see.  The BTB/RSB/LFB witnesses keep their timing-fragile
+fixed layouts, so they stand alone too.
+
+Knob semantics are chosen so *both* oracles move together: ``pad``
+stretches the transmit past the ROB bound (48 > 40 means neither the
+static window nor the dynamic ROB reaches it), ``barrier`` drops an
+``SB`` between ACCESS and transmit (window cut ∧ squashed transmit),
+``residual`` re-keys the secret to the accessing pointer's MTE key (the
+TikTag same-key residual SpecASan misses), ``flip`` inverts the trained
+branch polarity.  Values near the ROB boundary are deliberately not
+generated: there the static instruction-count window and the dynamic
+occupancy model can legitimately diverge, which would drown the signal
+the differential is hunting.
+
+Everything is derived from explicit :mod:`repro.rng` streams; building
+the same spec twice yields byte-identical ``.s`` text.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.windows import EntryKind
+from repro.analysis.witness import build_witness_attack, secret_ranges_of
+from repro.attacks.blocks import emit_victim_warmup, heap_array, heap_secret
+from repro.attacks.common import (
+    AttackProgram,
+    emit_transmit,
+    make_probe_array,
+    PROBE_BASE,
+    SLOW_CELLS,
+    TAG_SECRET,
+)
+from repro.config import CORTEX_A76
+from repro.errors import FuzzError
+from repro.isa.assembler import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.disasm import disassemble, signature
+from repro.mte.allocator import TaggedHeap
+from repro.mte.tags import with_key
+
+SECRET_VALUE = 11
+TRAIN_CONTENT = 1
+SAFE_VALUE = 2
+
+#: Per-section address arenas (clear of the shared probe/slow layouts).
+ARENA_BASE = 0x40000
+ARENA_STRIDE = 0x8000
+#: Per-section never-touched DRAM-latency cells.
+SLOW_STRIDE = 0x10000
+#: Dummy secret range for candidates that plant no secret at all.
+NO_SECRET_BASE = 0x3F000
+
+#: Window-stretch choices: 0/8/16 keep the transmit well inside the
+#: 40-entry ROB; 48 pushes it past for both oracles.  Nothing near the
+#: boundary (see module docstring).
+PAD_CHOICES = (0, 8, 16, 48)
+ITER_CHOICES = (5, 7, 9)
+
+SPLICEABLE = ("pht", "stl", "sbb", "benign")
+SINGLETONS = ("contention", "btb", "rsb", "lfb")
+TEMPLATES = SPLICEABLE + SINGLETONS
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """One section's template and knob settings (normalized)."""
+
+    template: str
+    residual: bool = False
+    pad: int = 0
+    barrier: bool = False
+    flip: bool = False
+    train_iters: int = 7
+
+    def to_dict(self) -> dict:
+        return {"template": self.template, "residual": self.residual,
+                "pad": self.pad, "barrier": self.barrier, "flip": self.flip,
+                "train_iters": self.train_iters}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SectionSpec":
+        return cls(template=str(data["template"]),
+                   residual=bool(data["residual"]), pad=int(data["pad"]),
+                   barrier=bool(data["barrier"]), flip=bool(data["flip"]),
+                   train_iters=int(data["train_iters"]))
+
+
+#: Which knobs each template honours; :func:`normalize` zeroes the rest so
+#: specs have one canonical form (mutations of an ignored knob would
+#: otherwise mint distinct specs for identical programs).
+_KNOBS: Dict[str, Tuple[str, ...]] = {
+    "pht": ("residual", "pad", "barrier", "flip", "train_iters"),
+    "contention": ("residual", "pad", "barrier", "flip", "train_iters"),
+    "stl": ("residual", "pad", "barrier"),
+    "sbb": ("residual", "pad"),
+    "benign": ("pad", "flip"),
+    "btb": ("residual",),
+    "rsb": ("residual",),
+    "lfb": ("residual",),
+}
+
+
+def normalize(section: SectionSpec) -> SectionSpec:
+    knobs = _KNOBS[section.template]
+    defaults = SectionSpec(template=section.template)
+    return SectionSpec(
+        template=section.template,
+        residual=section.residual if "residual" in knobs else defaults.residual,
+        pad=section.pad if "pad" in knobs else defaults.pad,
+        barrier=section.barrier if "barrier" in knobs else defaults.barrier,
+        flip=section.flip if "flip" in knobs else defaults.flip,
+        train_iters=(section.train_iters if "train_iters" in knobs
+                     else defaults.train_iters))
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """A full candidate: one or two sections plus the observed channel."""
+
+    sections: Tuple[SectionSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.sections) <= 2:
+            raise FuzzError(f"candidate must have 1-2 sections, "
+                            f"got {len(self.sections)}")
+        for section in self.sections:
+            if section.template not in TEMPLATES:
+                raise FuzzError(f"unknown template {section.template!r}")
+        if len(self.sections) > 1 and any(
+                s.template in SINGLETONS for s in self.sections):
+            raise FuzzError("singleton templates cannot be spliced: "
+                            f"{[s.template for s in self.sections]}")
+
+    @property
+    def channel(self) -> str:
+        first = self.sections[0].template
+        return "contention" if first == "contention" else "cache"
+
+    @property
+    def label(self) -> str:
+        return "+".join(s.template for s in self.sections)
+
+    def to_dict(self) -> dict:
+        return {"sections": [s.to_dict() for s in self.sections]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateSpec":
+        return cls(sections=tuple(SectionSpec.from_dict(s)
+                                  for s in data["sections"]))
+
+
+@dataclass
+class FuzzCandidate:
+    """One built, text-round-tripped candidate ready for the differential."""
+
+    spec: CandidateSpec
+    attack: AttackProgram
+    secret_ranges: List[Tuple[int, int]]
+    #: The ``.s`` dump; re-assembling it produced ``attack.builder_program``.
+    source_text: str
+
+
+# -- sampling and mutation ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeneratorBias:
+    """Distribution tweaks for targeted drills (defaults = broad sweep)."""
+
+    #: Probability a fresh candidate is a singleton template.
+    singleton_prob: float = 0.18
+    #: Probability a spliceable candidate gets a second section.
+    second_section_prob: float = 0.30
+    barrier_prob: float = 0.15
+    #: Force every fresh candidate to a barrier-carrying PHT section (the
+    #: drop-sb-cut drill).
+    barrier_bias: bool = False
+    #: Force every fresh candidate to the contention singleton (the
+    #: drop-contention-transmitter drill).
+    contention_bias: bool = False
+
+
+def sample_section(rng: random.Random, template: str,
+                   bias: GeneratorBias) -> SectionSpec:
+    barrier_prob = 0.85 if bias.barrier_bias else bias.barrier_prob
+    return normalize(SectionSpec(
+        template=template,
+        residual=rng.random() < 0.5,
+        pad=rng.choices(PAD_CHOICES, weights=(45, 20, 15, 20))[0],
+        barrier=rng.random() < barrier_prob,
+        flip=rng.random() < 0.3,
+        train_iters=rng.choices(ITER_CHOICES, weights=(2, 6, 2))[0]))
+
+
+def sample_spec(rng: random.Random,
+                bias: Optional[GeneratorBias] = None) -> CandidateSpec:
+    """Draw one fresh candidate spec from the (possibly biased) mix."""
+    bias = bias or GeneratorBias()
+    if bias.barrier_bias:
+        section = sample_section(rng, "pht", bias)
+        return CandidateSpec(sections=(replace(section, barrier=True),))
+    if bias.contention_bias:
+        return CandidateSpec(
+            sections=(sample_section(rng, "contention", bias),))
+    if rng.random() < bias.singleton_prob:
+        template = rng.choices(SINGLETONS, weights=(4, 2, 2, 2))[0]
+        return CandidateSpec(sections=(sample_section(rng, template, bias),))
+    count = 2 if rng.random() < bias.second_section_prob else 1
+    sections = tuple(
+        sample_section(rng,
+                       rng.choices(SPLICEABLE, weights=(40, 25, 20, 15))[0],
+                       bias)
+        for _ in range(count))
+    return CandidateSpec(sections=sections)
+
+
+#: Mutation operator names, in the order the engine tries them.
+MUTATIONS = ("rekey", "stretch", "flip", "barrier", "iters", "drop", "splice")
+
+
+def mutate(spec: CandidateSpec, rng: random.Random,
+           donors: Sequence[CandidateSpec] = (),
+           bias: Optional[GeneratorBias] = None
+           ) -> Optional[CandidateSpec]:
+    """One mutation of ``spec``, or ``None`` when nothing applies.
+
+    Operators mirror the coverage axes: ``rekey`` toggles the MTE
+    same-key residual, ``stretch`` moves the transmit across window/ROB
+    buckets, ``flip`` inverts branch polarity, ``barrier`` toggles the
+    ``SB`` cut, ``iters`` jitters the training loop, ``drop`` sheds a
+    spliced section, ``splice`` grafts a donor corpus entry's section.
+    """
+    del bias  # biases shape fresh sampling only
+    index = rng.randrange(len(spec.sections))
+    section = spec.sections[index]
+    knobs = _KNOBS[section.template]
+    for name in rng.sample(MUTATIONS, len(MUTATIONS)):
+        if name == "rekey" and "residual" in knobs:
+            mutated = replace(section, residual=not section.residual)
+        elif name == "stretch" and "pad" in knobs:
+            choices = [p for p in PAD_CHOICES if p != section.pad]
+            mutated = replace(section, pad=rng.choice(choices))
+        elif name == "flip" and "flip" in knobs:
+            mutated = replace(section, flip=not section.flip)
+        elif name == "barrier" and "barrier" in knobs:
+            mutated = replace(section, barrier=not section.barrier)
+        elif name == "iters" and "train_iters" in knobs:
+            choices = [i for i in ITER_CHOICES if i != section.train_iters]
+            mutated = replace(section, train_iters=rng.choice(choices))
+        elif name == "drop" and len(spec.sections) == 2:
+            keep = spec.sections[1 - index]
+            return CandidateSpec(sections=(keep,))
+        elif name == "splice":
+            if len(spec.sections) != 1 \
+                    or section.template not in SPLICEABLE:
+                continue
+            grafts = [d.sections[0] for d in donors
+                      if len(d.sections) == 1
+                      and d.sections[0].template in SPLICEABLE
+                      and d.sections[0] != section]
+            if not grafts:
+                continue
+            graft = rng.choice(grafts)
+            return CandidateSpec(sections=(section, graft))
+        else:
+            continue
+        sections = list(spec.sections)
+        sections[index] = normalize(mutated)
+        if tuple(sections) == spec.sections:
+            continue
+        return CandidateSpec(sections=tuple(sections))
+    return None
+
+
+# -- section emitters ---------------------------------------------------------
+
+#: Disjoint per-section register banks.  The static taint is
+#: path-insensitive: the CFG's return edges connect every RET to every
+#: return site, so a register assigned a tagged pointer in one section
+#: would merge into another section's access value-sets and mint spurious
+#: cross-section "residual" accesses (static leak, no dynamic
+#: counterpart).  Giving each section its own registers makes that flow
+#: impossible by construction.  X3/X6/X7/X8 (probe base and transmit
+#: scratches), X24/X25 (loop counter/offset) and X30 (link) are shared —
+#: they only ever carry probe addresses or small integers, which both
+#: sections' value-sets already agree on.
+_BANK_NAMES = ("idx", "size", "ptr", "val", "wptr", "wdst",
+               "cell", "tb1", "tb2", "a", "b", "c")
+_BANKS = (
+    ("X0", "X1", "X2", "X5", "X9", "X10",
+     "X11", "X12", "X13", "X14", "X15", "X16"),
+    ("X4", "X17", "X18", "X19", "X20", "X21",
+     "X22", "X23", "X26", "X27", "X28", "X29"),
+)
+
+
+def _regs(i: int) -> Dict[str, str]:
+    return dict(zip(_BANK_NAMES, _BANKS[i]))
+
+
+def _arena(index: int) -> int:
+    return ARENA_BASE + index * ARENA_STRIDE
+
+
+def _slow_segment(b: ProgramBuilder, name: str, base: int,
+                  values: Sequence[int]) -> None:
+    """Back ``count`` never-touched DRAM-latency cells at ``base``."""
+    count = max(2, len(values))
+    payload = bytearray(count * 4096)
+    for cell, value in enumerate(values):
+        payload[cell * 4096:cell * 4096 + 8] = struct.pack(
+            "<Q", value & (2 ** 64 - 1))
+    b.bytes_segment(name, base, bytes(payload))
+
+
+def _emit_pht(b: ProgramBuilder, sec: SectionSpec, i: int,
+              contention: bool = False
+              ) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Mistrained bounds check: training loop + OOB final iteration.
+
+    The victim array and the secret are consecutive MTE-heap allocations;
+    index 16 walks off the array into the secret granule.  ``residual``
+    forces the secret onto the array's tag (same-key).  The transmit is a
+    probe touch, or a secret-operand ``MUL`` for the contention variant.
+    """
+    arena = _arena(i)
+    heap = TaggedHeap(arena, 0x1000, CORTEX_A76.mte)
+    array = heap_array(b, heap, f"array{i}",
+                       bytes([TRAIN_CONTENT] * 16))
+    secret = heap_secret(b, heap, SECRET_VALUE,
+                         tag=array.tag if sec.residual else None,
+                         name=f"secret{i}")
+    size_a, size_b = arena + 0x2000, arena + 0x3040
+    b.words_segment(f"size_a{i}", size_a, [16])
+    b.words_segment(f"size_b{i}", size_b, [16])
+    iters = sec.train_iters
+    oob = secret.address - array.address
+    idx_base, ptr_base = arena + 0x2800, arena + 0x2A00
+    b.words_segment(f"idx{i}", idx_base,
+                    [1 + (k % 3) for k in range(iters)] + [oob])
+    b.words_segment(f"ptr{i}", ptr_base, [size_a] * iters + [size_b])
+
+    R = _regs(i)
+    emit_victim_warmup(b, secret.pointer, ptr_reg=R["wptr"],
+                       dest_reg=R["wdst"])
+    b.li(R["ptr"], array.pointer, note="victim array (malloc-tagged)")
+    if not contention:
+        b.li("X3", PROBE_BASE)
+    b.li(R["tb1"], idx_base)
+    b.li(R["tb2"], ptr_base)
+    b.li("X25", 0, note="iteration counter")
+    loop = f"loop{i}"
+    skip, body, after = f"skip{i}", f"body{i}", f"after{i}"
+    # Two deliberate structural choices keep spliced sections independent:
+    #
+    # - Exit check at the TOP with an unconditional backedge: the exit
+    #   branch is not-taken while training, matching the PHT's
+    #   weakly-not-taken reset state, so the frontend never runs ahead
+    #   into the next section on a wrong path (wrong-path fetch there
+    #   pollutes the RSB/BHB and de-trains this very loop — a real
+    #   gshare effect, not a leak).
+    # - The victim gadget is INLINE rather than behind BL/RET: the static
+    #   CFG routes every RET to every return site, so a called gadget
+    #   would join the other section's register state (or TOP) into this
+    #   loop and wreck the value-sets both ways.  RSB coverage comes from
+    #   the dedicated rsb singleton template instead.
+    b.label(loop)
+    b.cmp("X25", imm=iters + 1)
+    b.b_cond("HS", after)
+    b.lsl("X24", "X25", imm=3)
+    b.ldr(R["idx"], R["tb1"], rm="X24", note="index for this run")
+    b.ldr(R["cell"], R["tb2"], rm="X24", note="which size cell to read")
+    b.ldr(R["size"], R["cell"], note="slow size load (delays the condition)")
+    b.cmp(R["idx"], R["size"])
+    if sec.flip:
+        b.b_cond("LO", body, note="mistrained branch (trained taken)")
+        b.b(skip)
+        b.label(body)
+    else:
+        b.b_cond("HS", skip, note="mistrained branch")
+    b.ldrb(R["val"], R["ptr"], rm=R["idx"], note="ACCESS: load array[X]")
+    if sec.barrier:
+        b.sb(note="speculation barrier inside the window")
+    b.nops(sec.pad)
+    if contention:
+        b.mul(R["a"], R["val"], R["val"], note="TRANSMIT: contention channel")
+    else:
+        emit_transmit(b, R["val"], "X3")
+    b.label(skip)
+    b.add("X25", "X25", imm=1)
+    b.b(loop)
+    b.label(after)
+    return [(secret.address, secret.address + 16)], [TRAIN_CONTENT]
+
+
+def _emit_contention(b: ProgramBuilder, sec: SectionSpec, i: int
+                     ) -> Tuple[List[Tuple[int, int]], List[int]]:
+    return _emit_pht(b, sec, i, contention=True)
+
+
+def _emit_stl(b: ProgramBuilder, sec: SectionSpec, i: int
+              ) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Store-to-load bypass: late-address store over a stale secret.
+
+    ``residual`` reads through an untagged (key-0) pointer — outside the
+    protection boundary, so SpecASan lets the bypass through.
+    """
+    arena = _arena(i)
+    stale = arena + 0x100
+    if sec.residual:
+        victim_ptr, tag = stale, None
+    else:
+        victim_ptr, tag = with_key(stale, TAG_SECRET), TAG_SECRET
+    b.bytes_segment(f"stale{i}", stale,
+                    bytes([SECRET_VALUE] + [0] * 15), tag=tag)
+    slow = SLOW_CELLS + i * SLOW_STRIDE
+    _slow_segment(b, f"slow{i}", slow, [victim_ptr])
+    R = _regs(i)
+    b.li(R["wptr"], victim_ptr)
+    b.ldrb(R["wdst"], R["wptr"], note="victim warms its slot")
+    b.sb(note="wait for the warm-up fill")
+    b.li("X3", PROBE_BASE)
+    b.li(R["a"], SAFE_VALUE, note="the value the store will write")
+    b.li(R["ptr"], victim_ptr)
+    b.li(R["b"], slow)
+    b.ldr(R["c"], R["b"], note="store address arrives late (DRAM round trip)")
+    b.str_(R["a"], R["c"], note="victim store: overwrite the secret")
+    if sec.barrier:
+        b.sb(note="speculation barrier before the bypassing load")
+    b.nops(sec.pad)
+    b.ldr(R["val"], R["ptr"], note="bypassing load: reads the STALE secret")
+    emit_transmit(b, R["val"], "X3")
+    return [(stale, stale + 16)], [SAFE_VALUE]
+
+
+def _emit_sbb(b: ProgramBuilder, sec: SectionSpec, i: int
+              ) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Fallout: secret store in the SQ + page-offset-aliased sampler.
+
+    ``residual`` keys the sampler pointer with the victim store's tag so
+    loosenet forwarding is allowed; ``pad`` moves the sampler past the
+    ROB-bounded forwarding distance.  The aliased granule's allocation tag
+    always matches the sampler pointer's key: the sampler is attacker code
+    reading attacker memory, and must not raise an architectural tag fault
+    (which would halt the core and starve any later section).
+    """
+    arena = _arena(i)
+    secret_addr = arena + 0x100
+    victim_slot = arena + 0x1040
+    aliased = arena + 0x2040  # same page offset, different granule
+    line = bytearray(16)
+    line[0] = SECRET_VALUE
+    b.bytes_segment(f"sec_sbb{i}", secret_addr, bytes(line), tag=TAG_SECRET)
+    b.zero_segment(f"victim_slot{i}", victim_slot, 16, tag=TAG_SECRET)
+    if sec.residual:
+        sampler = with_key(aliased, TAG_SECRET)
+        b.zero_segment(f"aliased{i}", aliased, 16, tag=TAG_SECRET)
+    else:
+        sampler = aliased
+        b.zero_segment(f"aliased{i}", aliased, 16)
+    slow = SLOW_CELLS + i * SLOW_STRIDE
+    _slow_segment(b, f"slow{i}", slow, [0])
+    R = _regs(i)
+    b.li(R["wptr"], with_key(secret_addr, TAG_SECRET))
+    b.ldrb(R["wdst"], R["wptr"], note="victim holds the secret in a register")
+    b.sb(note="wait for the warm-up fill")
+    b.li("X3", PROBE_BASE)
+    b.li(R["b"], slow)
+    b.ldr(R["a"], R["b"], note="commit blocker (DRAM round trip)")
+    b.li(R["c"], with_key(victim_slot, TAG_SECRET))
+    b.strb(R["wdst"], R["c"], note="victim store: secret enters the SQ")
+    b.nops(sec.pad)
+    b.li(R["tb1"], sampler, note="attacker address: same page offset")
+    b.ldrb(R["val"], R["tb1"], note="loosenet match forwards the victim data")
+    emit_transmit(b, R["val"], "X3")
+    return [(secret_addr, secret_addr + 16)], [0]
+
+
+def _emit_benign(b: ProgramBuilder, sec: SectionSpec, i: int
+                 ) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """The control template: a public reduction loop, nothing secret."""
+    arena = _arena(i)
+    base = arena + 0x200
+    b.words_segment(f"pub{i}", base, [3, 1, 4, 1, 5, 9, 2, 6])
+    iters = 4 + sec.pad // 8
+    R = _regs(i)
+    b.li(R["tb1"], base)
+    b.li(R["a"], 0, note="loop counter")
+    b.li(R["b"], 0, note="accumulator")
+    loop, done = f"bloop{i}", f"bdone{i}"
+    b.label(loop)
+    b.cmp(R["a"], imm=iters)
+    b.b_cond("HS", done, note="exit check at the top (see _emit_pht)")
+    b.lsl("X24", R["a"], imm=3)
+    b.and_("X24", "X24", imm=0x38, note="wrap inside the table")
+    b.ldr(R["val"], R["tb1"], rm="X24")
+    b.add(R["b"], R["b"], R["val"])
+    if sec.flip:
+        b.str_(R["b"], R["tb1"], rm="X24", note="store the running sum back")
+    b.add(R["a"], R["a"], imm=1)
+    b.b(loop)
+    b.label(done)
+    return [], []
+
+
+_EMITTERS: Dict[str, Callable[[ProgramBuilder, SectionSpec, int],
+                              Tuple[List[Tuple[int, int]], List[int]]]] = {
+    "pht": _emit_pht,
+    "contention": _emit_contention,
+    "stl": _emit_stl,
+    "sbb": _emit_sbb,
+    "benign": _emit_benign,
+}
+
+
+# -- candidate assembly -------------------------------------------------------
+
+
+def build(spec: CandidateSpec) -> FuzzCandidate:
+    """Build ``spec`` into a text-round-tripped, runnable candidate.
+
+    Like witness synthesis, the program every oracle sees is the one
+    re-assembled from the ``.s`` dump — a corpus entry's recorded text IS
+    the candidate, byte for byte.
+    """
+    first = spec.sections[0]
+    if first.template in ("btb", "rsb", "lfb"):
+        attack = build_witness_attack(EntryKind(first.template),
+                                      first.residual)
+        attack.name = "fuzz"
+        attack.variant = spec.label
+        secret_ranges = secret_ranges_of(attack)
+    else:
+        b = ProgramBuilder()
+        if any(s.template in ("pht", "stl", "sbb") for s in spec.sections):
+            make_probe_array(b)
+        secret_ranges = []
+        benign = {TRAIN_CONTENT}
+        for i, section in enumerate(spec.sections):
+            if i > 0:
+                # Sections model independent victim invocations.  The fence
+                # cuts static windows at the boundary AND stops wrong-path
+                # frontend runahead from executing the next section early
+                # (which would pollute predictor/cache state and make the
+                # sections' verdicts interfere).
+                b.sb(note="inter-section fence")
+            ranges, benign_values = _EMITTERS[section.template](b, section, i)
+            secret_ranges.extend(ranges)
+            benign.update(benign_values)
+        b.halt()
+        secret_address = (secret_ranges[0][0] if secret_ranges
+                          else NO_SECRET_BASE)
+        attack = AttackProgram(
+            name="fuzz", variant=spec.label, builder_program=b.build(),
+            secret_value=SECRET_VALUE, secret_address=secret_address,
+            channel=spec.channel, benign_values=sorted(benign),
+            description="fuzz-generated candidate")
+
+    source_text = disassemble(attack.builder_program)
+    reassembled = assemble(source_text)
+    if signature(reassembled) != signature(attack.builder_program):
+        raise FuzzError(
+            f"candidate {spec.label} failed its assemble round-trip")
+    attack = replace(attack, builder_program=reassembled)
+    if not secret_ranges:
+        secret_ranges = [(attack.secret_address,
+                          attack.secret_address + attack.secret_size)]
+    return FuzzCandidate(spec=spec, attack=attack,
+                         secret_ranges=secret_ranges,
+                         source_text=source_text)

@@ -1,0 +1,140 @@
+"""Delta-debugging shrink of a differential finding to a minimal ``.s``.
+
+The unit of reduction is the source *line* of the candidate's
+round-tripped assembly dump — the representation the corpus records and
+the spec-lint service accepts.  Classic ddmin over line subsets: try
+removing complements at increasing granularity, keep any subset on which
+the *same* disagreement (static verdict vs. simulator verdict, same
+defense, same direction) still reproduces, and stop at 1-line
+granularity or the evaluation cap.
+
+The predicate is deliberately strict: a reduced program must assemble,
+lint, and simulate to **exactly** the recorded verdict pair.  Reductions
+that crash the assembler or the simulator are simply "not reproducing" —
+ddmin treats every failure as a keep-the-lines signal, so the minimizer
+can never turn a soundness finding into a different bug class while
+shrinking it.
+
+The ``.base`` directive (line 0 of every dump) is pinned: the analyzer
+and the attack-oracle layouts agree on the text base, and a reduction
+that relocated the program would perturb every absolute address in the
+recorded secret ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.analysis.gadgets import find_gadgets
+from repro.attacks.common import run_attack_program
+from repro.config import DefenseKind
+from repro.errors import ReproError
+from repro.isa.assembler import assemble
+
+#: Default evaluation budget: each probe costs an assemble + lint and,
+#: when the static half matches, one simulation.
+DEFAULT_MAX_EVALS = 300
+
+
+@dataclass
+class MinimizedSource:
+    """The shrunk reproducer and its reduction accounting."""
+
+    text: str
+    original_lines: int
+    minimized_lines: int
+    evals: int
+    reproduced: bool
+
+
+class _Shrinker:
+    def __init__(self, candidate, defense: DefenseKind, *,
+                 static_leaked: bool, dynamic_leaked: bool, max_evals: int):
+        self.candidate = candidate
+        self.defense = defense
+        self.static_leaked = static_leaked
+        self.dynamic_leaked = dynamic_leaked
+        self.max_evals = max_evals
+        self.evals = 0
+        #: Simulation-cycle cap for *reduced* trials.  A mangled subset
+        #: often spins until the 400k-cycle watchdog; the full program's
+        #: measured run length (×10, floor 60k) bounds every probe, and
+        #: the final keeper is re-validated uncapped.
+        self._cycle_cap: int = 0
+
+    def reproduces(self, lines: List[str], capped: bool = True) -> bool:
+        """Does this subset still show the recorded verdict pair?"""
+        if capped and self.evals >= self.max_evals:
+            return False
+        self.evals += 1
+        from repro.fuzz.executor import static_verdict
+        text = "\n".join(lines) + "\n"
+        attack = self.candidate.attack
+        try:
+            program = assemble(text)
+            gadgets = find_gadgets(program, self.candidate.secret_ranges)
+            if static_verdict(gadgets, attack.channel,
+                              self.defense) != self.static_leaked:
+                return False
+            trial = replace(attack, builder_program=program)
+            if capped and self._cycle_cap:
+                trial = replace(trial, max_cycles=self._cycle_cap)
+            outcome = run_attack_program(trial, self.defense)
+            if not self._cycle_cap:
+                self._cycle_cap = max(10 * outcome.cycles, 60_000)
+            return outcome.leaked == self.dynamic_leaked
+        except ReproError:
+            return False
+
+    def ddmin(self, lines: List[str], pinned: List[str]) -> List[str]:
+        """Standard ddmin over ``lines``; ``pinned`` is always prepended."""
+        granularity = 2
+        while len(lines) >= 2 and self.evals < self.max_evals:
+            chunk = max(1, len(lines) // granularity)
+            reduced = False
+            start = 0
+            while start < len(lines) and self.evals < self.max_evals:
+                subset = lines[:start] + lines[start + chunk:]
+                if self.reproduces(pinned + subset):
+                    lines = subset
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                else:
+                    start += chunk
+            if not reduced:
+                if granularity >= len(lines):
+                    break
+                granularity = min(len(lines), granularity * 2)
+        return lines
+
+
+def minimize_source(candidate, defense: DefenseKind, *,
+                    static_leaked: bool, dynamic_leaked: bool,
+                    max_evals: int = DEFAULT_MAX_EVALS) -> MinimizedSource:
+    """Shrink ``candidate.source_text`` while the disagreement reproduces.
+
+    Always returns a usable reproducer: when the recorded pair does not
+    reproduce on the unmodified text (``reproduced=False`` — possible
+    only if an injected analyzer bug was lifted between triage and
+    shrinking), the original text is returned untouched.
+    """
+    all_lines = candidate.source_text.rstrip("\n").split("\n")
+    pinned, rest = [all_lines[0]], all_lines[1:]
+    shrinker = _Shrinker(candidate, defense, static_leaked=static_leaked,
+                         dynamic_leaked=dynamic_leaked, max_evals=max_evals)
+    if not shrinker.reproduces(pinned + rest):
+        return MinimizedSource(text=candidate.source_text,
+                               original_lines=len(all_lines),
+                               minimized_lines=len(all_lines),
+                               evals=shrinker.evals, reproduced=False)
+    kept = shrinker.ddmin(rest, pinned)
+    # The probes ran under a cycle cap; the keeper must reproduce at the
+    # real budget, else fall back to the (validated) full text.
+    if kept != rest and not shrinker.reproduces(pinned + kept,
+                                                capped=False):
+        kept = rest
+    return MinimizedSource(text="\n".join(pinned + kept) + "\n",
+                           original_lines=len(all_lines),
+                           minimized_lines=len(pinned) + len(kept),
+                           evals=shrinker.evals, reproduced=True)

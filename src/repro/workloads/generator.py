@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import random
 import struct
-import zlib
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.config import MTEConfig
+from repro.rng import workload_stream
 from repro.isa.builder import ProgramBuilder
 from repro.isa.program import DataSegment, Program
 from repro.mte.allocator import TaggedHeap
@@ -91,9 +91,7 @@ def generate(profile: WorkloadProfile, seed: int = 0,
     binaries, which is where the paper's "baseline ARM MTE" overhead
     component comes from (§5.3).
     """
-    # zlib.crc32 is stable across processes (str hash() is randomized by
-    # PYTHONHASHSEED, which would make workloads irreproducible).
-    rng = random.Random((zlib.crc32(profile.name.encode()) ^ seed) & 0xFFFFFFFF)
+    rng = workload_stream(profile.name, seed)
     mte = mte or MTEConfig()
     b = ProgramBuilder()
 

@@ -1,0 +1,71 @@
+"""``--report FILE.s`` refuses degenerate programs with diagnostics.
+
+A gadget report over a program whose victim code never runs reads
+exactly like a clean bill of health, so the CLI gates every file report
+through CFG well-formedness: empty programs, unreachable blocks, and
+fall-off-the-end flow all exit 2 with the offending block addresses
+named, never 0 with an empty report.
+"""
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.cfg import require_well_formed
+from repro.errors import AnalysisError
+from repro.fuzz.generator import build, CandidateSpec, SectionSpec
+from repro.isa.assembler import assemble
+
+EMPTY = ".base 0x1000\n"
+
+# The conditional backedge can fall past the end of the text.
+FALLS_OFF = """\
+.base 0x1000
+    MOV X0, #3
+loop:
+    CMP X0, #1
+    B.HS loop
+"""
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def test_empty_program_exits_2(tmp_path, capsys):
+    code = main(["--report", _write(tmp_path, "empty.s", EMPTY)])
+    assert code == 2
+    assert "degenerate program" in capsys.readouterr().err
+
+
+def test_fall_off_end_exits_2_with_the_block_address(tmp_path, capsys):
+    code = main(["--report", _write(tmp_path, "falls.s", FALLS_OFF)])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "fall-off-end" in err
+    assert "0x" in err  # names the offending address
+
+
+def test_missing_file_exits_2(tmp_path, capsys):
+    code = main(["--report", str(tmp_path / "nope.s")])
+    assert code == 2
+    assert "error" in capsys.readouterr().err.lower()
+
+
+def test_well_formed_file_reports_and_exits_0(tmp_path, capsys):
+    candidate = build(CandidateSpec(
+        sections=(SectionSpec(template="pht", residual=True),)))
+    path = _write(tmp_path, "pht.s", candidate.source_text)
+    lo, hi = candidate.secret_ranges[0]
+    code = main(["--report", path, "--secret", f"{lo:#x}:{hi:#x}"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "pht" in out
+
+
+def test_require_well_formed_names_every_problem():
+    with pytest.raises(AnalysisError, match="fall-off-end"):
+        require_well_formed(assemble(FALLS_OFF))
+    with pytest.raises(AnalysisError, match="empty"):
+        require_well_formed(assemble(EMPTY))

@@ -1,0 +1,64 @@
+"""Property: gadget reports survive the assemble/disassemble round trip.
+
+``find_gadgets`` must be a function of program *semantics*, not of which
+in-memory ``Program`` object it received: re-assembling a program's own
+``.s`` dump may only relabel it, never move a verdict.  The fuzzer's
+corpus design (store specs and text, rebuild programs on demand) and the
+service's text-based lint protocol both lean on exactly this invariant,
+so it gets a generative test over the fuzz generator's whole spec space.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.analysis.gadgets import find_gadgets  # noqa: E402
+from repro.fuzz.generator import (  # noqa: E402
+    build,
+    CandidateSpec,
+    ITER_CHOICES,
+    normalize,
+    PAD_CHOICES,
+    SectionSpec,
+    SINGLETONS,
+    SPLICEABLE,
+)
+from repro.isa.assembler import assemble  # noqa: E402
+from repro.isa.disasm import disassemble, signature  # noqa: E402
+
+
+def _section(template):
+    return st.builds(
+        lambda **kw: normalize(SectionSpec(template=template, **kw)),
+        residual=st.booleans(),
+        pad=st.sampled_from(PAD_CHOICES),
+        barrier=st.booleans(),
+        flip=st.booleans(),
+        train_iters=st.sampled_from(ITER_CHOICES))
+
+
+_spliceable = st.sampled_from(SPLICEABLE).flatmap(_section)
+_any_single = st.sampled_from(SPLICEABLE + SINGLETONS).flatmap(_section)
+
+#: One singleton-or-spliceable section, or two spliceable ones.
+SPECS = st.one_of(
+    _any_single.map(lambda s: CandidateSpec(sections=(s,))),
+    st.tuples(_spliceable, _spliceable).map(
+        lambda pair: CandidateSpec(sections=pair)))
+
+
+def _report(program, secret_ranges):
+    return [gadget.render() for gadget in
+            find_gadgets(program, secret_ranges)]
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(spec=SPECS)
+def test_gadgets_invariant_under_text_round_trip(spec):
+    candidate = build(spec)
+    program = candidate.attack.builder_program
+    round_tripped = assemble(disassemble(program))
+    assert signature(round_tripped) == signature(program)
+    assert _report(round_tripped, candidate.secret_ranges) == \
+        _report(program, candidate.secret_ranges)

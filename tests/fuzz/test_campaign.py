@@ -1,0 +1,42 @@
+"""Campaign sharding: deterministic shard configs, the worker entry."""
+
+import json
+import os
+
+from repro.fuzz import campaign, corpus
+from repro.fuzz.executor import FuzzConfig
+from repro.rng import derive_seed
+
+
+def test_shard_configs_split_the_budget_with_distinct_seeds():
+    config = FuzzConfig(seed=0xBEEF, budget=40, repair_budget=4)
+    shards = [campaign.shard_config(config, 4, i) for i in range(4)]
+    assert [s.budget for s in shards] == [10, 10, 10, 10]
+    assert len({s.seed for s in shards}) == 4
+    assert shards[2].seed == derive_seed(0xBEEF, "fuzz", "shard", 2)
+    # Everything but seed/budget splits is inherited.
+    assert all(s.defenses == config.defenses for s in shards)
+
+
+def test_shard_config_is_stable_across_calls():
+    config = FuzzConfig(seed=3, budget=30)
+    assert campaign.shard_config(config, 3, 1) == \
+        campaign.shard_config(config, 3, 1)
+
+
+def test_run_worker_writes_outcome_and_a_loadable_run(tmp_path):
+    out_dir = str(tmp_path / "shard-000")
+    os.makedirs(out_dir)
+    config = FuzzConfig(seed=0x77, budget=3, sim_every=3, warmup=1,
+                        repair_budget=0)
+    code = campaign.run_worker(
+        out_dir, config,
+        heartbeat_path=os.path.join(out_dir, "heartbeat"),
+        outcome_path=os.path.join(out_dir, "outcome.json"))
+    assert code == 0
+    outcome = json.load(open(os.path.join(out_dir, "outcome.json"),
+                             encoding="utf-8"))
+    assert outcome["status"] == "ok"
+    run = corpus.load_run(out_dir)
+    assert run.manifest["executed"] == 3
+    assert os.path.exists(os.path.join(out_dir, "heartbeat"))

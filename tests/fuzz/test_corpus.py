@@ -1,0 +1,92 @@
+"""Corpus store: round-trip, corruption tolerance, merge, export."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import FuzzError
+from repro.fuzz import corpus
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.executor import FuzzConfig, FuzzResult
+from repro.fuzz.generator import CandidateSpec, SectionSpec
+
+
+def _result(specs=(), counts=None, executed=0):
+    coverage = CoverageMap.from_dict(counts or {})
+    return FuzzResult(config=FuzzConfig(seed=1, budget=4),
+                      coverage=coverage, disagreements=[],
+                      admitted=list(specs), executed=executed)
+
+
+def _spec(template="pht", **knobs):
+    return CandidateSpec(sections=(SectionSpec(template=template, **knobs),))
+
+
+def test_save_load_round_trip(tmp_path):
+    directory = str(tmp_path / "run")
+    specs = [_spec(), _spec(residual=True), _spec(template="sbb")]
+    corpus.save_run(directory, _result(specs, {"f": 2, "g": 1}, executed=4))
+    run = corpus.load_run(directory)
+    assert run.corrupt == 0
+    assert run.specs == specs
+    assert run.coverage.counts == {"f": 2, "g": 1}
+    assert run.config == FuzzConfig(seed=1, budget=4)
+    assert run.manifest["executed"] == 4
+
+
+def test_corrupt_corpus_lines_are_skipped_and_counted(tmp_path):
+    directory = str(tmp_path / "run")
+    corpus.save_run(directory, _result([_spec(), _spec(residual=True)]))
+    path = os.path.join(directory, corpus.CORPUS)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    lines[0] = lines[0].replace('"residual":false', '"residual":true', 1)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\nnot json\n")
+    run = corpus.load_run(directory)
+    assert run.corrupt == 2  # the flipped record and the garbage line
+    assert len(run.specs) == 1
+
+
+def test_missing_or_mismatched_manifest_fails_closed(tmp_path):
+    with pytest.raises(FuzzError):
+        corpus.load_run(str(tmp_path / "nowhere"))
+    directory = str(tmp_path / "run")
+    corpus.save_run(directory, _result())
+    path = os.path.join(directory, corpus.MANIFEST)
+    manifest = json.load(open(path, encoding="utf-8"))
+    manifest["schema"] = "repro-fuzz/999"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    with pytest.raises(FuzzError):
+        corpus.load_run(directory)
+
+
+def test_merge_adds_coverage_and_dedups_specs(tmp_path):
+    shard_a, shard_b = str(tmp_path / "a"), str(tmp_path / "b")
+    shared, only_b = _spec(), _spec(template="stl")
+    corpus.save_run(shard_a, _result([shared], {"f": 1}, executed=2))
+    corpus.save_run(shard_b, _result([shared, only_b], {"f": 1, "g": 3},
+                                     executed=3))
+    merged = corpus.merge_runs(str(tmp_path / "merged"), [shard_a, shard_b],
+                               FuzzConfig(seed=1, budget=4))
+    assert merged.coverage.counts == {"f": 2, "g": 3}
+    assert merged.specs == [shared, only_b]
+    assert merged.manifest["executed"] == 5
+
+
+def test_run_digest_tracks_every_artifact(tmp_path):
+    directory = str(tmp_path / "run")
+    corpus.save_run(directory, _result([_spec()], {"f": 1}))
+    before = corpus.run_digest(directory)
+    assert before == corpus.run_digest(directory)
+    corpus.save_run(directory, _result([_spec()], {"f": 2}))
+    assert corpus.run_digest(directory) != before
+
+
+def test_export_requests_on_a_clean_run_is_empty(tmp_path):
+    directory = str(tmp_path / "run")
+    corpus.save_run(directory, _result([_spec()]))
+    out = str(tmp_path / "requests.jsonl")
+    assert corpus.export_requests(directory, out) == 0
+    assert open(out, encoding="utf-8").read() == ""

@@ -1,0 +1,55 @@
+"""CoverageMap: novelty signal, merge algebra, serialization."""
+
+from repro.fuzz.coverage import CoverageMap
+
+
+def test_commit_reports_only_new_features_sorted():
+    cov = CoverageMap()
+    cov.observe("win:pht:8:cut")
+    cov.observe("taint:heap:cache")
+    assert cov.commit() == ["taint:heap:cache", "win:pht:8:cut"]
+    cov.observe("win:pht:8:cut")
+    cov.observe("verdict:pht:specasan:safe")
+    assert cov.commit() == ["verdict:pht:specasan:safe"]
+    assert cov.frontier == 3
+
+
+def test_commit_counts_every_hit_once_per_candidate():
+    cov = CoverageMap()
+    cov.observe("f")
+    cov.observe("f")  # pending is a set: one candidate, one hit
+    cov.commit()
+    cov.observe("f")
+    cov.commit()
+    assert cov.counts["f"] == 2
+
+
+def test_discard_drops_pending_without_folding():
+    cov = CoverageMap()
+    cov.observe("f")
+    cov.discard()
+    assert cov.frontier == 0
+    cov.observe("f")
+    assert cov.commit() == ["f"]
+
+
+def test_merge_adds_counts():
+    a, b = CoverageMap(), CoverageMap()
+    a.observe("x")
+    a.commit()
+    b.observe("x")
+    b.observe("y")
+    b.commit()
+    a.merge(b)
+    assert a.counts == {"x": 2, "y": 1}
+    assert a.frontier == 2
+
+
+def test_dict_round_trip_is_exact_and_sorted():
+    cov = CoverageMap()
+    for feature in ("z", "a", "m"):
+        cov.observe(feature)
+    cov.commit()
+    data = cov.to_dict()
+    assert list(data) == ["a", "m", "z"]
+    assert CoverageMap.from_dict(data).counts == cov.counts

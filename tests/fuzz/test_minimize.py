@@ -1,0 +1,55 @@
+"""Minimizer: ddmin mechanics on a stubbed oracle, fallback safety."""
+
+from repro.config import DefenseKind
+from repro.fuzz.generator import build, CandidateSpec, SectionSpec
+from repro.fuzz.minimize import _Shrinker, minimize_source
+
+
+class _StubShrinker(_Shrinker):
+    """ddmin against a pure predicate — no assembler, no simulator."""
+
+    def __init__(self, needed, max_evals=500):
+        super().__init__(candidate=None, defense=DefenseKind.NONE,
+                         static_leaked=True, dynamic_leaked=True,
+                         max_evals=max_evals)
+        self.needed = set(needed)
+
+    def reproduces(self, lines, capped=True):
+        if capped and self.evals >= self.max_evals:
+            return False
+        self.evals += 1
+        return self.needed.issubset(lines)
+
+
+def test_ddmin_reaches_the_minimal_subset():
+    lines = [f"l{i}" for i in range(40)]
+    shrinker = _StubShrinker(needed={"l3", "l17", "l31"})
+    kept = shrinker.ddmin(list(lines), pinned=[])
+    assert sorted(kept) == ["l17", "l3", "l31"]
+
+
+def test_ddmin_preserves_line_order():
+    lines = [f"l{i}" for i in range(16)]
+    shrinker = _StubShrinker(needed={"l2", "l9"})
+    kept = shrinker.ddmin(list(lines), pinned=[])
+    assert kept == ["l2", "l9"]
+
+
+def test_ddmin_respects_the_eval_cap():
+    shrinker = _StubShrinker(needed={"l1"}, max_evals=5)
+    kept = shrinker.ddmin([f"l{i}" for i in range(64)], pinned=[])
+    assert shrinker.evals <= 5
+    assert "l1" in kept  # never drops the needed line
+
+
+def test_unreproducible_finding_returns_the_original_text():
+    # A benign candidate never leaks; claiming static_leaked=True can't
+    # reproduce, so the minimizer must hand back the full text untouched.
+    candidate = build(CandidateSpec(
+        sections=(SectionSpec(template="benign"),)))
+    result = minimize_source(candidate, DefenseKind.NONE,
+                             static_leaked=True, dynamic_leaked=False,
+                             max_evals=10)
+    assert not result.reproduced
+    assert result.text == candidate.source_text
+    assert result.minimized_lines == result.original_lines

@@ -1,0 +1,43 @@
+"""Replay the committed minimized regression corpus (tier-1 gate).
+
+``tests/fuzz/data/drill-corpus`` is a real fuzzing run: the drill config
+(``drop-sb-cut`` injected, barrier-biased PHT generation) caught the
+seeded analyzer defect as minimized precision findings.  Each committed
+record must keep reproducing its exact verdict pair — replay reinstates
+the recorded injected defect, lints, and simulates.  If an analyzer
+change legitimately retires a finding, regenerate the corpus with
+``python -m repro.fuzz`` (see EXPERIMENTS.md) rather than hand-editing.
+"""
+
+import os
+
+from repro.fuzz import corpus
+
+DATA = os.path.join(os.path.dirname(__file__), "data", "drill-corpus")
+
+
+def test_committed_corpus_loads_intact():
+    run = corpus.load_run(DATA)
+    assert run.corrupt == 0
+    assert run.manifest["schema"] == corpus.FUZZ_SCHEMA
+    assert run.config.inject == ("drop-sb-cut",)
+    assert len(run.regressions) >= 1
+
+
+def test_committed_regressions_are_minimized_precision_findings():
+    run = corpus.load_run(DATA)
+    for record in run.regressions:
+        assert record["kind"] == "precision"
+        assert record["minimized_lines"] < record["original_lines"]
+        assert record["injected"] == ["drop-sb-cut"]
+        path = os.path.join(DATA, record["file"])
+        source = open(path, encoding="utf-8").read()
+        assert len(source.rstrip("\n").split("\n")) == \
+            record["minimized_lines"]
+
+
+def test_committed_regressions_still_reproduce():
+    run = corpus.load_run(DATA)
+    for record in run.regressions:
+        ok, detail = corpus.replay_regression(DATA, record)
+        assert ok, f"{record['file']}: {detail}"

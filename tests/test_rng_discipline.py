@@ -1,0 +1,48 @@
+"""Source-tree audit: all randomness flows through seeded streams.
+
+The reproducibility contract (:mod:`repro.rng`) bans the module-level
+``random.*`` functions — they share one process-global Mersenne state,
+so any call site would make replay depend on import order and on what
+every other subsystem drew first.  Constructing ``random.Random`` (an
+explicitly seeded, privately owned stream) is the one allowed use; the
+derivation helpers in ``repro.rng`` itself are exempt.
+"""
+
+import ast
+import os
+
+import repro
+
+SRC_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+
+#: The only attributes of the ``random`` module code may touch.
+ALLOWED = {"Random", "SystemRandom"}
+#: The stream-discipline module itself wraps ``random`` for everyone.
+EXEMPT = {"rng.py"}
+
+
+def _violations(path):
+    tree = ast.parse(open(path, encoding="utf-8").read(), filename=path)
+    found = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "random"
+                and node.attr not in ALLOWED):
+            found.append(f"{path}:{node.lineno}: random.{node.attr}")
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            bad = [a.name for a in node.names if a.name not in ALLOWED]
+            if bad:
+                found.append(f"{path}:{node.lineno}: "
+                             f"from random import {', '.join(bad)}")
+    return found
+
+
+def test_no_global_random_state_in_src():
+    violations = []
+    for dirpath, _, filenames in os.walk(SRC_ROOT):
+        for name in sorted(filenames):
+            if not name.endswith(".py") or name in EXEMPT:
+                continue
+            violations.extend(_violations(os.path.join(dirpath, name)))
+    assert not violations, "\n".join(violations)
