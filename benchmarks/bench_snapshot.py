@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Perf trajectory snapshot: the repo's committed performance baseline.
 
-Measures three throughput/latency axes on fixed, seed-pinned workloads and
+Measures four throughput/latency axes on fixed, seed-pinned workloads and
 emits one JSON document in the stable ``repro-bench/1`` schema:
 
 - **cells/sec** — campaign cells measured end-to-end in-process
@@ -10,7 +10,11 @@ emits one JSON document in the stable ``repro-bench/1`` schema:
   profiles under SpecASan (the simulator kernel's figure of merit);
 - **service latency** — request p50/p95/p99 of a live spec-lint service
   under a synthetic witness-lint load (cache-hit and worker-run mix),
-  read back from the ``service.latency.request_ms`` histogram.
+  read back from the ``service.latency.request_ms`` histogram;
+- **lint throughput** — programs/sec re-linting one-function edits of the
+  modular bench fixture, cold (whole-program dataflow from scratch) vs
+  warm (summary-backed modular analysis against a persistent cache), with
+  the warm/cold speedup gated at ``--min-lint-speedup`` (default 5×).
 
 Usage::
 
@@ -163,6 +167,61 @@ def bench_service(quick: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
+# axis 4: lint throughput, cold whole-program vs warm incremental
+# ----------------------------------------------------------------------
+
+def bench_lint(quick: bool) -> dict:
+    from repro.analysis.gadgets import find_gadgets
+    from repro.analysis.modular import SummaryCache, modular_analysis
+    from repro.analysis.modular.fixtures import bench_program
+    from repro.analysis.options import AnalysisOptions
+    from repro.analysis.taint import analyze
+
+    repeats = 2 if quick else 3
+    program, secret_ranges = bench_program()
+    # One full lint off the clock: warms imports and interned objects.
+    find_gadgets(program, secret_ranges,
+                 taint=analyze(program, secret_ranges))
+    # Each timed program is the fixture with a different single function
+    # edited — the workload an edit-compile-relint loop actually produces.
+    edited = [bench_program(edits={index: index + 1})
+              for index in range(repeats)]
+
+    start = time.monotonic()
+    for prog, ranges in edited:
+        find_gadgets(prog, ranges, taint=analyze(prog, ranges))
+    cold_s = time.monotonic() - start
+
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as cache_dir:
+        path = os.path.join(cache_dir, "summaries.jsonl")
+        cache = SummaryCache(path)
+        options = AnalysisOptions.summary_backed(cache=cache)
+        run = modular_analysis(program, secret_ranges, options=options)
+        find_gadgets(program, secret_ranges, taint=run.result,
+                     options=options)
+        cache.flush()   # the committed baseline the edits re-lint against
+
+        hits = misses = 0
+        start = time.monotonic()
+        for prog, ranges in edited:
+            warm_cache = SummaryCache(path)
+            options = AnalysisOptions.summary_backed(cache=warm_cache)
+            run = modular_analysis(prog, ranges, options=options)
+            find_gadgets(prog, ranges, taint=run.result, options=options)
+            hits += warm_cache.hits
+            misses += warm_cache.misses
+        warm_s = time.monotonic() - start
+
+    return {"programs": repeats,
+            "cold_wall_s": round(cold_s, 3),
+            "warm_wall_s": round(warm_s, 3),
+            "cold_programs_per_sec": round(repeats / cold_s, 3),
+            "warm_programs_per_sec": round(repeats / warm_s, 3),
+            "speedup": round(cold_s / warm_s, 2),
+            "summary_hits": hits, "summary_misses": misses}
+
+
+# ----------------------------------------------------------------------
 # schema + regression gate
 # ----------------------------------------------------------------------
 
@@ -189,6 +248,13 @@ def validate(doc: dict) -> List[str]:
         positive(f"service.{key}", service.get(key))
     if service.get("p50_ms", 0) > service.get("p99_ms", 0):
         errors.append("service.p50_ms exceeds service.p99_ms")
+    lint = doc.get("lint")
+    if lint is not None:   # absent in pre-pr10 baselines
+        positive("lint.cold_programs_per_sec",
+                 lint.get("cold_programs_per_sec"))
+        positive("lint.warm_programs_per_sec",
+                 lint.get("warm_programs_per_sec"))
+        positive("lint.speedup", lint.get("speedup"))
     return errors
 
 
@@ -216,6 +282,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default 0.30)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (local iteration)")
+    parser.add_argument("--min-lint-speedup", type=float, default=5.0,
+                        help="required warm/cold incremental re-lint "
+                             "speedup (default 5.0)")
     parser.add_argument("--label", default="",
                         help="free-form snapshot label (e.g. pr8)")
     args = parser.parse_args(argv)
@@ -232,6 +301,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     service = bench_service(args.quick)
     print(f"  p50={service['p50_ms']}ms p95={service['p95_ms']}ms "
           f"p99={service['p99_ms']}ms over {service['requests']} requests")
+    print("bench: lint throughput, cold vs warm incremental ...", flush=True)
+    lint = bench_lint(args.quick)
+    print(f"  cold {lint['cold_programs_per_sec']} prog/s, "
+          f"warm {lint['warm_programs_per_sec']} prog/s "
+          f"({lint['speedup']}x, {lint['summary_hits']} hits "
+          f"{lint['summary_misses']} misses)")
 
     doc = {
         "schema": SCHEMA,
@@ -240,11 +315,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cells": cells,
         "cycles": cycles,
         "service": service,
+        "lint": lint,
         "env": {"python": platform.python_version(),
                 "implementation": platform.python_implementation(),
                 "machine": platform.machine()},
     }
     errors = validate(doc)
+    if lint["speedup"] < args.min_lint_speedup:
+        errors.append(
+            f"lint.speedup {lint['speedup']}x below required "
+            f"{args.min_lint_speedup}x (warm incremental re-lint gate)")
     if errors:
         for error in errors:
             print(f"SCHEMA FAIL: {error}", file=sys.stderr)

@@ -21,10 +21,13 @@ the same gadgets *without simulating a single cycle*:
   paper's §4.3 matrix encodes;
 - :mod:`repro.analysis.differential` — the lint-vs-simulator harness that
   cross-checks static verdicts against
-  :func:`repro.attacks.matrix.evaluate_matrix` cell by cell.
+  :func:`repro.attacks.matrix.evaluate_matrix` cell by cell;
+- :mod:`repro.analysis.modular` — summary-based modular analysis over the
+  call graph (:class:`AnalysisOptions` selects it), with an incremental
+  summary cache and its own ``--modular-differential`` byte-identity gate.
 
 ``python -m repro.analysis`` exposes the lint report, the differential
-check, and a CI ``--selftest``.
+check, a CI ``--selftest``, and the ``--modular-differential`` gate.
 """
 
 from __future__ import annotations
@@ -36,12 +39,14 @@ from repro.analysis.differential import (
     static_matrix,
 )
 from repro.analysis.gadgets import Channel, EntryKind, Gadget, find_gadgets
+from repro.analysis.options import AnalysisOptions
 from repro.analysis.taint import Value, analyze
 from repro.analysis.windows import Window, compute_windows
 
 __all__ = [
     "address_taken",
     "analyze",
+    "AnalysisOptions",
     "BasicBlock",
     "build_cfg",
     "CFG",

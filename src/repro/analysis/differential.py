@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.gadgets import Gadget, find_gadgets, program_leaks
+from repro.analysis.options import AnalysisOptions
 from repro.attacks import REGISTRY, TABLE1_ROWS, build_variants
 from repro.attacks.common import AttackProgram
 from repro.attacks.matrix import (
@@ -82,6 +83,7 @@ class Mismatch:
 
 def analyze_attack(attack: str,
                    core: Optional[CoreConfig] = None,
+                   options: Optional[AnalysisOptions] = None,
                    ) -> List[VariantAnalysis]:
     """Run the static analyzer over every variant of ``attack``."""
     core = core or CORTEX_A76.core
@@ -89,7 +91,8 @@ def analyze_attack(attack: str,
     for (variant, _), program in zip(REGISTRY[attack], build_variants(attack)):
         secret_ranges = [(program.secret_address,
                           program.secret_address + program.secret_size)]
-        gadgets = find_gadgets(program.builder_program, secret_ranges, core)
+        gadgets = find_gadgets(program.builder_program, secret_ranges, core,
+                               options=options)
         analyses.append(VariantAnalysis(attack, variant, program, gadgets))
     return analyses
 
@@ -105,13 +108,14 @@ def _classify(leaks: Sequence[bool]) -> Mitigation:
 def static_matrix(attacks: Optional[List[str]] = None,
                   defenses: Optional[List[DefenseKind]] = None,
                   core: Optional[CoreConfig] = None,
+                  options: Optional[AnalysisOptions] = None,
                   ) -> Dict[str, Dict[DefenseKind, StaticCell]]:
     """The Table-1 matrix as the static analyzer predicts it."""
     attacks = attacks or TABLE1_ROWS
     defenses = defenses or STATIC_DEFENSES
     matrix: Dict[str, Dict[DefenseKind, StaticCell]] = {}
     for attack in attacks:
-        analyses = analyze_attack(attack, core)
+        analyses = analyze_attack(attack, core, options)
         matrix[attack] = {}
         for defense in defenses:
             leaks = [analysis.leaks(defense) for analysis in analyses]

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import hooks
+from repro.analysis.options import AnalysisOptions
 from repro.analysis.taint import TaintResult, analyze
 from repro.analysis.windows import EntryKind, Window, compute_windows
 from repro.config import CoreConfig, DefenseKind
@@ -222,12 +223,28 @@ def _find_lfb(taint: TaintResult) -> List[_Pattern]:
     return patterns
 
 
+def _analyze(program: Program, secret_ranges, cfg, stale_loads,
+             options: Optional[AnalysisOptions]) -> TaintResult:
+    """Dispatch one dataflow run per ``options`` (whole-program default).
+
+    Modular mode routes through the summary engine; the pass-2 stale
+    re-run reuses every cached region that contains no sampler load (the
+    stale set only enters a region's cache key where it intersects it).
+    """
+    if options is not None and options.modular:
+        from repro.analysis.modular import analyze_modular
+        return analyze_modular(program, secret_ranges, cfg=cfg,
+                               stale_loads=stale_loads, options=options)
+    return analyze(program, secret_ranges, cfg=cfg, stale_loads=stale_loads)
+
+
 def _pattern_gadgets(program: Program, taint: TaintResult,
-                     patterns: List[_Pattern]) -> List[Gadget]:
+                     patterns: List[_Pattern],
+                     options: Optional[AnalysisOptions] = None) -> List[Gadget]:
     """Pass 2: re-run taint with the samplers stale, find what the sampled
     value reaches."""
-    stale = analyze(program, taint.secret_ranges, cfg=taint.cfg,
-                    stale_loads={p.sampler for p in patterns})
+    stale = _analyze(program, taint.secret_ranges, taint.cfg,
+                     {p.sampler for p in patterns}, options)
     gadgets = []
     for pattern in patterns:
         transmitters: List[int] = []
@@ -264,11 +281,17 @@ def _pattern_gadgets(program: Program, taint: TaintResult,
 def find_gadgets(program: Program,
                  secret_ranges: Sequence[Tuple[int, int]] = (),
                  core: Optional[CoreConfig] = None,
-                 taint: Optional[TaintResult] = None) -> List[Gadget]:
-    """All transient-leak gadgets of ``program`` (windows + MDS patterns)."""
+                 taint: Optional[TaintResult] = None,
+                 options: Optional[AnalysisOptions] = None) -> List[Gadget]:
+    """All transient-leak gadgets of ``program`` (windows + MDS patterns).
+
+    ``options`` selects the dataflow engine (whole-program by default;
+    :meth:`AnalysisOptions.summary_backed` for the modular mode — verdicts
+    are byte-identical by the ``--modular-differential`` contract).
+    """
     core = core or CoreConfig()
     if taint is None:
-        taint = analyze(program, secret_ranges)
+        taint = _analyze(program, secret_ranges, None, (), options)
     gadgets: List[Gadget] = []
     for window in compute_windows(taint, core):
         gadget = _window_gadget(taint, window)
@@ -276,7 +299,7 @@ def find_gadgets(program: Program,
             gadgets.append(gadget)
     patterns = _find_loosenet(taint, core.rob_entries) + _find_lfb(taint)
     if patterns:
-        gadgets.extend(_pattern_gadgets(program, taint, patterns))
+        gadgets.extend(_pattern_gadgets(program, taint, patterns, options))
     # Deterministic report order: window source, gadget class, entry block,
     # transmitter addresses.  Two runs over the same program (and re-runs in
     # CI) produce byte-identical reports.

@@ -1,0 +1,37 @@
+"""Summary-based modular spec-lint: call graph, per-function summaries,
+and the incremental summary cache.
+
+Public surface:
+
+- :func:`~repro.analysis.modular.callgraph.build_callgraph` /
+  :class:`~repro.analysis.modular.callgraph.CallGraph` — function
+  partition, call edges, Tarjan SCC condensation;
+- :func:`~repro.analysis.modular.callgraph.resolved_indirect_targets` /
+  :func:`~repro.analysis.modular.callgraph.refine_cfg` — per-branch
+  indirect-edge pruning fed back into the CFG;
+- :func:`~repro.analysis.modular.summaries.analyze_modular` /
+  :func:`~repro.analysis.modular.summaries.modular_analysis` — the
+  summary-backed drop-in for whole-program ``analyze``;
+- :class:`~repro.analysis.modular.incremental.SummaryCache` — the
+  persistent content-keyed memo, plus the digest/dirtying helpers;
+- :func:`~repro.analysis.modular.differential.modular_differential` —
+  the byte-identity gate and precision ledger.
+"""
+
+from repro.analysis.modular.callgraph import (
+    CallGraph, FunctionNode, build_callgraph, entry_addresses,
+    refine_cfg, resolved_indirect_targets)
+from repro.analysis.modular.incremental import (
+    SUMMARY_SCHEMA, RegionFacts, RegionOutputs, SummaryCache,
+    dirty_functions, function_digests)
+from repro.analysis.modular.summaries import (
+    FunctionSummary, ModularAnalysis, analyze_modular, modular_analysis)
+
+__all__ = [
+    "CallGraph", "FunctionNode", "build_callgraph", "entry_addresses",
+    "refine_cfg", "resolved_indirect_targets",
+    "SUMMARY_SCHEMA", "RegionFacts", "RegionOutputs", "SummaryCache",
+    "dirty_functions", "function_digests",
+    "FunctionSummary", "ModularAnalysis", "analyze_modular",
+    "modular_analysis",
+]

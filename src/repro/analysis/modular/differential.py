@@ -1,0 +1,254 @@
+"""The modular-vs-whole-program byte-identity gate and precision ledger.
+
+:func:`modular_differential` runs both engines over three suites —
+
+- all 66 Table-1 cells (11 attacks × ``NONE`` + the five defenses),
+- the synthesized witness suite (every gadget class, both variants),
+- the committed fuzz drill corpus (when present),
+
+and demands *byte identity*: per-variant gadget report lines and
+per-defense leak verdicts must match exactly.  Any disagreement is a
+:class:`~repro.errors.AnalysisError` (strict mode, the CI default), and
+every disagreement is additionally classified for the *precision ledger*:
+a cell where the modular engine claims a leak the whole-program engine
+does not (or a strictly worse mitigation classification) is
+``less-precise`` — the regression class the ledger exists to catch.  The
+ledger ships empty; CI fails the ``analysis-modular`` job on any entry.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.differential import (
+    STATIC_DEFENSES, VariantAnalysis, analyze_attack)
+from repro.analysis.gadgets import find_gadgets
+from repro.analysis.options import AnalysisOptions
+from repro.analysis.modular.incremental import SummaryCache
+from repro.attacks import TABLE1_ROWS
+from repro.attacks.matrix import Mitigation
+from repro.config import CORTEX_A76, CoreConfig, DefenseKind
+from repro.errors import AnalysisError
+
+#: The committed drill corpus (relative to the repo root, where CI runs).
+DEFAULT_CORPUS = os.path.join("tests", "fuzz", "data", "drill-corpus")
+
+#: Mitigation precision rank: higher mitigates more (= fewer leak claims).
+_RANK = {Mitigation.NONE: 0, Mitigation.PARTIAL: 1, Mitigation.FULL: 2}
+
+
+@dataclass(frozen=True)
+class ModularMismatch:
+    """One subject where the two engines disagree."""
+
+    suite: str          # "table1" | "witness" | "corpus"
+    subject: str        # e.g. "spectre-v1 under specasan", "pht/cross-key"
+    detail: str
+    #: The modular engine claimed a leak (or worse mitigation) that the
+    #: whole-program engine did not — a precision-ledger entry.
+    less_precise: bool = False
+
+    def __str__(self) -> str:
+        tag = " [LESS-PRECISE]" if self.less_precise else ""
+        return f"{self.suite}: {self.subject}{tag} — {self.detail}"
+
+
+@dataclass
+class ModularReport:
+    """The full differential outcome (render with :func:`render_modular`)."""
+
+    cells: int = 0
+    witnesses: int = 0
+    corpus: int = 0
+    corpus_skipped: Optional[str] = None
+    mismatches: List[ModularMismatch] = field(default_factory=list)
+    #: Summary-cache traffic across the whole run (reuse evidence).
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def ledger(self) -> List[ModularMismatch]:
+        """The precision ledger: strictly-less-precise disagreements."""
+        return [m for m in self.mismatches if m.less_precise]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _gadget_lines(analysis: VariantAnalysis) -> List[str]:
+    return [gadget.render() for gadget in analysis.gadgets]
+
+
+def _verdicts(analysis: VariantAnalysis,
+              defenses: Sequence[DefenseKind]) -> Dict[DefenseKind, bool]:
+    return {defense: analysis.leaks(defense) for defense in defenses}
+
+
+def _compare_variant(suite: str, subject: str,
+                     whole_lines: List[str], mod_lines: List[str],
+                     whole_verdicts: Dict[DefenseKind, bool],
+                     mod_verdicts: Dict[DefenseKind, bool],
+                     out: List[ModularMismatch]) -> None:
+    if whole_lines != mod_lines:
+        out.append(ModularMismatch(
+            suite, subject,
+            f"gadget reports differ: whole-program {len(whole_lines)} "
+            f"line(s) vs modular {len(mod_lines)} line(s); first "
+            f"divergence: "
+            f"{_first_divergence(whole_lines, mod_lines)}",
+            less_precise=len(mod_lines) > len(whole_lines)))
+    for defense, whole_leaks in whole_verdicts.items():
+        mod_leaks = mod_verdicts[defense]
+        if mod_leaks != whole_leaks:
+            out.append(ModularMismatch(
+                suite, f"{subject} under {defense.value}",
+                f"whole-program leaks={whole_leaks}, "
+                f"modular leaks={mod_leaks}",
+                less_precise=mod_leaks and not whole_leaks))
+
+
+def _first_divergence(a: List[str], b: List[str]) -> str:
+    for index, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            return f"line {index}: {left!r} != {right!r}"
+    return f"length {len(a)} vs {len(b)}"
+
+
+def _table1(core: CoreConfig, options: AnalysisOptions,
+            report: ModularReport) -> None:
+    for attack in TABLE1_ROWS:
+        whole = analyze_attack(attack, core)
+        modular = analyze_attack(attack, core, options)
+        for w, m in zip(whole, modular):
+            subject = f"{attack}/{w.variant}"
+            _compare_variant("table1", subject,
+                             _gadget_lines(w), _gadget_lines(m),
+                             _verdicts(w, STATIC_DEFENSES),
+                             _verdicts(m, STATIC_DEFENSES),
+                             report.mismatches)
+        # Cell-level classification diff (the Table-1 surface itself).
+        for defense in STATIC_DEFENSES:
+            report.cells += 1
+            whole_cls = _classify([w.leaks(defense) for w in whole])
+            mod_cls = _classify([m.leaks(defense) for m in modular])
+            if whole_cls is not mod_cls:
+                report.mismatches.append(ModularMismatch(
+                    "table1", f"{attack} under {defense.value}",
+                    f"cell classification: whole-program "
+                    f"{whole_cls.value} vs modular {mod_cls.value}",
+                    less_precise=_RANK[mod_cls] < _RANK[whole_cls]))
+
+
+def _classify(leaks: Sequence[bool]) -> Mitigation:
+    if not any(leaks):
+        return Mitigation.FULL
+    if all(leaks):
+        return Mitigation.NONE
+    return Mitigation.PARTIAL
+
+
+def _witnesses(core: CoreConfig, options: AnalysisOptions,
+               report: ModularReport) -> None:
+    from repro.analysis.witness import secret_ranges_of, synthesize_all
+    for witness in synthesize_all(core=core):
+        report.witnesses += 1
+        program = witness.attack.builder_program
+        ranges = secret_ranges_of(witness.attack)
+        whole = find_gadgets(program, ranges, core)
+        modular = find_gadgets(program, ranges, core, options=options)
+        whole_lines = [g.render() for g in whole]
+        mod_lines = [g.render() for g in modular]
+        if whole_lines != mod_lines:
+            report.mismatches.append(ModularMismatch(
+                "witness", witness.subject,
+                f"gadget reports differ; first divergence: "
+                f"{_first_divergence(whole_lines, mod_lines)}",
+                less_precise=len(mod_lines) > len(whole_lines)))
+
+
+def _corpus(directory: Optional[str], core: CoreConfig,
+            options: AnalysisOptions, report: ModularReport) -> None:
+    if directory is None:
+        directory = DEFAULT_CORPUS
+    if not os.path.isdir(directory):
+        report.corpus_skipped = f"no corpus at {directory}"
+        return
+    from repro.fuzz.corpus import load_run
+    from repro.fuzz.generator import build
+    run = load_run(directory)
+    for index, spec in enumerate(run.specs):
+        report.corpus += 1
+        candidate = build(spec)
+        program = candidate.attack.builder_program
+        ranges = candidate.secret_ranges
+        whole = find_gadgets(program, ranges, core)
+        modular = find_gadgets(program, ranges, core, options=options)
+        whole_lines = [g.render() for g in whole]
+        mod_lines = [g.render() for g in modular]
+        if whole_lines != mod_lines:
+            report.mismatches.append(ModularMismatch(
+                "corpus", f"candidate {index} ({spec.label})",
+                f"gadget reports differ; first divergence: "
+                f"{_first_divergence(whole_lines, mod_lines)}",
+                less_precise=len(mod_lines) > len(whole_lines)))
+
+
+def modular_differential(corpus_dir: Optional[str] = None,
+                         core: Optional[CoreConfig] = None,
+                         cache: Optional[SummaryCache] = None,
+                         strict: bool = True) -> ModularReport:
+    """Run the full byte-identity differential.
+
+    One shared summary cache serves the whole run (cross-suite reuse is
+    part of what the gate exercises).  With ``strict`` (the default) any
+    disagreement raises :class:`~repro.errors.AnalysisError` naming every
+    mismatch — CI surfaces the precision ledger the same way.
+    """
+    core = core or CORTEX_A76.core
+    cache = cache if cache is not None else SummaryCache()
+    options = AnalysisOptions.summary_backed(cache=cache)
+    report = ModularReport()
+    hits0, misses0 = cache.hits, cache.misses
+    _table1(core, options, report)
+    _witnesses(core, options, report)
+    _corpus(corpus_dir, core, options, report)
+    report.hits = cache.hits - hits0
+    report.misses = cache.misses - misses0
+    if strict and report.mismatches:
+        ledger = len(report.ledger)
+        detail = "; ".join(str(m) for m in report.mismatches[:10])
+        raise AnalysisError(
+            f"modular differential failed: {len(report.mismatches)} "
+            f"disagreement(s), {ledger} precision-ledger entr"
+            f"{'y' if ledger == 1 else 'ies'}: {detail}")
+    return report
+
+
+def render_modular(report: ModularReport) -> str:
+    """Human-readable differential summary (the CLI output)."""
+    lines = ["modular differential: summary-based vs whole-program"]
+    lines.append(f"  table-1 cells compared : {report.cells}")
+    lines.append(f"  witnesses compared     : {report.witnesses}")
+    if report.corpus_skipped:
+        lines.append(f"  corpus                 : skipped "
+                     f"({report.corpus_skipped})")
+    else:
+        lines.append(f"  corpus candidates      : {report.corpus}")
+    total = report.hits + report.misses
+    rate = report.hits / total if total else 0.0
+    lines.append(f"  summary cache          : {report.hits} hit(s) / "
+                 f"{report.misses} miss(es) ({rate:.1%} hit rate)")
+    if report.ok:
+        lines.append("  verdicts               : byte-identical")
+        lines.append("  precision ledger       : empty")
+    else:
+        lines.append(f"  DISAGREEMENTS ({len(report.mismatches)}):")
+        for mismatch in report.mismatches:
+            lines.append(f"    {mismatch}")
+        ledger = report.ledger
+        lines.append(f"  precision ledger       : {len(ledger)} entr"
+                     f"{'y' if len(ledger) == 1 else 'ies'}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Analysis entry-point options: whole-program vs. summary-backed modular.
+
+:class:`AnalysisOptions` selects how :func:`~repro.analysis.gadgets
+.find_gadgets` (and everything above it — the differential matrix, the
+service worker, the fuzz executor) runs the taint dataflow.  The default
+is the classic whole-program fixpoint of :func:`~repro.analysis.taint
+.analyze`; ``modular=True`` routes through
+:func:`repro.analysis.modular.analyze_modular` — the same fixpoint
+equations decomposed over the function partition, with per-function
+summaries memoized in a :class:`~repro.analysis.modular.incremental
+.SummaryCache` so re-linting an edited program only re-analyzes the
+functions whose bodies (or interface inputs) changed.
+
+This module is deliberately dependency-light: it imports nothing from the
+modular package at runtime so :mod:`repro.analysis.gadgets` can take an
+``options`` parameter without a circular import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.analysis.modular.incremental import SummaryCache
+    from repro.telemetry.analysis import ModularStats
+
+
+@dataclass
+class AnalysisOptions:
+    """How the gadget finder runs the dataflow.
+
+    Attributes:
+        modular: run the summary-backed modular fixpoint instead of the
+            whole-program one.  Verdicts are byte-identical by contract
+            (the ``--modular-differential`` CI gate enforces it).
+        cache: summary memo shared across runs; ``None`` means a private
+            in-memory cache per :func:`analyze_modular` call (no reuse).
+        boundaries: extra instruction addresses where the function
+            partition must split — e.g. fuzz-candidate section starts,
+            which otherwise form one inline function and would defeat
+            function-granular reuse.
+        stats: optional :class:`~repro.telemetry.analysis.ModularStats`
+            handle; every modular run books its summary hit/miss/SCC
+            counters there.
+    """
+
+    modular: bool = False
+    cache: Optional["SummaryCache"] = None
+    boundaries: Tuple[int, ...] = ()
+    stats: Optional["ModularStats"] = None
+
+    @classmethod
+    def whole_program(cls) -> "AnalysisOptions":
+        """The default: the classic monolithic fixpoint."""
+        return cls()
+
+    @classmethod
+    def summary_backed(cls, cache: Optional["SummaryCache"] = None,
+                       boundaries: Iterable[int] = (),
+                       stats: Optional["ModularStats"] = None,
+                       ) -> "AnalysisOptions":
+        """Modular mode with a (fresh in-memory, unless given) cache."""
+        if cache is None:
+            from repro.analysis.modular.incremental import SummaryCache
+            cache = SummaryCache()
+        return cls(modular=True, cache=cache,
+                   boundaries=tuple(sorted(boundaries)), stats=stats)

@@ -33,7 +33,8 @@ from __future__ import annotations
 import struct
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple)
 
 from repro.analysis import hooks
 from repro.analysis.cfg import CFG, BasicBlock, build_cfg
@@ -204,6 +205,13 @@ class TaintResult:
     #: MUL/UDIV instruction address -> joined source-operand value (the
     #: contention-channel transmitter candidates).
     contention: Dict[int, Value] = field(default_factory=dict)
+    #: (block start address, register) -> number of join-widening events:
+    #: both incoming constant sets were bounded but their union exceeded
+    #: :data:`CONST_CAP` and collapsed to "unknown".  This is the explicit
+    #: record of the bounded-iteration cutoff that makes recursion (mutual
+    #: ``BL`` cycles, unbounded loop counters) terminate — surfaced in the
+    #: ``--report`` output instead of silently converging.
+    widenings: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
 
 # -- the analysis -------------------------------------------------------------
@@ -266,12 +274,23 @@ def _write(state: State, reg: Optional[int], value: Value) -> None:
         state[reg] = value
 
 
-def _join_states(a: Optional[State], b: State) -> State:
+def _join_states(a: Optional[State], b: State,
+                 widened: Optional[Callable[[int], None]] = None) -> State:
+    """Pointwise join; ``widened(reg)`` fires on every constant-set collapse
+    (both sides bounded, union past :data:`CONST_CAP`)."""
     if a is None:
         return dict(b)
     out = dict(a)
     for reg, value in b.items():
-        out[reg] = value.join(out[reg]) if reg in out else UNKNOWN.join(value)
+        if reg in out:
+            joined = value.join(out[reg])
+            if (widened is not None and joined.consts is None
+                    and value.consts is not None
+                    and out[reg].consts is not None):
+                widened(reg)
+            out[reg] = joined
+        else:
+            out[reg] = UNKNOWN.join(value)
     for reg in a:
         if reg not in b:
             out[reg] = out[reg].join(UNKNOWN)
@@ -463,6 +482,7 @@ def analyze(program: Program,
 
     entry = cfg.entry_block.index
     in_states: Dict[int, State] = {entry: {}}
+    widenings: Dict[Tuple[int, int], int] = {}
     work = deque([entry])
     while work:
         index = work.popleft()
@@ -481,14 +501,21 @@ def analyze(program: Program,
         if term.is_return:
             succs.extend(ret_targets)
         for succ in succs:
-            joined = _join_states(in_states.get(succ), out)
+            start = cfg.blocks[succ].start
+
+            def note(reg: int, _start: int = start) -> None:
+                key = (_start, reg)
+                widenings[key] = widenings.get(key, 0) + 1
+
+            joined = _join_states(in_states.get(succ), out, note)
             if succ not in in_states or joined != in_states[succ]:
                 in_states[succ] = joined
                 if succ not in work:
                     work.append(succ)
 
     facts = TaintResult(program=program, cfg=cfg,
-                        secret_ranges=ctx.secret_ranges)
+                        secret_ranges=ctx.secret_ranges,
+                        widenings=widenings)
     for index, state in in_states.items():
         _run_block(ctx, cfg.blocks[index], dict(state), facts)
     sink = hooks.coverage_sink()

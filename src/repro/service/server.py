@@ -587,11 +587,17 @@ class SpecLintService:
             kind="degraded-unavailable")
 
     def _job_of(self, request: Request, trace: str = "") -> dict:
+        # ``summary_dir`` points workers at the shared persistent summary
+        # cache: function-granular reuse beneath the whole-program verdict
+        # cache (a resubmission editing one function only re-analyzes it
+        # and its transitive callers).
         return {"source": request.source, "witness": request.witness,
                 "secret_ranges": [list(r) for r in request.secret_ranges],
                 "defense": request.defense.value,
                 "confirm": request.confirm, "chaos": request.chaos,
                 "max_cycles": self.config.max_confirm_cycles,
+                "summary_dir": os.path.join(self.config.state_dir,
+                                            "summaries"),
                 "trace": trace}
 
     # -- observability -------------------------------------------------------

@@ -129,7 +129,29 @@ def run_job(job: dict, heartbeat: Optional[Heartbeat] = None,
     program, secret_ranges, attack = _subject_program(job)
     beat(1)
     problems = build_cfg(program).check_well_formed()
-    gadgets = find_gadgets(program, secret_ranges)
+    # Function-granular reuse beneath the server's whole-program verdict
+    # cache: a job carrying ``summary_dir`` lints through the modular
+    # engine against the persistent summary cache, so a resubmission that
+    # edited one function re-analyzes only it and its transitive callers.
+    summary: Optional[dict] = None
+    if job.get("summary_dir"):
+        from repro.analysis.modular import SummaryCache, modular_analysis
+        from repro.analysis.options import AnalysisOptions
+        cache = SummaryCache(os.path.join(job["summary_dir"],
+                                          "summaries.jsonl"))
+        options = AnalysisOptions.summary_backed(cache=cache)
+        run = modular_analysis(program, secret_ranges, options=options)
+        gadgets = find_gadgets(program, secret_ranges, taint=run.result,
+                               options=options)
+        cache.flush()
+        # Cache totals cover both taint passes (the MDS stale re-run
+        # included); the worker process is fresh per job, so they are
+        # exactly this job's traffic.
+        summary = {"hits": cache.hits, "misses": cache.misses,
+                   "reanalyzed": list(run.reanalyzed),
+                   "cached_regions": len(cache)}
+    else:
+        gadgets = find_gadgets(program, secret_ranges)
     beat(2)
     verdicts = {defense.value: any(leaks_under(g, defense) for g in gadgets)
                 for defense in DefenseKind}
@@ -146,6 +168,8 @@ def run_job(job: dict, heartbeat: Optional[Heartbeat] = None,
         "sanitized": all(g.sanitized for g in gadgets),
         "cfg_problems": [f"{p.kind} @ {p.address:#x}" for p in problems],
     }
+    if summary is not None:
+        row["summary"] = summary
     confirm_ms = 0.0
     if job.get("confirm"):
         defense = DefenseKind(job.get("defense", "specasan"))

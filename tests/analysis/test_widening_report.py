@@ -1,0 +1,71 @@
+"""Widening events: the bounded-iteration cutoff must be visible, not silent."""
+
+from repro.analysis.__main__ import main
+from repro.analysis.taint import analyze
+from repro.isa import assemble
+
+#: Mutually-recursive accumulation: X1's constant set grows without bound,
+#: so the fixpoint only converges by collapsing it past CONST_CAP.
+RECURSIVE = """
+    MOV X1, #0
+    BL f
+    HALT
+f:
+    ADD X1, X1, #1
+    BL g
+    RET
+g:
+    ADD X1, X1, #3
+    BL f
+    RET
+"""
+
+
+def test_recursive_witness_records_widening_events():
+    result = analyze(assemble(RECURSIVE))
+    assert result.widenings, "the collapse to unknown must be recorded"
+    total = sum(result.widenings.values())
+    assert total >= 1
+    regs = {reg for (_start, reg) in result.widenings}
+    assert 1 in regs                    # X1 is the register that widened
+    # Every event names a real block start.
+    cfg_starts = {b.start for b in result.cfg.blocks}
+    assert all(start in cfg_starts for (start, _reg) in result.widenings)
+
+
+def test_bounded_join_does_not_widen():
+    # Two constants meeting at a join stay well under CONST_CAP.
+    source = """
+        CMP X0, #1
+        B.LO low
+        MOV X1, #2
+        B done
+    low:
+        MOV X1, #5
+    done:
+        HALT
+    """
+    assert analyze(assemble(source)).widenings == {}
+
+
+def test_report_cli_surfaces_widenings_with_function_names(
+        tmp_path, capsys):
+    path = tmp_path / "recursive.s"
+    path.write_text(RECURSIVE, encoding="utf-8")
+    assert main(["--report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "widening:" in out
+    assert "constant-set collapse" in out
+    assert "affected function(s):" in out
+    # The collapse points land inside the recursion, named by label.
+    affected = [line for line in out.splitlines()
+                           if "affected function(s):" in line][0]
+    names = {n.strip() for n in affected.split(":")[1].split(",")}
+    assert names and names <= {"f", "g"}
+
+
+def test_report_cli_is_silent_without_widenings(tmp_path, capsys):
+    path = tmp_path / "straight.s"
+    path.write_text("MOV X0, #1\nHALT\n", encoding="utf-8")
+    assert main(["--report", str(path)]) == 0
+    assert "widening" not in capsys.readouterr().out

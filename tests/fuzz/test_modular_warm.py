@@ -1,0 +1,34 @@
+"""The fuzz executor lints through the warm in-memory summary cache."""
+
+from repro.fuzz.executor import FuzzConfig, FuzzExecutor
+from repro.telemetry.registry import StatsRegistry
+
+TINY = FuzzConfig(seed=0x51, budget=6, sim_every=3, warmup=2,
+                  repair_budget=1)
+
+
+def test_executor_accumulates_summary_hits():
+    executor = FuzzExecutor(TINY, StatsRegistry())
+    result = executor.run()
+    assert result.executed == TINY.budget
+    # Candidates share gadget sections, so warm-cache re-linting must
+    # land hits within a single campaign.
+    assert executor.summaries.hits > 0
+    assert executor.summaries.misses > 0
+
+
+def test_modular_stats_are_booked_to_the_registry():
+    registry = StatsRegistry()
+    FuzzExecutor(TINY, registry).run()
+    rendered = registry.render()
+    assert "analysis.modular.runs" in rendered
+    assert "analysis.modular.summary.hits" in rendered
+    assert "analysis.modular.summary.hit_rate" in rendered
+
+
+def test_determinism_survives_the_warm_cache():
+    run_a = FuzzExecutor(TINY, StatsRegistry()).run()
+    run_b = FuzzExecutor(TINY, StatsRegistry()).run()
+    assert run_a.admitted == run_b.admitted
+    assert run_a.disagreements == run_b.disagreements
+    assert run_a.coverage.to_dict() == run_b.coverage.to_dict()

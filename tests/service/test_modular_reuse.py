@@ -1,0 +1,52 @@
+"""Service jobs reuse function-granular summaries across submissions."""
+
+import os
+
+from repro.service.worker import run_job
+
+SOURCE = """
+    .data idx 0x4000 words 64
+    MOV X1, #0x4000
+    LDR X2, [X1]
+    CMP X2, #16
+    B.HS done
+    MOV X3, #0x5000
+    LDRB X4, [X3, X2]
+    LSL X4, X4, #6
+    MOV X5, #0x6000
+    LDRB X5, [X5, X4]
+done:
+    HALT
+"""
+
+
+def _job(summary_dir):
+    return {"source": SOURCE, "secret_ranges": [[0x5010, 0x5011]],
+            "summary_dir": summary_dir}
+
+
+def test_second_submission_is_all_hits(tmp_path):
+    summary_dir = str(tmp_path)
+    first = run_job(_job(summary_dir))
+    assert "summary" in first
+    assert first["summary"]["misses"] > 0
+    assert first["summary"]["cached_regions"] > 0
+    assert os.path.exists(os.path.join(summary_dir, "summaries.jsonl"))
+
+    second = run_job(_job(summary_dir))
+    assert second["summary"]["misses"] == 0
+    assert second["summary"]["hits"] > 0
+    assert second["summary"]["reanalyzed"] == []
+    # Verdicts and gadget reports are byte-identical across the replay.
+    assert second["verdicts"] == first["verdicts"]
+    assert second["gadgets"] == first["gadgets"]
+
+
+def test_summary_backed_job_matches_whole_program(tmp_path):
+    modular = run_job(_job(str(tmp_path)))
+    whole = run_job({"source": SOURCE,
+                     "secret_ranges": [[0x5010, 0x5011]]})
+    assert "summary" not in whole
+    assert modular["verdicts"] == whole["verdicts"]
+    assert modular["gadgets"] == whole["gadgets"]
+    assert modular["gadget_count"] == whole["gadget_count"]
